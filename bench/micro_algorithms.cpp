@@ -1,0 +1,113 @@
+/// \file micro_algorithms.cpp
+/// google-benchmark microbenchmarks for hedra's algorithms: DAG generation,
+/// reachability, transformation (Algorithm 1), the RTA itself, simulation,
+/// and the exact solver on small instances.  These quantify the cost of the
+/// analysis pipeline (the paper's analysis is meant to run inside design
+/// tools, so it should be fast).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/rta_heterogeneous.h"
+#include "exact/bnb.h"
+#include "gen/hierarchical.h"
+#include "gen/offload.h"
+#include "graph/algorithms.h"
+#include "graph/critical_path.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using hedra::Rng;
+using hedra::graph::Dag;
+
+Dag make_instance(int min_nodes, int max_nodes, std::uint64_t seed,
+                  double ratio) {
+  Rng rng(seed);
+  hedra::gen::HierarchicalParams params;
+  params.max_depth = 5;
+  params.n_par = 8;
+  params.min_nodes = min_nodes;
+  params.max_nodes = max_nodes;
+  Dag dag = hedra::gen::generate_hierarchical(params, rng);
+  (void)hedra::gen::select_offload_node(dag, rng);
+  (void)hedra::gen::set_offload_ratio(dag, ratio);
+  return dag;
+}
+
+void BM_GenerateHierarchical(benchmark::State& state) {
+  Rng rng(1);
+  hedra::gen::HierarchicalParams params;
+  params.max_depth = 5;
+  params.n_par = 8;
+  params.min_nodes = static_cast<int>(state.range(0));
+  params.max_nodes = static_cast<int>(state.range(0)) * 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::gen::generate_hierarchical(params, rng));
+  }
+}
+BENCHMARK(BM_GenerateHierarchical)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 2, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::graph::critical_path_length(dag));
+  }
+}
+BENCHMARK(BM_CriticalPath)->Arg(50)->Arg(200);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 3, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::graph::transitive_closure(dag));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(50)->Arg(200);
+
+void BM_TransformAlgorithm1(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 4, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::analysis::transform_for_offload(dag));
+  }
+}
+BENCHMARK(BM_TransformAlgorithm1)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FullHeterogeneousAnalysis(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 5, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::analysis::analyze_heterogeneous(dag, 8));
+  }
+}
+BENCHMARK(BM_FullHeterogeneousAnalysis)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SimulateBreadthFirst(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 6, 0.2);
+  hedra::sim::SimConfig config;
+  config.cores = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::sim::simulated_makespan(dag, config));
+  }
+}
+BENCHMARK(BM_SimulateBreadthFirst)->Arg(50)->Arg(200);
+
+void BM_ExactSolverSmall(benchmark::State& state) {
+  const Dag dag = make_instance(8, static_cast<int>(state.range(0)), 7, 0.3);
+  hedra::exact::BnbConfig config;
+  config.time_limit_sec = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::exact::min_makespan(dag, 2, config));
+  }
+}
+BENCHMARK(BM_ExactSolverSmall)->Arg(12)->Arg(20);
+
+}  // namespace

@@ -1,0 +1,127 @@
+/// \file adas_pipeline.cpp
+/// A realistic heterogeneous workload of the kind the paper's introduction
+/// motivates: an advanced driver-assistance (ADAS) perception pipeline on an
+/// embedded host-plus-GPU platform (NVIDIA Tegra-class).  The convolutional
+/// object detector is offloaded to the GPU; lane detection, free-space
+/// estimation and tracking stay on the host cores.
+///
+/// The example answers the integrator's questions:
+///   1. Is the 100 ms frame deadline provably met on 2/4/8/16 cores?
+///   2. How much tighter is the heterogeneous analysis than the baseline?
+///   3. What happens as the detector (C_off) grows with bigger models?
+///
+/// WCETs are in tenths of a millisecond.
+
+#include <iostream>
+
+#include "analysis/schedulability.h"
+#include "graph/critical_path.h"
+#include "model/task.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hedra;
+
+struct Pipeline {
+  graph::Dag dag;
+  graph::NodeId detector;
+};
+
+Pipeline build_pipeline(graph::Time detector_wcet) {
+  Pipeline p;
+  graph::Dag& g = p.dag;
+  const auto capture = g.add_node(20, graph::NodeKind::kHost, "capture");
+  const auto debayer = g.add_node(35, graph::NodeKind::kHost, "debayer");
+  const auto rectify = g.add_node(40, graph::NodeKind::kHost, "rectify");
+  // Perception fans out after rectification.
+  p.detector =
+      g.add_node(detector_wcet, graph::NodeKind::kOffload, "cnn_detect");
+  const auto lanes = g.add_node(120, graph::NodeKind::kHost, "lane_detect");
+  const auto freespace =
+      g.add_node(150, graph::NodeKind::kHost, "free_space");
+  const auto odometry = g.add_node(90, graph::NodeKind::kHost, "odometry");
+  // Detections feed tracking; everything fuses before planning.
+  const auto tracker = g.add_node(60, graph::NodeKind::kHost, "tracker");
+  const auto fusion = g.add_node(45, graph::NodeKind::kHost, "fusion");
+  const auto plan = g.add_node(55, graph::NodeKind::kHost, "plan");
+  g.add_edge(capture, debayer);
+  g.add_edge(debayer, rectify);
+  g.add_edge(rectify, p.detector);
+  g.add_edge(rectify, lanes);
+  g.add_edge(rectify, freespace);
+  g.add_edge(rectify, odometry);
+  g.add_edge(p.detector, tracker);
+  g.add_edge(tracker, fusion);
+  g.add_edge(lanes, fusion);
+  g.add_edge(freespace, fusion);
+  g.add_edge(odometry, fusion);
+  g.add_edge(fusion, plan);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  constexpr graph::Time kFramePeriod = 1000;   // 100 ms @ 0.1 ms ticks
+  constexpr graph::Time kFrameDeadline = 1000;
+
+  std::cout << "== ADAS perception pipeline on host + GPU ==\n\n";
+
+  // Question 1+2: schedulability across host sizes for the 30 ms detector.
+  {
+    const Pipeline p = build_pipeline(300);
+    std::cout << "pipeline: " << p.dag.num_nodes() << " stages, vol = "
+              << p.dag.volume() << " ticks, len = "
+              << graph::critical_path_length(p.dag)
+              << " ticks, C_off = " << p.dag.wcet(p.detector)
+              << " (GPU detector)\n\n";
+    const model::DagTask task(p.dag, kFramePeriod, kFrameDeadline, "adas");
+    TextTable table({"m", "R_hom (Eq.1)", "R_het (Thm.1)", "scenario",
+                     "deadline 1000", "improvement"});
+    for (const int m : {2, 4, 8, 16}) {
+      const auto hom = analysis::check_schedulability(
+          task, m, analysis::AnalysisKind::kHomogeneous);
+      const auto het = analysis::check_schedulability(
+          task, m, analysis::AnalysisKind::kHeterogeneous);
+      const double gain = 100.0 *
+                          (hom.bound.to_double() - het.bound.to_double()) /
+                          het.bound.to_double();
+      table.add_row(
+          {std::to_string(m), format_double(hom.bound.to_double(), 1),
+           format_double(het.bound.to_double(), 1),
+           to_string(het.scenario),
+           het.schedulable ? (hom.schedulable ? "both pass" : "only R_het")
+                           : (hom.schedulable ? "only R_hom" : "both fail"),
+           format_percent(gain, 1)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  // Question 3: growing the detector model.
+  {
+    std::cout << "scaling the GPU detector (m = 4):\n";
+    TextTable table({"detector WCET", "C_off/vol", "R_hom", "R_het",
+                     "scenario", "meets 1000?"});
+    for (const graph::Time wcet : {100, 200, 300, 500, 800, 1200}) {
+      const Pipeline p = build_pipeline(wcet);
+      const model::DagTask task(p.dag, 2000, kFrameDeadline, "adas");
+      const auto analysis = analysis::analyze_heterogeneous(p.dag, 4);
+      table.add_row(
+          {std::to_string(wcet),
+           format_double(100.0 * static_cast<double>(wcet) /
+                             static_cast<double>(p.dag.volume()),
+                         1) +
+               "%",
+           format_double(analysis.r_hom.to_double(), 1),
+           format_double(analysis.r_het.to_double(), 1),
+           to_string(analysis.scenario),
+           analysis.r_het <= Frac(kFrameDeadline) ? "yes" : "NO"});
+    }
+    std::cout << table.render()
+              << "\nNote how the scenario migrates S1 -> S2.2 -> S2.1 as the "
+                 "offloaded share grows — exactly Figure 8's story.\n";
+  }
+  return 0;
+}

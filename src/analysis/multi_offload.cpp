@@ -1,0 +1,41 @@
+#include "analysis/multi_offload.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace hedra::analysis {
+
+Frac rta_multi_offload(const graph::Dag& dag, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  HEDRA_REQUIRE(dag.num_nodes() > 0, "empty graph");
+
+  // Weighted longest path: host nodes weigh C_v·(m−1), offload nodes 0;
+  // divide by m at the end to stay in integer arithmetic.
+  const auto order = graph::topological_order(dag);
+  std::vector<graph::Time> best(dag.num_nodes(), 0);
+  graph::Time max_weighted = 0;
+  for (const auto v : order) {
+    graph::Time incoming = 0;
+    for (const auto p : dag.predecessors(v)) {
+      incoming = std::max(incoming, best[p]);
+    }
+    const graph::Time weight = dag.kind(v) == graph::NodeKind::kOffload
+                                   ? 0
+                                   : dag.wcet(v) * (m - 1);
+    best[v] = incoming + weight;
+    max_weighted = std::max(max_weighted, best[v]);
+  }
+
+  graph::Time vol_host = 0;
+  graph::Time vol_off = 0;
+  for (graph::NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.kind(v) == graph::NodeKind::kOffload) vol_off += dag.wcet(v);
+    else vol_host += dag.wcet(v);
+  }
+
+  return Frac(vol_host, m) + Frac(vol_off) + Frac(max_weighted, m);
+}
+
+}  // namespace hedra::analysis

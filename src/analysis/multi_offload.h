@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file multi_offload.h
+/// EXTENSION (not part of the DAC'18 paper; listed there as future work §7):
+/// a sound response-time bound for DAGs with *several* offloaded nodes
+/// sharing the single accelerator device.
+///
+/// Derivation (two-resource Graham argument).  Fix any work-conserving
+/// schedule and build the usual interference chain C backwards from the last
+/// completing node.  At any instant where the head of the chain is ready but
+/// not executing, either
+///   (a) it is a host node, so all m host cores are busy with host work not
+///       in C, or
+///   (b) it is an offload node, so the accelerator is busy with offload work
+///       not in C.
+/// Hence
+///
+///   R <= len(C) + (vol_host − host(C))/m + (vol_off − off(C))
+///
+/// and maximising the right-hand side over all source-to-sink chains gives
+///
+///   R_multi = vol_host/m + vol_off
+///             + max over paths P of Σ_{v∈P, host} C_v·(m−1)/m,
+///
+/// a weighted-longest-path computation (offload nodes contribute weight 0).
+/// With a single offload node this is in general *incomparable* with
+/// Theorem 1 (no v_sync is inserted, so no serialisation penalty, but no
+/// parallel-execution guarantee either); the ablation bench compares them.
+
+#include "graph/dag.h"
+#include "util/fraction.h"
+
+namespace hedra::analysis {
+
+/// Sound bound for any number of kOffload nodes executing on ONE
+/// accelerator under any work-conserving scheduler.  Requires m >= 1 and an
+/// acyclic graph; works for zero offload nodes too (reduces to Eq. 1's value
+/// only when the critical path maximises the weighted path — in general it
+/// equals vol/m + max_P Σ C_v (m−1)/m, the chain form of the Graham bound).
+[[nodiscard]] Frac rta_multi_offload(const graph::Dag& dag, int m);
+
+}  // namespace hedra::analysis

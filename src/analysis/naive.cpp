@@ -1,0 +1,18 @@
+#include "analysis/naive.h"
+
+#include "graph/critical_path.h"
+#include "graph/validate.h"
+
+namespace hedra::analysis {
+
+Frac rta_naive_subtraction(const graph::Dag& dag, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  graph::throw_if_invalid(dag, graph::heterogeneous_rules());
+  const graph::NodeId voff = *dag.offload_node();
+  const graph::Time len = graph::critical_path_length(dag);
+  const graph::Time vol = dag.volume();
+  const graph::Time c_off = dag.wcet(voff);
+  return Frac(len) + Frac(vol - len - c_off, m);
+}
+
+}  // namespace hedra::analysis

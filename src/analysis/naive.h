@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file naive.h
+/// The *unsound* bound discussed in §3.2 (Figure 1(b)): since v_off does not
+/// occupy a host core, one might be tempted to subtract its contribution
+/// from the self-interference factor of Eq. 1 directly on the original DAG:
+///
+///     R_naive(τ) = len(G) + (vol(G) − len(G) − C_off) / m
+///
+/// The paper shows this is NOT a trustworthy upper bound: nothing forces the
+/// host to run anything while v_off executes, so the schedule of Figure 1(c)
+/// reaches response time 12 while R_naive = 11.  We keep the bound in the
+/// library (clearly marked) because the running-example test and the
+/// `paper_figures` example demonstrate the unsoundness — which is the whole
+/// motivation for the transformation of §3.4.
+
+#include "graph/dag.h"
+#include "util/fraction.h"
+
+namespace hedra::analysis {
+
+/// UNSOUND — do not use for schedulability verification.  See file comment.
+[[nodiscard]] Frac rta_naive_subtraction(const graph::Dag& dag, int m);
+
+}  // namespace hedra::analysis

@@ -1,0 +1,167 @@
+#include "analysis/rta_heterogeneous.h"
+
+#include <sstream>
+
+#include "graph/critical_path.h"
+#include "util/strings.h"
+
+namespace hedra::analysis {
+
+const char* to_string(Scenario s) noexcept {
+  switch (s) {
+    case Scenario::kS1:
+      return "S1";
+    case Scenario::kS21:
+      return "S2.1";
+    case Scenario::kS22:
+      return "S2.2";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Quantities shared by classification and evaluation.
+struct TheoremInputs {
+  graph::Time len_trans;
+  graph::Time vol;
+  graph::Time c_off;
+  graph::Time len_gpar;
+  graph::Time vol_gpar;
+  bool voff_critical;
+  Frac r_hom_gpar;
+};
+
+TheoremInputs gather(const TransformResult& transform, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  const Dag& g = transform.transformed;
+  const graph::CriticalPathInfo info(g);
+  TheoremInputs in{};
+  in.len_trans = info.length();
+  in.vol = g.volume();
+  in.c_off = g.wcet(transform.voff);
+  in.len_gpar = graph::critical_path_length(transform.gpar.dag);
+  in.vol_gpar = transform.gpar.dag.volume();
+  in.voff_critical = info.on_critical_path(g, transform.voff);
+  in.r_hom_gpar = rta_homogeneous(transform.gpar.dag, m);
+  return in;
+}
+
+Scenario classify(const TheoremInputs& in) {
+  if (!in.voff_critical) return Scenario::kS1;
+  // Exact rational comparison; the C_off == R_hom(G_par) tie goes to S2.1
+  // (Eqs. 3 and 4 agree there, see the equivalence test).
+  return Frac(in.c_off) >= in.r_hom_gpar ? Scenario::kS21 : Scenario::kS22;
+}
+
+Frac evaluate(const TheoremInputs& in, Scenario scenario, int m) {
+  const Frac len(in.len_trans);
+  switch (scenario) {
+    case Scenario::kS1:
+      // Eq. 2: v_off's workload can never delay the critical path, because
+      // len(G_par) > C_off guarantees the host outlasts the accelerator.
+      return len + Frac(in.vol - in.len_trans - in.c_off, m);
+    case Scenario::kS21:
+      // Eq. 3: the accelerator outlasts G_par, so all of vol(G_par) runs
+      // strictly in parallel with v_off and generates no interference.
+      return len + Frac(in.vol - in.len_trans - in.vol_gpar, m);
+    case Scenario::kS22:
+      // Eq. 4: v_off is critical but finishes before G_par can; replace
+      // C_off by R_hom(G_par) on the critical path and drop vol(G_par) from
+      // the interference term (it would otherwise be counted twice).
+      return len - Frac(in.c_off) + Frac(in.len_gpar) +
+             Frac(in.vol - in.len_trans - in.len_gpar, m);
+  }
+  throw InternalError("unreachable scenario");
+}
+
+}  // namespace
+
+Frac rta_heterogeneous(const TransformResult& transform, int m) {
+  const auto in = gather(transform, m);
+  return evaluate(in, classify(in), m);
+}
+
+Scenario classify_scenario(const TransformResult& transform, int m) {
+  return classify(gather(transform, m));
+}
+
+HetAnalysis analyze_heterogeneous(const Dag& dag, int m) {
+  HetAnalysis out;
+  out.transform = transform_for_offload(dag);
+  const auto in = gather(out.transform, m);
+  out.scenario = classify(in);
+  out.r_het = evaluate(in, out.scenario, m);
+  out.r_hom = rta_homogeneous(dag, m);
+  out.r_hom_gpar = in.r_hom_gpar;
+  out.voff_on_critical_path = in.voff_critical;
+  out.len_original = graph::critical_path_length(dag);
+  out.len_transformed = in.len_trans;
+  out.volume = in.vol;
+  out.len_gpar = in.len_gpar;
+  out.vol_gpar = in.vol_gpar;
+  out.c_off = in.c_off;
+  return out;
+}
+
+Frac best_bound(const Dag& dag, int m) {
+  const auto analysis = analyze_heterogeneous(dag, m);
+  return frac_min(analysis.r_het, analysis.r_hom);
+}
+
+std::string explain(const HetAnalysis& analysis, int m) {
+  std::ostringstream os;
+  os << "heterogeneous DAG analysis (m = " << m << " cores + 1 accelerator)\n"
+     << "  measured:  len(G) = " << analysis.len_original
+     << ", len(G') = " << analysis.len_transformed
+     << ", vol = " << analysis.volume << ", C_off = " << analysis.c_off
+     << "\n"
+     << "  G_par:     |V| = " << analysis.transform.gpar.dag.num_nodes()
+     << ", len = " << analysis.len_gpar << ", vol = " << analysis.vol_gpar
+     << ", R_hom(G_par) = " << analysis.r_hom_gpar << "\n"
+     << "  scenario:  v_off "
+     << (analysis.voff_on_critical_path ? "on" : "not on")
+     << " the critical path of G'";
+  if (analysis.voff_on_critical_path) {
+    os << "; C_off " << (Frac(analysis.c_off) >= analysis.r_hom_gpar ? ">=" : "<")
+       << " R_hom(G_par)";
+  }
+  os << " -> " << to_string(analysis.scenario) << "\n";
+  switch (analysis.scenario) {
+    case Scenario::kS1:
+      os << "  Eq. 2:     R_het = len(G') + (vol - len(G') - C_off)/m = "
+         << analysis.len_transformed << " + ("
+         << analysis.volume - analysis.len_transformed - analysis.c_off
+         << ")/" << m << " = " << analysis.r_het << "\n";
+      break;
+    case Scenario::kS21:
+      os << "  Eq. 3:     R_het = len(G') + (vol - len(G') - vol(G_par))/m = "
+         << analysis.len_transformed << " + ("
+         << analysis.volume - analysis.len_transformed - analysis.vol_gpar
+         << ")/" << m << " = " << analysis.r_het << "\n";
+      break;
+    case Scenario::kS22:
+      os << "  Eq. 4:     R_het = len(G') - C_off + len(G_par) + (vol - "
+            "len(G') - len(G_par))/m = "
+         << analysis.len_transformed << " - " << analysis.c_off << " + "
+         << analysis.len_gpar << " + ("
+         << analysis.volume - analysis.len_transformed - analysis.len_gpar
+         << ")/" << m << " = " << analysis.r_het << "\n";
+      break;
+  }
+  os << "  baseline:  R_hom (Eq. 1) = " << analysis.r_hom << "\n"
+     << "  verdict:   R_het " << (analysis.r_het <= analysis.r_hom ? "<=" : ">")
+     << " R_hom";
+  if (analysis.r_hom != Frac(0)) {
+    os << " ("
+       << format_percent(100.0 * (analysis.r_hom.to_double() -
+                                  analysis.r_het.to_double()) /
+                             analysis.r_het.to_double(),
+                         1)
+       << " tighter)";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hedra::analysis

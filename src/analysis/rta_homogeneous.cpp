@@ -1,0 +1,23 @@
+#include "analysis/rta_homogeneous.h"
+
+#include "graph/critical_path.h"
+
+namespace hedra::analysis {
+
+Frac rta_homogeneous(Time len, Time vol, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  HEDRA_REQUIRE(len >= 0, "critical path length must be non-negative");
+  HEDRA_REQUIRE(vol >= len,
+                "volume cannot be smaller than the critical path length");
+  return Frac(len) + Frac(vol - len, m);
+}
+
+Frac rta_homogeneous(const Dag& dag, int m) {
+  if (dag.num_nodes() == 0) {
+    HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+    return Frac(0);
+  }
+  return rta_homogeneous(graph::critical_path_length(dag), dag.volume(), m);
+}
+
+}  // namespace hedra::analysis

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file rta_homogeneous.h
+/// The homogeneous response-time bound the paper starts from (§3.1, Eq. 1),
+/// due to [19]:
+///
+///     R_hom(τ) = len(G) + (vol(G) − len(G)) / m
+///
+/// valid for any work-conserving scheduler on m identical cores.  The factor
+/// (vol − len)/m upper-bounds the *self-interference*: the task's own
+/// workload delaying its critical path.  Results are exact rationals.
+
+#include "graph/dag.h"
+#include "util/fraction.h"
+
+namespace hedra::analysis {
+
+using graph::Dag;
+using graph::Time;
+
+/// Eq. 1 from precomputed len/vol.  Requires m >= 1 and vol >= len >= 0.
+[[nodiscard]] Frac rta_homogeneous(Time len, Time vol, int m);
+
+/// Eq. 1 for a DAG (len/vol computed internally).  An empty DAG yields 0,
+/// which makes R_hom(G_par) well-defined when v_off has no parallel nodes.
+[[nodiscard]] Frac rta_homogeneous(const Dag& dag, int m);
+
+}  // namespace hedra::analysis

@@ -1,0 +1,43 @@
+#include "analysis/schedulability.h"
+
+namespace hedra::analysis {
+
+const char* to_string(AnalysisKind kind) noexcept {
+  switch (kind) {
+    case AnalysisKind::kHomogeneous:
+      return "homogeneous";
+    case AnalysisKind::kHeterogeneous:
+      return "heterogeneous";
+    case AnalysisKind::kBest:
+      return "best";
+  }
+  return "?";
+}
+
+SchedulabilityReport check_schedulability(const model::DagTask& task, int m,
+                                          AnalysisKind kind) {
+  SchedulabilityReport report;
+  report.kind = kind;
+  report.deadline = task.deadline();
+  switch (kind) {
+    case AnalysisKind::kHomogeneous:
+      report.bound = rta_homogeneous(task.dag(), m);
+      break;
+    case AnalysisKind::kHeterogeneous: {
+      const auto analysis = analyze_heterogeneous(task.dag(), m);
+      report.bound = analysis.r_het;
+      report.scenario = analysis.scenario;
+      break;
+    }
+    case AnalysisKind::kBest: {
+      const auto analysis = analyze_heterogeneous(task.dag(), m);
+      report.bound = frac_min(analysis.r_het, analysis.r_hom);
+      report.scenario = analysis.scenario;
+      break;
+    }
+  }
+  report.schedulable = report.bound <= Frac(task.deadline());
+  return report;
+}
+
+}  // namespace hedra::analysis

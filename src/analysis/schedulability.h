@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file schedulability.h
+/// Schedulability verification: a task τ is schedulable on m cores (plus the
+/// accelerator) if its response-time upper bound does not exceed its
+/// relative deadline D (§3.1).
+
+#include "analysis/rta_heterogeneous.h"
+#include "model/task.h"
+
+namespace hedra::analysis {
+
+/// Which analysis produces the bound.
+enum class AnalysisKind {
+  kHomogeneous,    ///< Eq. 1 on the original DAG (baseline, [19])
+  kHeterogeneous,  ///< Theorem 1 on the transformed DAG (this paper)
+  kBest,           ///< min of the two (both are sound)
+};
+
+[[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
+
+/// Outcome of a schedulability test.
+struct SchedulabilityReport {
+  AnalysisKind kind = AnalysisKind::kBest;
+  Frac bound;              ///< response-time upper bound
+  graph::Time deadline = 0;
+  bool schedulable = false;
+  /// Scenario of Theorem 1; meaningful for kHeterogeneous/kBest when the
+  /// heterogeneous bound was evaluated.
+  Scenario scenario = Scenario::kS1;
+};
+
+/// Verifies R(τ) <= D using the requested analysis.  For kHomogeneous the
+/// offload node is treated as a host node, exactly as the paper's baseline
+/// does.  Throws if the DAG violates the heterogeneous model preconditions
+/// and a heterogeneous analysis is requested.
+[[nodiscard]] SchedulabilityReport check_schedulability(
+    const model::DagTask& task, int m, AnalysisKind kind = AnalysisKind::kBest);
+
+}  // namespace hedra::analysis

@@ -1,0 +1,298 @@
+#include "exact/bnb.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "exact/bounds.h"
+#include "exact/list_heuristics.h"
+#include "graph/algorithms.h"
+#include "graph/critical_path.h"
+#include "util/bitset.h"
+
+namespace hedra::exact {
+
+namespace {
+
+using graph::Dag;
+using graph::NodeId;
+using graph::Time;
+
+struct Running {
+  Time finish;
+  NodeId node;
+  bool on_accel;
+};
+
+/// Mutable search state; the advance branch snapshots the whole struct.
+struct State {
+  Time now = 0;
+  std::vector<std::size_t> remaining_preds;
+  std::vector<NodeId> ready_host;   ///< sorted by exploration priority
+  std::vector<NodeId> ready_accel;  ///< sorted by exploration priority
+  std::vector<Running> running;
+  int free_cores = 0;
+  bool accel_free = true;
+  std::size_t completed = 0;
+  DynamicBitset started;            ///< started or finished
+  Time unstarted_host_work = 0;
+  Time unstarted_accel_work = 0;
+};
+
+class Solver {
+ public:
+  Solver(const Dag& dag, int m, const BnbConfig& config)
+      : dag_(dag), m_(m), config_(config), cp_(dag) {
+    const std::size_t n = dag.num_nodes();
+    down_.resize(n);
+    for (NodeId v = 0; v < n; ++v) down_[v] = cp_.down(v);
+    single_offload_ = dag.offload_nodes().size() == 1;
+  }
+
+  BnbResult solve() {
+    BnbResult result;
+    result.root_lower_bound = makespan_lower_bound(dag_, m_);
+    result.heuristic_upper_bound = best_heuristic_makespan(dag_, m_).makespan;
+    best_ = result.heuristic_upper_bound;
+    if (best_ == result.root_lower_bound) {
+      result.makespan = best_;
+      result.proven_optimal = true;
+      return result;
+    }
+
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(config_.time_limit_sec));
+
+    State root;
+    const std::size_t n = dag_.num_nodes();
+    root.remaining_preds.resize(n);
+    for (NodeId v = 0; v < n; ++v) root.remaining_preds[v] = dag_.in_degree(v);
+    root.free_cores = m_;
+    root.started = DynamicBitset(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (dag_.wcet(v) == 0) continue;
+      if (dag_.kind(v) == graph::NodeKind::kOffload) {
+        root.unstarted_accel_work += dag_.wcet(v);
+      } else {
+        root.unstarted_host_work += dag_.wcet(v);
+      }
+    }
+    std::vector<NodeId> newly;
+    for (NodeId v = 0; v < n; ++v) {
+      if (root.remaining_preds[v] == 0) newly.push_back(v);
+    }
+    absorb(root, newly);
+
+    aborted_ = false;
+    state_ = std::move(root);
+    search(0, 0);
+
+    result.makespan = best_;
+    result.proven_optimal = !aborted_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  /// Priority order inside the ready lists: critical (largest down) first.
+  bool prior(NodeId a, NodeId b) const {
+    return down_[a] != down_[b] ? down_[a] > down_[b] : a < b;
+  }
+
+  void sorted_insert(std::vector<NodeId>& list, NodeId v) {
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), v,
+        [this](NodeId a, NodeId b) { return prior(a, b); });
+    list.insert(it, v);
+  }
+
+  /// Files newly ready nodes; zero-WCET nodes complete instantly.
+  void absorb(State& s, std::vector<NodeId>& newly) {
+    while (!newly.empty()) {
+      const NodeId v = newly.back();
+      newly.pop_back();
+      if (dag_.wcet(v) == 0) {
+        s.started.set(v);
+        ++s.completed;
+        for (const NodeId w : dag_.successors(v)) {
+          if (--s.remaining_preds[w] == 0) newly.push_back(w);
+        }
+        continue;
+      }
+      if (dag_.kind(v) == graph::NodeKind::kOffload) {
+        sorted_insert(s.ready_accel, v);
+      } else {
+        sorted_insert(s.ready_host, v);
+      }
+    }
+  }
+
+  [[nodiscard]] Time lower_bound(const State& s) const {
+    // Path bound: every unstarted node starts at >= now; every running node
+    // finishes at its finish time and is followed by its longest tail.
+    Time lb = s.now;
+    for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+      if (!s.started.test(v)) lb = std::max(lb, s.now + down_[v]);
+    }
+    Time running_host_rem = 0;
+    Time running_accel_rem = 0;
+    for (const auto& r : s.running) {
+      lb = std::max(lb, r.finish + down_[r.node] - dag_.wcet(r.node));
+      if (r.on_accel) running_accel_rem += r.finish - s.now;
+      else running_host_rem += r.finish - s.now;
+    }
+    // Area bounds.
+    const Time host_work = s.unstarted_host_work + running_host_rem;
+    lb = std::max(lb, s.now + (host_work + m_ - 1) / m_);
+    lb = std::max(lb, s.now + s.unstarted_accel_work + running_accel_rem);
+    return lb;
+  }
+
+  bool out_of_budget() {
+    if (aborted_) return true;
+    if (nodes_ >= config_.max_nodes) {
+      aborted_ = true;
+      return true;
+    }
+    if ((nodes_ & 0xFFF) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      aborted_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void start_node(State& s, NodeId v, bool on_accel) {
+    s.started.set(v);
+    s.running.push_back(Running{s.now + dag_.wcet(v), v, on_accel});
+    if (on_accel) {
+      s.accel_free = false;
+      s.unstarted_accel_work -= dag_.wcet(v);
+    } else {
+      --s.free_cores;
+      s.unstarted_host_work -= dag_.wcet(v);
+    }
+  }
+
+  void undo_start(State& s, NodeId v, bool on_accel) {
+    s.started.reset(v);
+    HEDRA_ASSERT(!s.running.empty() && s.running.back().node == v);
+    s.running.pop_back();
+    if (on_accel) {
+      s.accel_free = true;
+      s.unstarted_accel_work += dag_.wcet(v);
+    } else {
+      ++s.free_cores;
+      s.unstarted_host_work += dag_.wcet(v);
+    }
+  }
+
+  /// DFS over decisions at the current event time.  `min_host` / `min_accel`
+  /// restrict which ready-list suffixes may still start at this time,
+  /// cancelling permutation symmetry of simultaneous starts.
+  void search(std::size_t min_host, std::size_t min_accel) {
+    if (out_of_budget()) return;
+    ++nodes_;
+    State& s = state_;
+
+    if (s.completed == dag_.num_nodes()) {
+      best_ = std::min(best_, s.now);
+      return;
+    }
+    if (lower_bound(s) >= best_) return;
+
+    // Dominance: a lone offload node starts the moment it is ready.
+    if (single_offload_ && s.accel_free && !s.ready_accel.empty()) {
+      const NodeId v = s.ready_accel.front();
+      s.ready_accel.erase(s.ready_accel.begin());
+      start_node(s, v, /*on_accel=*/true);
+      search(min_host, 0);
+      undo_start(s, v, /*on_accel=*/true);
+      sorted_insert(s.ready_accel, v);
+      return;
+    }
+
+    // Branch: start a ready host node (canonical suffix order).
+    if (s.free_cores > 0) {
+      for (std::size_t i = min_host; i < s.ready_host.size(); ++i) {
+        const NodeId v = s.ready_host[i];
+        s.ready_host.erase(s.ready_host.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        start_node(s, v, /*on_accel=*/false);
+        // Canonical order for simultaneous starts: accelerator starts come
+        // before host starts, so none are allowed after this one.
+        search(i, s.ready_accel.size());
+        undo_start(s, v, /*on_accel=*/false);
+        s.ready_host.insert(
+            s.ready_host.begin() + static_cast<std::ptrdiff_t>(i), v);
+        if (aborted_) return;
+      }
+    }
+
+    // Branch: start a ready offload node (multi-offload case only; the
+    // single-offload case is handled by the dominance rule above).
+    if (s.accel_free) {
+      for (std::size_t i = min_accel; i < s.ready_accel.size(); ++i) {
+        const NodeId v = s.ready_accel[i];
+        s.ready_accel.erase(s.ready_accel.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        start_node(s, v, /*on_accel=*/true);
+        search(min_host, i);
+        undo_start(s, v, /*on_accel=*/true);
+        s.ready_accel.insert(
+            s.ready_accel.begin() + static_cast<std::ptrdiff_t>(i), v);
+        if (aborted_) return;
+      }
+    }
+
+    // Branch: delay everything else to the next completion event.
+    if (s.running.empty()) return;  // nothing in flight: delaying deadlocks
+    const State snapshot = s;
+    Time next = s.running.front().finish;
+    for (const auto& r : s.running) next = std::min(next, r.finish);
+    std::vector<NodeId> newly;
+    for (auto it = s.running.begin(); it != s.running.end();) {
+      if (it->finish == next) {
+        if (it->on_accel) s.accel_free = true;
+        else ++s.free_cores;
+        ++s.completed;
+        for (const NodeId w : dag_.successors(it->node)) {
+          if (--s.remaining_preds[w] == 0) newly.push_back(w);
+        }
+        it = s.running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    s.now = next;
+    absorb(s, newly);
+    search(0, 0);
+    state_ = snapshot;
+  }
+
+  const Dag& dag_;
+  int m_;
+  BnbConfig config_;
+  graph::CriticalPathInfo cp_;
+  std::vector<Time> down_;
+  bool single_offload_ = false;
+
+  State state_;
+  Time best_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace
+
+BnbResult min_makespan(const Dag& dag, int m, const BnbConfig& config) {
+  HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot solve an empty graph");
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot solve a cyclic graph");
+  Solver solver(dag, m, config);
+  return solver.solve();
+}
+
+}  // namespace hedra::exact

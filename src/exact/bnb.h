@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file bnb.h
+/// Exact minimum-makespan solver for a heterogeneous DAG task on m identical
+/// host cores plus one accelerator device — hedra's substitute for the
+/// paper's CPLEX ILP (§5: "an ILP formulation that computes the minimum time
+/// interval needed to execute a given heterogeneous DAG task on m cores and
+/// one accelerator device").  Both compute the same quantity; see DESIGN.md.
+///
+/// Method: depth-first branch-and-bound over *left-shifted* schedules: every
+/// job starts at time 0 or at a completion event.  At each event time the
+/// solver branches on starting any eligible ready job (host jobs on free
+/// cores, offload jobs on the free accelerator) or on deliberately delaying
+/// the remaining ready jobs to the next completion.  The delay branch is
+/// required for exactness: non-delay (greedy) schedules are NOT always
+/// optimal for P|prec|Cmax — see the regression test with the classic
+/// counterexample.  Identical host cores are never distinguished, and
+/// simultaneous starts are generated in canonical order only.
+///
+/// Dominance rules (proved safe in comments):
+///  - with a single offload node, v_off starts the moment it is ready (the
+///    accelerator has no other user, so left-shifting v_off never hurts);
+///  - pruning by max(path bound, host area bound, accelerator area bound).
+///
+/// The search is budgeted (node count + wall clock).  On exhaustion the best
+/// schedule found so far is returned with proven_optimal = false; the
+/// figure-7 harness reports the fraction of instances proven optimal.
+
+#include <cstdint>
+
+#include "graph/dag.h"
+
+namespace hedra::exact {
+
+/// Search budget and options.
+struct BnbConfig {
+  std::uint64_t max_nodes = 20'000'000;  ///< decision nodes before giving up
+  double time_limit_sec = 10.0;          ///< wall-clock budget per instance
+};
+
+/// Solver outcome.
+struct BnbResult {
+  graph::Time makespan = 0;       ///< best (optimal if proven_optimal)
+  bool proven_optimal = false;
+  std::uint64_t nodes_explored = 0;
+  graph::Time root_lower_bound = 0;
+  graph::Time heuristic_upper_bound = 0;
+};
+
+/// Minimum makespan of `dag` on m cores + 1 accelerator.  Requires an
+/// acyclic, non-empty graph; any number of offload nodes is supported (they
+/// share the single accelerator).
+[[nodiscard]] BnbResult min_makespan(const graph::Dag& dag, int m,
+                                     const BnbConfig& config = {});
+
+}  // namespace hedra::exact

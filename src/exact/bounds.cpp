@@ -1,0 +1,27 @@
+#include "exact/bounds.h"
+
+#include <algorithm>
+
+#include "graph/critical_path.h"
+
+namespace hedra::exact {
+
+Time LowerBounds::best() const noexcept {
+  return std::max({critical_path, host_area, accel_area});
+}
+
+LowerBounds makespan_lower_bounds(const Dag& dag, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  LowerBounds lb;
+  lb.critical_path = graph::critical_path_length(dag);
+  const Time host_vol = dag.host_volume();
+  lb.host_area = (host_vol + m - 1) / m;
+  lb.accel_area = dag.volume() - host_vol;
+  return lb;
+}
+
+Time makespan_lower_bound(const Dag& dag, int m) {
+  return makespan_lower_bounds(dag, m).best();
+}
+
+}  // namespace hedra::exact

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file bounds.h
+/// Lower bounds on the minimum makespan of a heterogeneous DAG on m host
+/// cores plus one accelerator.  Used to seed and prune the branch-and-bound
+/// solver and as test oracles (LB <= OPT <= any schedule).
+
+#include "graph/dag.h"
+
+namespace hedra::exact {
+
+using graph::Dag;
+using graph::Time;
+
+/// The individual bounds, exposed for testing/reporting.
+struct LowerBounds {
+  Time critical_path = 0;  ///< len(G): precedence bound
+  Time host_area = 0;      ///< ceil(vol_host / m): host capacity bound
+  Time accel_area = 0;     ///< vol_off: single accelerator serialises offloads
+  [[nodiscard]] Time best() const noexcept;
+};
+
+/// Computes all bounds.  Requires m >= 1, acyclic input.
+[[nodiscard]] LowerBounds makespan_lower_bounds(const Dag& dag, int m);
+
+/// max of the individual bounds.
+[[nodiscard]] Time makespan_lower_bound(const Dag& dag, int m);
+
+}  // namespace hedra::exact

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file brute_force.h
+/// Exhaustive minimum-makespan search for tiny instances, used ONLY to
+/// cross-validate the branch-and-bound solver in tests.  It enumerates, at
+/// every event time, every subset of ready jobs that could start (host jobs
+/// bounded by free cores, offload jobs by the single accelerator), with no
+/// pruning and no dominance rules — a deliberately independent and obviously
+/// exhaustive implementation over left-shifted schedules.  Exponential;
+/// intended for graphs with at most ~10 nodes.
+
+#include "graph/dag.h"
+
+namespace hedra::exact {
+
+/// Minimum makespan by exhaustive enumeration.  Throws if the graph exceeds
+/// `max_nodes_allowed` (guard against accidental blow-up in tests).
+[[nodiscard]] graph::Time brute_force_min_makespan(
+    const graph::Dag& dag, int m, std::size_t max_nodes_allowed = 12);
+
+}  // namespace hedra::exact

@@ -1,0 +1,36 @@
+#include "exp/experiment.h"
+
+namespace hedra::exp {
+
+std::vector<graph::Dag> generate_batch(const BatchConfig& config) {
+  HEDRA_REQUIRE(config.count >= 1, "batch count must be >= 1");
+  std::vector<graph::Dag> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+  Rng master(config.seed);
+  for (int i = 0; i < config.count; ++i) {
+    Rng rng = master.fork();
+    graph::Dag dag = gen::generate_hierarchical(config.params, rng);
+    (void)gen::select_offload_node(dag, rng);
+    (void)gen::set_offload_ratio(dag, config.coff_ratio);
+    out.push_back(std::move(dag));
+  }
+  return out;
+}
+
+std::vector<int> paper_core_counts() { return {2, 4, 8, 16}; }
+
+std::vector<double> ratio_grid_fig6() {
+  return {0.01, 0.02, 0.03, 0.045, 0.06, 0.08, 0.11, 0.14,
+          0.20, 0.28, 0.36, 0.44, 0.52, 0.60, 0.70};
+}
+
+std::vector<double> ratio_grid_fig89() {
+  return {0.0012, 0.0025, 0.005, 0.01, 0.016, 0.025, 0.034, 0.046,
+          0.06,   0.08,   0.10,  0.14, 0.20,  0.26,  0.32,  0.40, 0.50};
+}
+
+std::vector<double> ratio_grid_fig7() {
+  return {0.01, 0.02, 0.05, 0.10, 0.15, 0.245, 0.35, 0.481, 0.60};
+}
+
+}  // namespace hedra::exp

@@ -1,0 +1,75 @@
+#include "exp/fig6.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/transform.h"
+#include "stats/descriptive.h"
+
+namespace hedra::exp {
+
+Fig6Result run_fig6(const Fig6Config& config) {
+  Fig6Result result;
+  std::uint64_t batch_index = 0;
+  for (const double ratio : config.ratios) {
+    BatchConfig batch_config;
+    batch_config.params = config.params;
+    batch_config.coff_ratio = ratio;
+    batch_config.count = config.dags_per_point;
+    batch_config.seed = config.seed + 0x1000 * batch_index++;
+    const auto batch = generate_batch(batch_config);
+
+    // Transform once per DAG; simulation differs only in m.
+    std::vector<graph::Dag> transformed;
+    transformed.reserve(batch.size());
+    for (const auto& dag : batch) {
+      transformed.push_back(analysis::transform_for_offload(dag).transformed);
+    }
+
+    for (const int m : config.cores) {
+      sim::SimConfig sim_config;
+      sim_config.cores = m;
+      sim_config.policy = config.policy;
+      std::vector<double> t_orig;
+      std::vector<double> t_trans;
+      t_orig.reserve(batch.size());
+      t_trans.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        t_orig.push_back(static_cast<double>(
+            sim::simulated_makespan(batch[i], sim_config)));
+        t_trans.push_back(static_cast<double>(
+            sim::simulated_makespan(transformed[i], sim_config)));
+      }
+      Fig6Row row;
+      row.m = m;
+      row.ratio = ratio;
+      row.avg_original = stats::mean(t_orig);
+      row.avg_transformed = stats::mean(t_trans);
+      row.pct_change =
+          stats::percentage_change(row.avg_original, row.avg_transformed);
+      result.rows.push_back(row);
+    }
+  }
+
+  // Per-m shape summaries.
+  for (const int m : config.cores) {
+    Fig6Summary summary;
+    summary.m = m;
+    summary.crossover_ratio = std::numeric_limits<double>::quiet_NaN();
+    summary.peak_pct = -std::numeric_limits<double>::infinity();
+    for (const auto& row : result.rows) {
+      if (row.m != m) continue;
+      if (std::isnan(summary.crossover_ratio) && row.pct_change >= 0.0) {
+        summary.crossover_ratio = row.ratio;
+      }
+      if (row.pct_change > summary.peak_pct) {
+        summary.peak_pct = row.pct_change;
+        summary.peak_ratio = row.ratio;
+      }
+    }
+    result.summaries.push_back(summary);
+  }
+  return result;
+}
+
+}  // namespace hedra::exp

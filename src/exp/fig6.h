@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file fig6.h
+/// Figure 6 (§5.2) — impact of the DAG transformation on *average*
+/// performance: percentage change of the average simulated execution time of
+/// the original task τ with respect to the transformed task τ', under the
+/// GOMP-style work-conserving breadth-first scheduler, sweeping C_off/vol
+/// and m.  Positive values mean τ is slower, i.e. the transformation helps.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "sim/scheduler.h"
+
+namespace hedra::exp {
+
+/// Sweep configuration.
+struct Fig6Config {
+  std::vector<int> cores = paper_core_counts();
+  std::vector<double> ratios = ratio_grid_fig6();
+  gen::HierarchicalParams params =
+      gen::HierarchicalParams::large_tasks_100_250();
+  int dags_per_point = 100;
+  std::uint64_t seed = 42;
+  sim::Policy policy = sim::Policy::kBreadthFirst;
+};
+
+/// One (m, ratio) cell.
+struct Fig6Row {
+  int m = 0;
+  double ratio = 0.0;          ///< target C_off / vol
+  double avg_original = 0.0;   ///< mean simulated makespan of τ
+  double avg_transformed = 0.0;///< mean simulated makespan of τ'
+  double pct_change = 0.0;     ///< 100·(avg τ − avg τ')/avg τ'
+};
+
+/// Per-m shape summary (the numbers §5.2 quotes).
+struct Fig6Summary {
+  int m = 0;
+  /// Smallest swept ratio at which the transformation starts winning
+  /// (pct_change >= 0); NaN if it never wins.
+  double crossover_ratio = 0.0;
+  /// Largest observed mean improvement and where it occurs.
+  double peak_pct = 0.0;
+  double peak_ratio = 0.0;
+};
+
+struct Fig6Result {
+  std::vector<Fig6Row> rows;
+  std::vector<Fig6Summary> summaries;
+};
+
+/// Runs the sweep.  Batches are shared across core counts (one batch per
+/// ratio), matching the paper's "100 DAGs for each target value of C_off".
+[[nodiscard]] Fig6Result run_fig6(const Fig6Config& config);
+
+}  // namespace hedra::exp

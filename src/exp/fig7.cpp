@@ -1,0 +1,49 @@
+#include "exp/fig7.h"
+
+#include "analysis/rta_heterogeneous.h"
+#include "stats/descriptive.h"
+
+namespace hedra::exp {
+
+Fig7Result run_fig7(const Fig7Config& config) {
+  Fig7Result result;
+  std::uint64_t batch_index = 0;
+  for (const auto& c : config.cases) {
+    gen::HierarchicalParams params = config.params;
+    params.min_nodes = c.min_nodes;
+    params.max_nodes = c.max_nodes;
+    for (const double ratio : config.ratios) {
+      BatchConfig batch_config;
+      batch_config.params = params;
+      batch_config.coff_ratio = ratio;
+      batch_config.count = config.dags_per_point;
+      batch_config.seed = config.seed + 0x1000 * batch_index++;
+      const auto batch = generate_batch(batch_config);
+
+      std::vector<double> incr_hom;
+      std::vector<double> incr_het;
+      int proven = 0;
+      for (const auto& dag : batch) {
+        const auto opt = exact::min_makespan(dag, c.m, config.solver);
+        if (opt.proven_optimal) ++proven;
+        const auto analysis = analysis::analyze_heterogeneous(dag, c.m);
+        const auto makespan = static_cast<double>(opt.makespan);
+        incr_hom.push_back(
+            stats::percentage_change(analysis.r_hom.to_double(), makespan));
+        incr_het.push_back(
+            stats::percentage_change(analysis.r_het.to_double(), makespan));
+      }
+      Fig7Row row;
+      row.m = c.m;
+      row.ratio = ratio;
+      row.incr_rhom_pct = stats::mean(incr_hom);
+      row.incr_rhet_pct = stats::mean(incr_het);
+      row.optimal_fraction =
+          static_cast<double>(proven) / static_cast<double>(batch.size());
+      result.rows.push_back(row);
+    }
+  }
+  return result;
+}
+
+}  // namespace hedra::exp

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file fig8.h
+/// Figure 8 (§5.4) — occurrence of Theorem 1's execution scenarios as a
+/// function of C_off/vol and m.  S1 dominates for small offloads (v_off off
+/// the critical path); S2.2 takes over as v_off turns critical; S2.1 rises
+/// once C_off exceeds R_hom(G_par), earlier for larger m.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace hedra::exp {
+
+struct Fig8Config {
+  std::vector<int> cores = paper_core_counts();
+  std::vector<double> ratios = ratio_grid_fig89();
+  gen::HierarchicalParams params =
+      gen::HierarchicalParams::large_tasks_100_250();
+  int dags_per_point = 100;
+  std::uint64_t seed = 42;
+};
+
+/// One (m, ratio) cell: scenario shares in percent (sum to 100).
+struct Fig8Row {
+  int m = 0;
+  double ratio = 0.0;
+  double pct_s1 = 0.0;
+  double pct_s21 = 0.0;
+  double pct_s22 = 0.0;
+};
+
+/// Per-m: ratio at which S2.1 overtakes S2.2 (the C_off = R_hom(G_par)
+/// sweet spot the paper highlights); NaN if it never happens in the sweep.
+struct Fig8Summary {
+  int m = 0;
+  double s21_s22_crossover = 0.0;
+};
+
+struct Fig8Result {
+  std::vector<Fig8Row> rows;
+  std::vector<Fig8Summary> summaries;
+};
+
+[[nodiscard]] Fig8Result run_fig8(const Fig8Config& config);
+
+}  // namespace hedra::exp

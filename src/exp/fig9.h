@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file fig9.h
+/// Figure 9 + §5.4 text — the headline comparison: percentage change of
+/// R_hom(τ) with respect to R_het(τ'), per m and C_off/vol.  Positive means
+/// the heterogeneous analysis is tighter.  The paper reports peak mean
+/// benefits of 70/55/40/30% and maximum observed differences of
+/// 95.0/82.5/65.3/47.7% for m = 2/4/8/16.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace hedra::exp {
+
+struct Fig9Config {
+  std::vector<int> cores = paper_core_counts();
+  std::vector<double> ratios = ratio_grid_fig89();
+  gen::HierarchicalParams params =
+      gen::HierarchicalParams::large_tasks_100_250();
+  int dags_per_point = 100;
+  std::uint64_t seed = 42;
+};
+
+/// One (m, ratio) cell.
+struct Fig9Row {
+  int m = 0;
+  double ratio = 0.0;
+  double mean_pct = 0.0;  ///< mean 100·(R_hom − R_het)/R_het
+  double max_pct = 0.0;   ///< max within this cell
+};
+
+/// Per-m shape summary (the §5.4 quotes).
+struct Fig9Summary {
+  int m = 0;
+  double crossover_ratio = 0.0;  ///< first ratio with mean_pct >= 0
+  double peak_mean_pct = 0.0;    ///< peak of the mean curve
+  double peak_ratio = 0.0;
+  double max_observed_pct = 0.0; ///< max over the whole sweep
+};
+
+struct Fig9Result {
+  std::vector<Fig9Row> rows;
+  std::vector<Fig9Summary> summaries;
+};
+
+[[nodiscard]] Fig9Result run_fig9(const Fig9Config& config);
+
+}  // namespace hedra::exp

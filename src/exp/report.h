@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file report.h
+/// Rendering of figure results as the paper-style tables printed by the
+/// bench harnesses, plus CSV export for plotting.
+
+#include <string>
+
+#include "exp/fig6.h"
+#include "exp/fig7.h"
+#include "exp/fig8.h"
+#include "exp/fig9.h"
+
+namespace hedra::exp {
+
+[[nodiscard]] std::string render_fig6(const Fig6Result& result);
+[[nodiscard]] std::string render_fig7(const Fig7Result& result);
+[[nodiscard]] std::string render_fig8(const Fig8Result& result);
+[[nodiscard]] std::string render_fig9(const Fig9Result& result);
+
+/// CSV exports (one row per table cell); `path` is created/truncated.
+void write_fig6_csv(const Fig6Result& result, const std::string& path);
+void write_fig7_csv(const Fig7Result& result, const std::string& path);
+void write_fig8_csv(const Fig8Result& result, const std::string& path);
+void write_fig9_csv(const Fig9Result& result, const std::string& path);
+
+}  // namespace hedra::exp

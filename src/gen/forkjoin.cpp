@@ -1,0 +1,83 @@
+#include "gen/forkjoin.h"
+
+namespace hedra::gen {
+
+namespace {
+
+using graph::Dag;
+using graph::NodeId;
+
+struct Fragment {
+  NodeId entry;
+  NodeId exit;
+};
+
+class Builder {
+ public:
+  Builder(const ForkJoinParams& params, Rng& rng) : params_(params), rng_(rng) {}
+
+  Dag build() {
+    dag_ = Dag();
+    (void)fork_join(params_.depth);
+    return std::move(dag_);
+  }
+
+ private:
+  NodeId new_node() {
+    return dag_.add_node(rng_.uniform_int(params_.wcet_min, params_.wcet_max));
+  }
+
+  /// A sequence of `len` segments chained entry-to-exit.
+  Fragment sequence(int depth) {
+    const int len = static_cast<int>(
+        rng_.uniform_int(params_.min_segment, params_.max_segment));
+    Fragment whole{graph::kInvalidNode, graph::kInvalidNode};
+    for (int i = 0; i < len; ++i) {
+      Fragment seg;
+      if (depth > 0 && rng_.bernoulli(0.5)) {
+        seg = fork_join(depth - 1);
+      } else {
+        const NodeId v = new_node();
+        seg = Fragment{v, v};
+      }
+      append(whole, seg);
+    }
+    return whole;
+  }
+
+  void append(Fragment& whole, const Fragment& next) {
+    if (whole.entry == graph::kInvalidNode) {
+      whole = next;
+      return;
+    }
+    dag_.add_edge(whole.exit, next.entry);
+    whole.exit = next.exit;
+  }
+
+  Fragment fork_join(int depth) {
+    const NodeId fork = new_node();
+    const NodeId join = new_node();
+    const int k = static_cast<int>(
+        rng_.uniform_int(params_.min_branches, params_.max_branches));
+    for (int b = 0; b < k; ++b) {
+      const Fragment branch = sequence(depth);
+      dag_.add_edge(fork, branch.entry);
+      dag_.add_edge(branch.exit, join);
+    }
+    return Fragment{fork, join};
+  }
+
+  const ForkJoinParams& params_;
+  Rng& rng_;
+  Dag dag_;
+};
+
+}  // namespace
+
+graph::Dag generate_fork_join(const ForkJoinParams& params, Rng& rng) {
+  params.validate();
+  Builder builder(params, rng);
+  return builder.build();
+}
+
+}  // namespace hedra::gen

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file forkjoin.h
+/// Nested fork-join generator: each branch is a *sequence* of segments, each
+/// segment either a node or a nested fork-join.  This mirrors structured
+/// OpenMP programs (`parallel`/`taskgroup` nesting), the workloads the
+/// paper's introduction motivates, and complements the hierarchical
+/// generator with longer sequential chains.
+
+#include "gen/params.h"
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace hedra::gen {
+
+/// Generates one nested fork-join DAG (single source/sink by construction).
+[[nodiscard]] graph::Dag generate_fork_join(const ForkJoinParams& params,
+                                            Rng& rng);
+
+}  // namespace hedra::gen

@@ -1,0 +1,63 @@
+#include "gen/layered.h"
+
+#include <vector>
+
+namespace hedra::gen {
+
+using graph::Dag;
+using graph::NodeId;
+
+graph::Dag generate_layered(const LayeredParams& params, Rng& rng) {
+  params.validate();
+  Dag dag;
+  const NodeId source = dag.add_node(0, graph::NodeKind::kSync, "src");
+
+  const int layers =
+      static_cast<int>(rng.uniform_int(params.min_layers, params.max_layers));
+  std::vector<std::vector<NodeId>> layer_nodes(layers);
+  for (int l = 0; l < layers; ++l) {
+    const int width =
+        static_cast<int>(rng.uniform_int(params.min_width, params.max_width));
+    for (int i = 0; i < width; ++i) {
+      layer_nodes[l].push_back(
+          dag.add_node(rng.uniform_int(params.wcet_min, params.wcet_max)));
+    }
+  }
+
+  // Random edges between consecutive layers.
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (const NodeId u : layer_nodes[l]) {
+      for (const NodeId w : layer_nodes[l + 1]) {
+        if (rng.bernoulli(params.p_edge)) dag.add_edge(u, w);
+      }
+    }
+  }
+
+  // Guarantee connectivity: every node in layer l > 0 needs a predecessor in
+  // layer l-1; every node in layer l < last needs a successor in layer l+1.
+  for (int l = 1; l < layers; ++l) {
+    for (const NodeId w : layer_nodes[l]) {
+      if (dag.in_degree(w) == 0) {
+        const NodeId u = layer_nodes[l - 1][rng.index(layer_nodes[l - 1].size())];
+        dag.add_edge(u, w);
+      }
+    }
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (const NodeId u : layer_nodes[l]) {
+      if (dag.out_degree(u) == 0) {
+        const NodeId w = layer_nodes[l + 1][rng.index(layer_nodes[l + 1].size())];
+        dag.add_edge(u, w);
+      }
+    }
+  }
+
+  // Dummy source/sink give the single-source/single-sink shape of §2.
+  for (const NodeId v : layer_nodes.front()) dag.add_edge(source, v);
+  const NodeId sink = dag.add_node(0, graph::NodeKind::kSync, "snk");
+  for (const NodeId v : layer_nodes.back()) dag.add_edge(v, sink);
+
+  return dag;
+}
+
+}  // namespace hedra::gen

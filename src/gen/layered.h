@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file layered.h
+/// Layer-by-layer Erdős–Rényi DAG generator, the alternative random-DAG
+/// style cited by the paper ([12][18]): nodes are arranged in layers and
+/// each pair of nodes in consecutive layers is connected with probability
+/// p_edge.  A zero-WCET dummy source and sink (sync kind) enforce the
+/// single-source/single-sink model; transitive edges cannot arise because
+/// edges only connect consecutive layers.  Used to check that the analysis
+/// behaves sensibly beyond the fork/join-structured graphs of §5.1.
+
+#include "gen/params.h"
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace hedra::gen {
+
+/// Generates one layered DAG (dummy source/sink included).
+[[nodiscard]] graph::Dag generate_layered(const LayeredParams& params, Rng& rng);
+
+}  // namespace hedra::gen

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file params.h
+/// Parameters of the random task generators used in the evaluation (§5.1).
+///
+/// The paper generates DAGs "by recursively expanding nodes either to
+/// terminal nodes or parallel sub-DAGs, until a maximum recursion depth
+/// maxdepth is reached", with expansion probability p_par, at most n_par
+/// branches per parallel sub-DAG, a node-count window [n_min, n_max], and
+/// per-node WCETs uniform in [C_min, C_max] = [1, 100].  `maxdepth` bounds
+/// the longest possible path at 2·maxdepth + 1 nodes (fork/join nesting),
+/// which matches the paper's "longest path equals 7" for maxdepth = 3 and
+/// "equals 11" for maxdepth = 5.
+
+#include <cstdint>
+
+#include "graph/dag.h"
+
+namespace hedra::gen {
+
+using graph::Time;
+
+/// Parameters for the paper's recursive-expansion (Melani-style) generator.
+struct HierarchicalParams {
+  int max_depth = 3;      ///< maximum recursion depth
+  double p_par = 0.5;     ///< probability of expanding into a parallel sub-DAG
+  int n_par = 6;          ///< maximum number of branches of a parallel sub-DAG
+  int min_nodes = 3;      ///< smallest acceptable DAG (retry below)
+  int max_nodes = 100;    ///< largest acceptable DAG (retry above)
+  Time wcet_min = 1;      ///< C_min
+  Time wcet_max = 100;    ///< C_max
+  int max_attempts = 100000;  ///< generation retries before giving up
+
+  /// §5.1 "Small tasks": n <= 100, n_par = 6, maxdepth = 3 (longest path 7).
+  /// Used for the ILP comparison.
+  [[nodiscard]] static HierarchicalParams small_tasks();
+
+  /// §5.1 "Large tasks": n in [100, 400], n_par = 8, maxdepth = 5
+  /// (longest path 11).
+  [[nodiscard]] static HierarchicalParams large_tasks();
+
+  /// Figures 6/8/9 restrict large tasks to n in [100, 250].
+  [[nodiscard]] static HierarchicalParams large_tasks_100_250();
+
+  /// Throws hedra::Error if any field is out of range.
+  void validate() const;
+};
+
+/// Parameters for the layered Erdős–Rényi generator (the style of [12][18]).
+struct LayeredParams {
+  int min_layers = 3;
+  int max_layers = 8;
+  int min_width = 1;
+  int max_width = 10;
+  double p_edge = 0.35;  ///< probability of an edge between consecutive layers
+  Time wcet_min = 1;
+  Time wcet_max = 100;
+
+  void validate() const;
+};
+
+/// Parameters for the nested fork-join generator.
+struct ForkJoinParams {
+  int depth = 2;          ///< nesting depth
+  int min_branches = 2;
+  int max_branches = 4;
+  int min_segment = 1;    ///< sequential nodes per branch segment
+  int max_segment = 3;
+  Time wcet_min = 1;
+  Time wcet_max = 100;
+
+  void validate() const;
+};
+
+}  // namespace hedra::gen

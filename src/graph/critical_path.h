@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file critical_path.h
+/// The two DAG properties the analysis is built on (§2):
+///  - vol(G): total WCET of all nodes (Dag::volume()), and
+///  - len(G): length of the critical path, i.e. the longest path where a
+///    path's length is the sum of the WCETs of its nodes.
+///
+/// CriticalPathInfo additionally exposes, per node v,
+///  - up(v):   longest path ending at v, v's WCET included, and
+///  - down(v): longest path starting at v, v's WCET included,
+/// so that "v lies on a critical path" is the O(1) test
+/// `up(v) + down(v) - C(v) == len(G)` — exactly what Theorem 1's scenario
+/// classification needs for v_off.
+
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hedra::graph {
+
+/// Longest-path data for a whole DAG.
+class CriticalPathInfo {
+ public:
+  /// Computes lengths via one topological pass.  Throws on cyclic input.
+  explicit CriticalPathInfo(const Dag& dag);
+
+  /// len(G): length of the longest path; 0 for an empty graph.
+  [[nodiscard]] Time length() const noexcept { return length_; }
+
+  /// Longest path ending at v (inclusive).
+  [[nodiscard]] Time up(NodeId v) const { return up_.at(v); }
+
+  /// Longest path starting at v (inclusive).
+  [[nodiscard]] Time down(NodeId v) const { return down_.at(v); }
+
+  /// True iff v lies on at least one critical path.
+  [[nodiscard]] bool on_critical_path(const Dag& dag, NodeId v) const;
+
+ private:
+  Time length_ = 0;
+  std::vector<Time> up_;
+  std::vector<Time> down_;
+};
+
+/// len(G) without retaining per-node data.
+[[nodiscard]] Time critical_path_length(const Dag& dag);
+
+/// One longest path, source to sink, as a node sequence.  Deterministic
+/// (smallest-id tie-breaks).  Empty for an empty graph.
+[[nodiscard]] std::vector<NodeId> extract_critical_path(const Dag& dag);
+
+}  // namespace hedra::graph

@@ -1,0 +1,137 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+
+namespace hedra::graph {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kHost:
+      return "host";
+    case NodeKind::kOffload:
+      return "offload";
+    case NodeKind::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+NodeId Dag::add_node(Time wcet, NodeKind kind, std::string label) {
+  HEDRA_REQUIRE(wcet >= 0, "node WCET must be non-negative");
+  HEDRA_REQUIRE(kind != NodeKind::kSync || wcet == 0,
+                "sync nodes must have zero WCET");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (label.empty()) {
+    switch (kind) {
+      case NodeKind::kHost:
+        label = "v" + std::to_string(id + 1);
+        break;
+      case NodeKind::kOffload:
+        label = "vOff";
+        break;
+      case NodeKind::kSync:
+        label = "vSync";
+        break;
+    }
+  }
+  nodes_.push_back(Node{wcet, kind, std::move(label)});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void Dag::add_edge(NodeId from, NodeId to) {
+  check_id(from);
+  check_id(to);
+  HEDRA_REQUIRE(from != to, "self-loop edges are not allowed");
+  HEDRA_REQUIRE(!has_edge(from, to), "duplicate edge");
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++num_edges_;
+}
+
+void Dag::remove_edge(NodeId from, NodeId to) {
+  check_id(from);
+  check_id(to);
+  auto& out = succ_[from];
+  const auto out_it = std::find(out.begin(), out.end(), to);
+  HEDRA_REQUIRE(out_it != out.end(), "edge to remove does not exist");
+  out.erase(out_it);
+  auto& in = pred_[to];
+  const auto in_it = std::find(in.begin(), in.end(), from);
+  HEDRA_ASSERT(in_it != in.end());
+  in.erase(in_it);
+  --num_edges_;
+}
+
+bool Dag::has_edge(NodeId from, NodeId to) const {
+  check_id(from);
+  check_id(to);
+  const auto& out = succ_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+void Dag::set_wcet(NodeId id, Time wcet) {
+  check_id(id);
+  HEDRA_REQUIRE(wcet >= 0, "node WCET must be non-negative");
+  HEDRA_REQUIRE(nodes_[id].kind != NodeKind::kSync || wcet == 0,
+                "sync nodes must have zero WCET");
+  nodes_[id].wcet = wcet;
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (pred_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (succ_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Dag::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges_);
+  for (NodeId from = 0; from < nodes_.size(); ++from) {
+    for (const NodeId to : succ_[from]) out.emplace_back(from, to);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::offload_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == NodeKind::kOffload) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<NodeId> Dag::offload_node() const {
+  const auto all = offload_nodes();
+  if (all.empty()) return std::nullopt;
+  HEDRA_REQUIRE(all.size() == 1,
+                "graph has multiple offload nodes; use offload_nodes()");
+  return all.front();
+}
+
+Time Dag::volume() const noexcept {
+  Time total = 0;
+  for (const auto& n : nodes_) total += n.wcet;
+  return total;
+}
+
+Time Dag::host_volume() const noexcept {
+  Time total = 0;
+  for (const auto& n : nodes_) {
+    if (n.kind != NodeKind::kOffload) total += n.wcet;
+  }
+  return total;
+}
+
+}  // namespace hedra::graph

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file dag.h
+/// The DAG task-graph representation from the paper's system model (§2).
+///
+/// A parallel real-time task is `τ = <G, T, D>` with `G = (V, E)`.  Nodes
+/// carry a worst-case execution time (WCET) and a kind: regular host node,
+/// the single *offloaded* node `v_off` that runs on the accelerator device,
+/// or a zero-WCET synchronisation node inserted by the transformation of §3.4.
+///
+/// The class stores adjacency in insertion order and supports the edge
+/// removals/insertions Algorithm 1 performs.  Structural rules that are
+/// global properties (acyclicity, single source/sink, absence of transitive
+/// edges) are checked by graph/validate.h rather than on every mutation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hedra::graph {
+
+/// Dense node identifier; nodes are never deleted, so ids are stable.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Integer time in abstract WCET ticks (the paper uses unit-less integers
+/// drawn from [1, 100]).
+using Time = std::int64_t;
+
+/// Where a node executes.
+enum class NodeKind : std::uint8_t {
+  kHost,     ///< sequential job on one of the m identical host cores
+  kOffload,  ///< the workload offloaded to the accelerator device (v_off)
+  kSync,     ///< zero-WCET synchronisation point (v_sync, dummy source/sink)
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind) noexcept;
+
+/// One vertex of the task graph.
+struct Node {
+  Time wcet = 0;
+  NodeKind kind = NodeKind::kHost;
+  std::string label;  ///< display name; defaults to "v<i>"
+};
+
+/// A directed graph with WCET-annotated nodes.
+///
+/// Invariants enforced on mutation: no self-loops, no duplicate edges,
+/// non-negative WCETs, sync nodes have zero WCET.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a node and returns its id.  `label` defaults to "v<id+1>"
+  /// (matching the paper's v1..vn convention) or "vOff"/"vSync" by kind.
+  NodeId add_node(Time wcet, NodeKind kind = NodeKind::kHost,
+                  std::string label = "");
+
+  /// Adds edge (from, to).  Throws on self-loop, duplicate, or bad id.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Removes edge (from, to).  Throws if the edge does not exist.
+  void remove_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    check_id(id);
+    return nodes_[id];
+  }
+  [[nodiscard]] Time wcet(NodeId id) const { return node(id).wcet; }
+  [[nodiscard]] NodeKind kind(NodeId id) const { return node(id).kind; }
+  [[nodiscard]] const std::string& label(NodeId id) const {
+    return node(id).label;
+  }
+
+  /// Reassigns a node's WCET (used when sweeping C_off).  Sync nodes must
+  /// stay at zero.
+  void set_wcet(NodeId id, Time wcet);
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId id) const {
+    check_id(id);
+    return succ_[id];
+  }
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId id) const {
+    check_id(id);
+    return pred_[id];
+  }
+
+  [[nodiscard]] std::size_t in_degree(NodeId id) const {
+    return predecessors(id).size();
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId id) const {
+    return successors(id).size();
+  }
+
+  /// Nodes with no incoming / outgoing edges, ascending by id.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// All edges as (from, to) pairs, grouped by source id ascending.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// All nodes of kind kOffload, ascending.  The paper's model has exactly
+  /// one; the multi-offload extension allows several.
+  [[nodiscard]] std::vector<NodeId> offload_nodes() const;
+
+  /// The unique offloaded node, or nullopt if there is none.  Throws if the
+  /// graph has more than one (callers expecting the paper's model should not
+  /// silently pick one).
+  [[nodiscard]] std::optional<NodeId> offload_node() const;
+
+  /// Sum of all WCETs — vol(G) in the paper, accelerator workload included.
+  [[nodiscard]] Time volume() const noexcept;
+
+  /// Sum of WCETs of nodes executing on the host (kHost + kSync).
+  [[nodiscard]] Time host_volume() const noexcept;
+
+ private:
+  void check_id(NodeId id) const {
+    HEDRA_REQUIRE(id < nodes_.size(), "node id out of range");
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace hedra::graph

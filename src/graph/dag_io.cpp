@@ -1,0 +1,99 @@
+#include "graph/dag_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hedra::graph {
+
+std::string write_dag_text(const Dag& dag) {
+  std::ostringstream os;
+  os << "# hedra dag: " << dag.num_nodes() << " nodes, " << dag.num_edges()
+     << " edges\n";
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    os << "node " << dag.label(v) << ' ' << dag.wcet(v) << ' '
+       << to_string(dag.kind(v)) << '\n';
+  }
+  for (const auto& [u, w] : dag.edges()) {
+    os << "edge " << dag.label(u) << ' ' << dag.label(w) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+NodeKind parse_kind(const std::string& text, int line_no) {
+  if (text == "host") return NodeKind::kHost;
+  if (text == "offload") return NodeKind::kOffload;
+  if (text == "sync") return NodeKind::kSync;
+  throw Error("line " + std::to_string(line_no) + ": unknown node kind '" +
+              text + "'");
+}
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> tokens;
+  for (auto& tok : split(line, ' ')) {
+    if (!tok.empty()) tokens.push_back(std::move(tok));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Dag read_dag_text(const std::string& text) {
+  Dag dag;
+  std::map<std::string, NodeId> by_label;
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto tokens = tokens_of(line);
+    const std::string where = "line " + std::to_string(line_no) + ": ";
+    if (tokens[0] == "node") {
+      HEDRA_REQUIRE(tokens.size() == 3 || tokens.size() == 4,
+                    where + "expected 'node <label> <wcet> [kind]'");
+      const std::string& label = tokens[1];
+      HEDRA_REQUIRE(!by_label.contains(label),
+                    where + "duplicate node label '" + label + "'");
+      const Time wcet = parse_int(tokens[2]);
+      const NodeKind kind =
+          tokens.size() == 4 ? parse_kind(tokens[3], line_no) : NodeKind::kHost;
+      by_label[label] = dag.add_node(wcet, kind, label);
+    } else if (tokens[0] == "edge") {
+      HEDRA_REQUIRE(tokens.size() == 3,
+                    where + "expected 'edge <from> <to>'");
+      const auto from = by_label.find(tokens[1]);
+      const auto to = by_label.find(tokens[2]);
+      HEDRA_REQUIRE(from != by_label.end(),
+                    where + "unknown node '" + tokens[1] + "'");
+      HEDRA_REQUIRE(to != by_label.end(),
+                    where + "unknown node '" + tokens[2] + "'");
+      dag.add_edge(from->second, to->second);
+    } else {
+      throw Error(where + "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return dag;
+}
+
+void save_dag_file(const Dag& dag, const std::string& path) {
+  std::ofstream out(path);
+  HEDRA_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << write_dag_text(dag);
+  HEDRA_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+Dag load_dag_file(const std::string& path) {
+  std::ifstream in(path);
+  HEDRA_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_dag_text(buffer.str());
+}
+
+}  // namespace hedra::graph

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file dag_io.h
+/// Plain-text serialisation of task graphs, so examples and the `dag_tool`
+/// CLI can load graphs from files.  Format (one directive per line, `#`
+/// comments):
+///
+///     # nodes first, then edges
+///     node <label> <wcet> [host|offload|sync]
+///     edge <from-label> <to-label>
+///
+/// Labels are arbitrary whitespace-free strings and must be unique.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dag.h"
+
+namespace hedra::graph {
+
+/// Serialises the graph; round-trips through read_dag_text.
+[[nodiscard]] std::string write_dag_text(const Dag& dag);
+
+/// Parses the textual format.  Throws hedra::Error with a line number on
+/// malformed input (unknown directive, duplicate label, unknown endpoint...).
+[[nodiscard]] Dag read_dag_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_dag_file(const Dag& dag, const std::string& path);
+[[nodiscard]] Dag load_dag_file(const std::string& path);
+
+}  // namespace hedra::graph

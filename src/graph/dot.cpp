@@ -1,0 +1,63 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+#include "util/bitset.h"
+
+namespace hedra::graph {
+
+namespace {
+
+void emit_node(std::ostringstream& os, const Dag& dag, NodeId v,
+               const DotOptions& options, const std::string& indent) {
+  os << indent << "n" << v << " [label=\"" << dag.label(v);
+  if (options.show_wcet) os << " (" << dag.wcet(v) << ")";
+  os << "\"";
+  switch (dag.kind(v)) {
+    case NodeKind::kHost:
+      os << ", shape=circle";
+      break;
+    case NodeKind::kOffload:
+      os << ", shape=doublecircle, style=filled, fillcolor=lightgrey";
+      break;
+    case NodeKind::kSync:
+      os << ", shape=square, color=red";
+      break;
+  }
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const Dag& dag, const DotOptions& options) {
+  DynamicBitset highlighted(dag.num_nodes());
+  for (const NodeId v : options.highlight) {
+    HEDRA_REQUIRE(v < dag.num_nodes(), "highlight id out of range");
+    highlighted.set(v);
+  }
+
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  if (options.rankdir_lr) os << "  rankdir=LR;\n";
+  os << "  node [fontname=\"Helvetica\"];\n";
+
+  if (highlighted.any()) {
+    os << "  subgraph cluster_highlight {\n"
+       << "    label=\"" << options.highlight_label << "\";\n"
+       << "    style=dashed; color=blue;\n";
+    for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+      if (highlighted.test(v)) emit_node(os, dag, v, options, "    ");
+    }
+    os << "  }\n";
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (!highlighted.test(v)) emit_node(os, dag, v, options, "  ");
+  }
+  for (const auto& [u, w] : dag.edges()) {
+    os << "  n" << u << " -> n" << w << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hedra::graph

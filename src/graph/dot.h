@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file dot.h
+/// Graphviz DOT export.  Used by examples/paper_figures to regenerate the
+/// paper's illustrative figures (1(a), 2(a), 3(a)/(b)): offload nodes render
+/// as doubled circles, sync nodes as red squares (matching the paper's
+/// drawing convention), and an optional highlight set draws G_par with a
+/// dashed blue border.
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hedra::graph {
+
+/// Rendering options for to_dot().
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Nodes to surround with a dashed cluster (e.g. G_par).
+  std::vector<NodeId> highlight;
+  std::string highlight_label = "GPar";
+  /// Include "label (wcet)" on each node.
+  bool show_wcet = true;
+  /// Left-to-right layout instead of top-down.
+  bool rankdir_lr = false;
+};
+
+/// Renders the DAG as a Graphviz document.
+[[nodiscard]] std::string to_dot(const Dag& dag, const DotOptions& options = {});
+
+}  // namespace hedra::graph

@@ -1,0 +1,34 @@
+#include "graph/subgraph.h"
+
+namespace hedra::graph {
+
+Subgraph induced_subgraph(const Dag& dag, const DynamicBitset& members) {
+  HEDRA_REQUIRE(members.size() == dag.num_nodes(),
+                "membership bitset size mismatch");
+  Subgraph out;
+  out.from_parent.assign(dag.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (!members.test(v)) continue;
+    const auto& n = dag.node(v);
+    const NodeId nv = out.dag.add_node(n.wcet, n.kind, n.label);
+    out.from_parent[v] = nv;
+    out.to_parent.push_back(v);
+  }
+  for (const auto& [u, w] : dag.edges()) {
+    if (members.test(u) && members.test(w)) {
+      out.dag.add_edge(out.from_parent[u], out.from_parent[w]);
+    }
+  }
+  return out;
+}
+
+Subgraph induced_subgraph(const Dag& dag, const std::vector<NodeId>& members) {
+  DynamicBitset bits(dag.num_nodes());
+  for (const NodeId v : members) {
+    HEDRA_REQUIRE(v < dag.num_nodes(), "subgraph member id out of range");
+    bits.set(v);
+  }
+  return induced_subgraph(dag, bits);
+}
+
+}  // namespace hedra::graph

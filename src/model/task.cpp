@@ -1,0 +1,33 @@
+#include "model/task.h"
+
+#include "graph/critical_path.h"
+
+namespace hedra::model {
+
+DagTask::DagTask(Dag dag, Time period, Time deadline, std::string name)
+    : dag_(std::move(dag)),
+      period_(period),
+      deadline_(deadline),
+      name_(std::move(name)) {
+  HEDRA_REQUIRE(deadline_ >= 1, "task deadline must be positive");
+  HEDRA_REQUIRE(period_ >= deadline_,
+                "constrained-deadline model requires D <= T");
+}
+
+DagTask DagTask::implicit(Dag dag, Time period, std::string name) {
+  return DagTask(std::move(dag), period, period, std::move(name));
+}
+
+Frac DagTask::utilization() const { return Frac(dag_.volume(), period_); }
+
+Frac DagTask::density() const { return Frac(dag_.volume(), deadline_); }
+
+Frac DagTask::host_utilization() const {
+  return Frac(dag_.host_volume(), period_);
+}
+
+Frac DagTask::length_ratio() const {
+  return Frac(graph::critical_path_length(dag_), deadline_);
+}
+
+}  // namespace hedra::model

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file task.h
+/// The sporadic DAG task model (§2): `τ = <G, T, D>` where G models the
+/// parallel execution, T is the minimum inter-arrival time, and D <= T is the
+/// constrained relative deadline.
+
+#include <string>
+
+#include "graph/dag.h"
+#include "util/fraction.h"
+
+namespace hedra::model {
+
+using graph::Dag;
+using graph::NodeId;
+using graph::Time;
+
+/// A sporadic DAG task.
+class DagTask {
+ public:
+  /// Builds τ = <G, T, D>.  Requires T >= D >= 1 (constrained deadline).
+  DagTask(Dag dag, Time period, Time deadline, std::string name = "tau");
+
+  /// Implicit-deadline convenience (D = T).
+  static DagTask implicit(Dag dag, Time period, std::string name = "tau");
+
+  [[nodiscard]] const Dag& dag() const noexcept { return dag_; }
+  [[nodiscard]] Dag& mutable_dag() noexcept { return dag_; }
+  [[nodiscard]] Time period() const noexcept { return period_; }
+  [[nodiscard]] Time deadline() const noexcept { return deadline_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// vol(G) / T — the task's utilisation (host + accelerator workload).
+  [[nodiscard]] Frac utilization() const;
+
+  /// vol(G) / D.
+  [[nodiscard]] Frac density() const;
+
+  /// Host-only utilisation: (vol(G) - C_off) / T.
+  [[nodiscard]] Frac host_utilization() const;
+
+  /// len(G) / D — no m-core platform can meet D if this exceeds 1.
+  [[nodiscard]] Frac length_ratio() const;
+
+ private:
+  Dag dag_;
+  Time period_;
+  Time deadline_;
+  std::string name_;
+};
+
+}  // namespace hedra::model

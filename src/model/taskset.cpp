@@ -1,0 +1,19 @@
+#include "model/taskset.h"
+
+namespace hedra::model {
+
+double TaskSet::total_utilization() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) total += task.utilization().to_double();
+  return total;
+}
+
+double TaskSet::total_host_utilization() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) {
+    total += task.host_utilization().to_double();
+  }
+  return total;
+}
+
+}  // namespace hedra::model

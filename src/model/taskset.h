@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file taskset.h
+/// Collections of DAG tasks.  The paper analyses a single task per
+/// experiment; task sets are provided for the schedulability-study example
+/// (federated-style: each task gets dedicated cores, so per-task RTA vs D
+/// decides the set).
+
+#include <vector>
+
+#include "model/task.h"
+
+namespace hedra::model {
+
+/// An ordered collection of DAG tasks.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<DagTask> tasks) : tasks_(std::move(tasks)) {}
+
+  void add(DagTask task) { tasks_.push_back(std::move(task)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  [[nodiscard]] const DagTask& operator[](std::size_t i) const {
+    HEDRA_REQUIRE(i < tasks_.size(), "task index out of range");
+    return tasks_[i];
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// Sum of vol(G_i) / T_i across tasks.  Computed in double: periods from
+  /// utilisation-driven generators are large and mutually coprime, so the
+  /// exact rational sum can overflow 64-bit numerators; per-task
+  /// utilisations remain exact via DagTask::utilization().
+  [[nodiscard]] double total_utilization() const;
+
+  /// Sum of host-only utilisations (double, same rationale).
+  [[nodiscard]] double total_host_utilization() const;
+
+ private:
+  std::vector<DagTask> tasks_;
+};
+
+}  // namespace hedra::model

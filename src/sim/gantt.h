@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file gantt.h
+/// ASCII Gantt-chart rendering of schedule traces.  Used by the examples to
+/// regenerate the paper's scheduling figures (1(b), 1(c), 2(b)) in the
+/// terminal.
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace hedra::sim {
+
+/// Rendering options.
+struct GanttOptions {
+  int max_width = 100;   ///< maximum characters for the time axis
+  bool show_instants = true;  ///< list zero-WCET completions below the chart
+};
+
+/// Renders one row per execution unit (C0..Cm-1 and ACC), one time axis, and
+/// optionally the instants at which sync nodes completed.
+[[nodiscard]] std::string render_gantt(const ScheduleTrace& trace,
+                                       const Dag& dag,
+                                       const GanttOptions& options = {});
+
+}  // namespace hedra::sim

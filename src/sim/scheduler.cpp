@@ -1,0 +1,259 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/critical_path.h"
+
+namespace hedra::sim {
+
+const char* to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::kBreadthFirst:
+      return "breadth-first";
+    case Policy::kDepthFirst:
+      return "depth-first";
+    case Policy::kCriticalPathFirst:
+      return "critical-path-first";
+    case Policy::kIndexOrder:
+      return "index-order";
+    case Policy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ReadyEntry {
+  std::uint64_t seq;  ///< order of becoming ready (FIFO ticket)
+  NodeId node;
+};
+
+struct Running {
+  Time finish;
+  NodeId node;
+  int unit;
+};
+
+class Simulation {
+ public:
+  /// `actual` gives per-node execution times; nullptr means "run at WCET".
+  Simulation(const Dag& dag, const SimConfig& config,
+             const std::vector<Time>* actual)
+      : dag_(dag),
+        config_(config),
+        actual_(actual),
+        trace_(&dag, config.cores),
+        rng_(config.seed),
+        cp_info_(dag) {
+    HEDRA_REQUIRE(config_.cores >= 1, "simulation requires at least one core");
+    if (actual_ != nullptr) {
+      HEDRA_REQUIRE(actual_->size() == dag_.num_nodes(),
+                    "actual-times vector size mismatch");
+      for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+        HEDRA_REQUIRE((*actual_)[v] >= 0 && (*actual_)[v] <= dag_.wcet(v),
+                      "actual execution time outside [0, WCET]");
+      }
+    }
+  }
+
+  ScheduleTrace run() {
+    const std::size_t n = dag_.num_nodes();
+    remaining_preds_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      remaining_preds_[v] = dag_.in_degree(v);
+    }
+    for (int core = config_.cores - 1; core >= 0; --core) {
+      free_cores_.push(core);
+    }
+
+    // Sources are ready at t = 0.
+    std::deque<NodeId> newly;
+    for (NodeId v = 0; v < n; ++v) {
+      if (remaining_preds_[v] == 0) newly.push_back(v);
+    }
+    absorb_ready(newly, /*time=*/0);
+
+    Time now = 0;
+    while (completed_ < n) {
+      dispatch(now);
+      HEDRA_REQUIRE(!running_.empty(),
+                    "simulation stalled: cyclic or disconnected graph");
+      // Advance to the next completion and retire everything finishing then.
+      Time next = running_.front().finish;
+      for (const auto& r : running_) next = std::min(next, r.finish);
+      std::deque<NodeId> finished;
+      for (auto it = running_.begin(); it != running_.end();) {
+        if (it->finish == next) {
+          if (it->unit >= 0) free_cores_.push(it->unit);
+          else accel_busy_ = false;
+          finished.push_back(it->node);
+          it = running_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::sort(finished.begin(), finished.end());
+      std::deque<NodeId> ready_next;
+      for (const NodeId v : finished) retire(v, ready_next);
+      absorb_ready(ready_next, next);
+      now = next;
+    }
+
+    std::vector<Time> durations(dag_.num_nodes());
+    for (NodeId v = 0; v < dag_.num_nodes(); ++v) durations[v] = duration(v);
+    const auto issues = trace_.validate_with_durations(durations);
+    HEDRA_ASSERT(issues.empty());
+    return std::move(trace_);
+  }
+
+ private:
+  /// How long node v actually executes in this run.
+  [[nodiscard]] Time duration(NodeId v) const {
+    return actual_ != nullptr ? (*actual_)[v] : dag_.wcet(v);
+  }
+  /// Marks v complete and collects successors that became ready.
+  void retire(NodeId v, std::deque<NodeId>& ready_out) {
+    ++completed_;
+    for (const NodeId w : dag_.successors(v)) {
+      if (--remaining_preds_[w] == 0) ready_out.push_back(w);
+    }
+  }
+
+  /// Files newly ready nodes into the ready queues.  Zero-WCET nodes
+  /// complete instantly (occupying no unit) and cascade.
+  void absorb_ready(std::deque<NodeId>& newly, Time time) {
+    while (!newly.empty()) {
+      const NodeId v = newly.front();
+      newly.pop_front();
+      if (dag_.wcet(v) == 0) {
+        trace_.add(Interval{v, kInstantUnit, time, time});
+        retire(v, newly);
+        continue;
+      }
+      if (dag_.kind(v) == graph::NodeKind::kOffload) {
+        ready_accel_.push_back(v);
+      } else {
+        ready_host_.push_back(ReadyEntry{next_seq_++, v});
+      }
+    }
+  }
+
+  /// Work-conserving assignment of ready nodes to free units at `time`.
+  void dispatch(Time time) {
+    if (!accel_busy_ && !ready_accel_.empty()) {
+      const NodeId v = ready_accel_.front();  // FIFO on the single device
+      ready_accel_.pop_front();
+      accel_busy_ = true;
+      start(v, kAcceleratorUnit, time);
+    }
+    while (!free_cores_.empty() && !ready_host_.empty()) {
+      const std::size_t pick = pick_index();
+      const NodeId v = ready_host_[pick].node;
+      ready_host_[pick] = ready_host_.back();
+      ready_host_.pop_back();
+      const int core = free_cores_.top();
+      free_cores_.pop();
+      start(v, core, time);
+    }
+  }
+
+  std::size_t pick_index() {
+    HEDRA_ASSERT(!ready_host_.empty());
+    const auto by = [&](auto&& better) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < ready_host_.size(); ++i) {
+        if (better(ready_host_[i], ready_host_[best])) best = i;
+      }
+      return best;
+    };
+    switch (config_.policy) {
+      case Policy::kBreadthFirst:
+        return by([](const ReadyEntry& a, const ReadyEntry& b) {
+          return a.seq < b.seq;
+        });
+      case Policy::kDepthFirst:
+        return by([](const ReadyEntry& a, const ReadyEntry& b) {
+          return a.seq > b.seq;
+        });
+      case Policy::kCriticalPathFirst:
+        return by([this](const ReadyEntry& a, const ReadyEntry& b) {
+          const Time da = cp_info_.down(a.node);
+          const Time db = cp_info_.down(b.node);
+          return da != db ? da > db : a.node < b.node;
+        });
+      case Policy::kIndexOrder:
+        return by([](const ReadyEntry& a, const ReadyEntry& b) {
+          return a.node < b.node;
+        });
+      case Policy::kRandom:
+        return rng_.index(ready_host_.size());
+    }
+    throw InternalError("unreachable policy");
+  }
+
+  void start(NodeId v, int unit, Time time) {
+    const Time finish = time + duration(v);
+    trace_.add(Interval{v, unit, time, finish});
+    running_.push_back(Running{finish, v, unit});
+  }
+
+  const Dag& dag_;
+  SimConfig config_;
+  const std::vector<Time>* actual_;
+  ScheduleTrace trace_;
+  Rng rng_;
+  graph::CriticalPathInfo cp_info_;
+
+  std::vector<std::size_t> remaining_preds_;
+  std::vector<ReadyEntry> ready_host_;
+  std::deque<NodeId> ready_accel_;
+  std::vector<Running> running_;
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_cores_;
+  bool accel_busy_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace
+
+ScheduleTrace simulate(const Dag& dag, const SimConfig& config) {
+  HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
+  HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot simulate a cyclic graph");
+  Simulation sim(dag, config, nullptr);
+  return sim.run();
+}
+
+Time simulated_makespan(const Dag& dag, const SimConfig& config) {
+  return simulate(dag, config).makespan();
+}
+
+ScheduleTrace simulate_with_times(const Dag& dag, const SimConfig& config,
+                                  const std::vector<Time>& actual_times) {
+  HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
+  HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot simulate a cyclic graph");
+  Simulation sim(dag, config, &actual_times);
+  return sim.run();
+}
+
+std::vector<Time> random_actual_times(const Dag& dag, double scale_min,
+                                      Rng& rng) {
+  HEDRA_REQUIRE(scale_min >= 0.0 && scale_min <= 1.0,
+                "scale_min must lie in [0, 1]");
+  std::vector<Time> actual(dag.num_nodes());
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    const Time wcet = dag.wcet(v);
+    if (wcet == 0) continue;
+    const Time lo = static_cast<Time>(
+        std::ceil(scale_min * static_cast<double>(wcet)));
+    actual[v] = rng.uniform_int(std::max<Time>(0, lo), wcet);
+  }
+  return actual;
+}
+
+}  // namespace hedra::sim

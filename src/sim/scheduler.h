@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file scheduler.h
+/// Deterministic discrete-event simulation of a work-conserving scheduler on
+/// m identical host cores plus one accelerator device (§5.2).
+///
+/// The paper's Figure 6 simulates "the work-conserving breadth-first
+/// scheduler implemented in GOMP": ready tasks enter a FIFO queue in the
+/// order they become ready and free cores always take the head.  That is
+/// Policy::kBreadthFirst.  Alternative ready-queue policies are provided for
+/// the ablation bench — every one of them is work-conserving, so all of them
+/// must respect the analytical bounds (a property test enforces this).
+///
+/// Semantics:
+///  - host nodes execute non-preemptively on any free host core;
+///  - the offloaded node(s) execute on the accelerator, FIFO if several are
+///    ready (single device);
+///  - zero-WCET nodes (v_sync, dummies) complete instantly, occupying no
+///    unit — they are pure synchronisation points;
+///  - the scheduler is work-conserving: a free unit never idles while a
+///    compatible node is ready.
+
+#include <cstdint>
+
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace hedra::sim {
+
+/// Ready-queue ordering for host cores.
+enum class Policy : std::uint8_t {
+  kBreadthFirst,      ///< FIFO by ready time (GOMP; the paper's scheduler)
+  kDepthFirst,        ///< LIFO by ready time (work-first stealing flavour)
+  kCriticalPathFirst, ///< longest remaining path (down(v)) first
+  kIndexOrder,        ///< smallest node id first
+  kRandom,            ///< uniformly random ready node (seeded)
+};
+
+[[nodiscard]] const char* to_string(Policy policy) noexcept;
+
+/// Simulation configuration.
+struct SimConfig {
+  int cores = 2;                  ///< m
+  Policy policy = Policy::kBreadthFirst;
+  std::uint64_t seed = 1;         ///< used by Policy::kRandom only
+};
+
+/// Simulates one complete execution of the DAG (every node at its WCET) and
+/// returns the validated trace.  Throws if the DAG is cyclic or the trace
+/// fails its own validation (which would be a hedra bug).
+[[nodiscard]] ScheduleTrace simulate(const Dag& dag, const SimConfig& config);
+
+/// Convenience: makespan of simulate().
+[[nodiscard]] Time simulated_makespan(const Dag& dag, const SimConfig& config);
+
+/// Simulates with *actual* execution times (one per node, each in
+/// [0, WCET]).  WCETs are upper bounds; real executions finish early, and
+/// non-preemptive multiprocessor scheduling is prone to timing anomalies
+/// (Graham): locally finishing early can globally lengthen the schedule.
+/// The property tests use this entry point to confirm that the paper's
+/// bounds — computed from WCETs — dominate every early-completion execution
+/// as well.  Throws if any actual time is negative or exceeds the WCET.
+[[nodiscard]] ScheduleTrace simulate_with_times(
+    const Dag& dag, const SimConfig& config,
+    const std::vector<Time>& actual_times);
+
+/// Draws actual times uniformly from [ceil(scale_min·WCET), WCET] per node
+/// (zero-WCET nodes stay zero) — a convenience for anomaly sweeps.
+[[nodiscard]] std::vector<Time> random_actual_times(const Dag& dag,
+                                                    double scale_min,
+                                                    Rng& rng);
+
+}  // namespace hedra::sim

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file trace.h
+/// Execution traces produced by the scheduler simulation: which node ran on
+/// which execution unit during which interval.  Traces are validated against
+/// the task graph (precedence, unit capacity, placement) so that every
+/// simulated schedule used in the experiments is provably well-formed.
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hedra::sim {
+
+using graph::Dag;
+using graph::NodeId;
+using graph::Time;
+
+/// Execution units: host cores are 0..m-1.
+inline constexpr int kAcceleratorUnit = -1;
+/// Zero-WCET nodes (v_sync, dummies) complete instantly on no unit.
+inline constexpr int kInstantUnit = -2;
+
+/// One contiguous execution of a node (the model is non-preemptive).
+struct Interval {
+  NodeId node = graph::kInvalidNode;
+  int unit = kInstantUnit;
+  Time start = 0;
+  Time finish = 0;
+};
+
+/// A complete schedule of one DAG instance.
+class ScheduleTrace {
+ public:
+  ScheduleTrace(const Dag* dag, int cores);
+
+  void add(const Interval& interval);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+
+  /// Latest finish time over all intervals (0 if empty).
+  [[nodiscard]] Time makespan() const noexcept;
+
+  /// The interval of a given node; throws if the node never executed.
+  [[nodiscard]] const Interval& interval_of(NodeId node) const;
+
+  /// Start/finish convenience accessors.
+  [[nodiscard]] Time start_of(NodeId node) const {
+    return interval_of(node).start;
+  }
+  [[nodiscard]] Time finish_of(NodeId node) const {
+    return interval_of(node).finish;
+  }
+
+  /// Busy time of one unit (kAcceleratorUnit allowed).
+  [[nodiscard]] Time busy_time(int unit) const noexcept;
+
+  /// Fraction of [0, makespan] the unit was busy; 0 when makespan is 0.
+  [[nodiscard]] double utilization(int unit) const noexcept;
+
+  /// Total host-core idle time in [0, makespan].
+  [[nodiscard]] Time host_idle_time() const noexcept;
+
+  /// Checks the trace against the DAG:
+  ///  - every node appears exactly once, with duration == its WCET;
+  ///  - starts respect precedence (start >= max finish over predecessors);
+  ///  - per-unit executions do not overlap;
+  ///  - offload nodes run on the accelerator, host nodes on host cores,
+  ///    zero-WCET nodes anywhere.
+  /// Returns human-readable violations; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Same checks, but each node must have run for its entry in
+  /// `expected_durations` instead of its WCET (used when simulating with
+  /// actual execution times below the WCET).
+  [[nodiscard]] std::vector<std::string> validate_with_durations(
+      const std::vector<Time>& expected_durations) const;
+
+ private:
+  const Dag* dag_;
+  int cores_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace hedra::sim

@@ -1,0 +1,65 @@
+#include "stats/series.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace hedra::stats {
+
+std::vector<double> Series::xs() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& [x, _] : samples_) out.push_back(x);
+  return out;
+}
+
+Summary Series::at(double x) const {
+  const auto it = samples_.find(x);
+  HEDRA_REQUIRE(it != samples_.end(), "series has no samples at this x");
+  return summarize(it->second);
+}
+
+std::vector<std::pair<double, double>> Series::mean_points() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(samples_.size());
+  for (const auto& [x, ys] : samples_) out.emplace_back(x, mean(ys));
+  return out;
+}
+
+double Series::global_max() const {
+  HEDRA_REQUIRE(!samples_.empty(), "empty series");
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& [_, ys] : samples_) {
+    for (const double y : ys) best = std::max(best, y);
+  }
+  return best;
+}
+
+double Series::argmax_mean() const {
+  const auto points = mean_points();
+  HEDRA_REQUIRE(!points.empty(), "empty series");
+  double best_x = points.front().first;
+  double best_y = points.front().second;
+  for (const auto& [x, y] : points) {
+    if (y > best_y) {
+      best_y = y;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+double Series::first_sign_change() const {
+  const auto points = mean_points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double prev = points[i - 1].second;
+    const double curr = points[i].second;
+    if ((prev < 0.0 && curr >= 0.0) || (prev >= 0.0 && curr < 0.0)) {
+      return points[i].first;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace hedra::stats

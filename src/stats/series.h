@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file series.h
+/// (x, y)-series accumulation for the figure harnesses: samples are grouped
+/// by x key (e.g. the C_off/vol ratio) and summarised per group.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace hedra::stats {
+
+/// Accumulates y samples per x key; x keys are kept in ascending order.
+class Series {
+ public:
+  explicit Series(std::string name = "") : name_(std::move(name)) {}
+
+  void add(double x, double y) { samples_[x].push_back(y); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Ascending x keys.
+  [[nodiscard]] std::vector<double> xs() const;
+
+  /// Summary of the samples at an exact x key; throws if absent.
+  [[nodiscard]] Summary at(double x) const;
+
+  /// (x, mean) pairs for every key.
+  [[nodiscard]] std::vector<std::pair<double, double>> mean_points() const;
+
+  /// Largest sample across all keys; throws when empty.
+  [[nodiscard]] double global_max() const;
+
+  /// x of the key with the largest mean; throws when empty.
+  [[nodiscard]] double argmax_mean() const;
+
+  /// First x (ascending) at which the mean changes sign from the previous
+  /// key's mean — the crossover the paper reports for Figures 6 and 9.
+  /// Returns NaN when no sign change occurs.
+  [[nodiscard]] double first_sign_change() const;
+
+ private:
+  std::string name_;
+  std::map<double, std::vector<double>> samples_;
+};
+
+}  // namespace hedra::stats

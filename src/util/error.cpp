@@ -1,0 +1,22 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace hedra::detail {
+
+void throw_require_failure(const char* expr, const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << msg << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw Error(os.str());
+}
+
+void throw_assert_failure(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated (hedra bug): " << expr << " at " << file
+     << ":" << line;
+  throw InternalError(os.str());
+}
+
+}  // namespace hedra::detail

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file error.h
+/// Error-handling machinery for hedra.
+///
+/// Public API misuse (bad arguments, malformed graphs, ...) throws
+/// hedra::Error via HEDRA_REQUIRE.  Internal invariants use HEDRA_ASSERT,
+/// which also throws (so property tests can observe violations) but is
+/// worded as a library bug.
+
+#include <stdexcept>
+#include <string>
+
+namespace hedra {
+
+/// Exception thrown on precondition violations and invalid inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Exception thrown when an internal invariant does not hold (a hedra bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+[[noreturn]] void throw_assert_failure(const char* expr, const char* file,
+                                       int line);
+}  // namespace detail
+
+}  // namespace hedra
+
+/// Validate a caller-supplied precondition; throws hedra::Error on failure.
+#define HEDRA_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hedra::detail::throw_require_failure(#expr, __FILE__, __LINE__,  \
+                                             (msg));                     \
+    }                                                                     \
+  } while (false)
+
+/// Validate an internal invariant; throws hedra::InternalError on failure.
+#define HEDRA_ASSERT(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::hedra::detail::throw_assert_failure(#expr, __FILE__, __LINE__);      \
+    }                                                                        \
+  } while (false)

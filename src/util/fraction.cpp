@@ -1,0 +1,106 @@
+#include "util/fraction.h"
+
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace hedra {
+
+namespace {
+
+using Int128 = __int128;
+
+std::int64_t checked_narrow(Int128 v) {
+  HEDRA_REQUIRE(v >= std::numeric_limits<std::int64_t>::min() &&
+                    v <= std::numeric_limits<std::int64_t>::max(),
+                "Frac arithmetic overflowed 64-bit range");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Frac::Frac(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  HEDRA_REQUIRE(den != 0, "Frac denominator must be non-zero");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+double Frac::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::int64_t Frac::floor() const noexcept {
+  const std::int64_t q = num_ / den_;
+  return (num_ % den_ != 0 && num_ < 0) ? q - 1 : q;
+}
+
+std::int64_t Frac::ceil() const noexcept {
+  const std::int64_t q = num_ / den_;
+  return (num_ % den_ != 0 && num_ > 0) ? q + 1 : q;
+}
+
+std::string Frac::to_string() const {
+  if (is_integer()) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Frac& Frac::operator+=(const Frac& rhs) {
+  const Int128 n =
+      Int128(num_) * rhs.den_ + Int128(rhs.num_) * den_;
+  const Int128 d = Int128(den_) * rhs.den_;
+  // Normalise in 128 bits before narrowing so that e.g. 1/3 + 2/3 never
+  // overflows spuriously.
+  Int128 a = n < 0 ? -n : n;
+  Int128 b = d;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  const Int128 g = a == 0 ? 1 : a;
+  *this = Frac(checked_narrow(n / g), checked_narrow(d / g));
+  return *this;
+}
+
+Frac& Frac::operator-=(const Frac& rhs) { return *this += Frac(-rhs.num_, rhs.den_); }
+
+Frac& Frac::operator*=(const Frac& rhs) {
+  // Cross-reduce first to keep intermediates small.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_ < 0 ? -rhs.num_ : rhs.num_, den_);
+  const Int128 n = Int128(num_ / g1) * (rhs.num_ / g2);
+  const Int128 d = Int128(den_ / g2) * (rhs.den_ / g1);
+  *this = Frac(checked_narrow(n), checked_narrow(d));
+  return *this;
+}
+
+Frac& Frac::operator/=(const Frac& rhs) {
+  HEDRA_REQUIRE(rhs.num_ != 0, "Frac division by zero");
+  return *this *= Frac(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Frac& a, const Frac& b) noexcept {
+  const Int128 lhs = Int128(a.num_) * b.den_;
+  const Int128 rhs = Int128(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Frac& f) {
+  return os << f.to_string();
+}
+
+Frac frac_max(const Frac& a, const Frac& b) noexcept { return a < b ? b : a; }
+Frac frac_min(const Frac& a, const Frac& b) noexcept { return b < a ? b : a; }
+
+}  // namespace hedra

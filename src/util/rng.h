@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All experiments in the paper are Monte-Carlo over randomly generated DAG
+/// tasks; reproducibility therefore hinges on a self-contained, seedable
+/// generator whose output is identical across platforms.  We implement
+/// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, and provide the
+/// handful of distributions the generators need.  std::mt19937 +
+/// std::uniform_int_distribution is deliberately avoided: the distributions
+/// are not portable across standard-library implementations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hedra {
+
+/// xoshiro256** PRNG with explicit, portable distributions.
+class Rng {
+ public:
+  /// Seeds the state from `seed` via SplitMix64 (any seed is fine, including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real() noexcept;
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniformly chosen index in [0, size).  Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    HEDRA_REQUIRE(!items.empty(), "Rng::pick on empty span");
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each experiment
+  /// replication its own stream so replications are order-independent.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace hedra

@@ -1,0 +1,74 @@
+#include "util/strings.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace hedra {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+           c == '\v';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, value);
+  return buf;
+}
+
+std::int64_t parse_int(std::string_view text) {
+  text = trim(text);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  HEDRA_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size(),
+                "malformed integer: '" + std::string(text) + "'");
+  return value;
+}
+
+double parse_real(std::string_view text) {
+  text = trim(text);
+  // std::from_chars for double is not available everywhere; strtod suffices
+  // and the string is bounded.
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  HEDRA_REQUIRE(end == owned.c_str() + owned.size() && !owned.empty() &&
+                    std::isfinite(value),
+                "malformed real: '" + owned + "'");
+  return value;
+}
+
+}  // namespace hedra

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file strings.h
+/// Small string utilities shared by I/O and reporting code.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hedra {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Fixed-precision decimal formatting ("12.34"); locale-independent.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// "+12.3%" / "-4.5%" percentage formatting used in experiment reports.
+[[nodiscard]] std::string format_percent(double value, int decimals = 1);
+
+/// Parses a signed 64-bit integer; throws hedra::Error on malformed input.
+[[nodiscard]] std::int64_t parse_int(std::string_view text);
+
+/// Parses a double; throws hedra::Error on malformed input.
+[[nodiscard]] double parse_real(std::string_view text);
+
+}  // namespace hedra

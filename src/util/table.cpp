@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hedra {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  HEDRA_REQUIRE(!headers_.empty(), "TextTable requires at least one column");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  HEDRA_REQUIRE(aligns_.size() == headers_.size(),
+                "TextTable alignment arity mismatch");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HEDRA_REQUIRE(cells.size() == headers_.size(),
+                "TextTable row arity mismatch");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                             std::size_t c) {
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  const auto emit_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(os, headers_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_rule(os);
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ';
+      emit_cell(os, row.cells[c], c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+}  // namespace hedra

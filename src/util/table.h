@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.h
+/// ASCII table rendering for benchmark harnesses.  The per-figure benches
+/// print the same rows/series the paper's figures plot; this class keeps the
+/// output aligned and readable.
+
+#include <string>
+#include <vector>
+
+namespace hedra {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows, then renders with per-column widths.
+class TextTable {
+ public:
+  /// Column headers; every subsequent row must have the same arity.
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a data row (arity must match headers).
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Renders the full table, including a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hedra

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "analysis/rta_heterogeneous.h"
+#include "common/fixtures.h"
+
+namespace hedra::analysis {
+namespace {
+
+TEST(ExplainTest, Scenario1MentionsEq2AndQuantities) {
+  const auto ex = testing::paper_example();
+  const auto analysis = analyze_heterogeneous(ex.dag, 2);
+  const std::string text = explain(analysis, 2);
+  EXPECT_NE(text.find("Eq. 2"), std::string::npos);
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("len(G') = 10"), std::string::npos);
+  EXPECT_NE(text.find("C_off = 4"), std::string::npos);
+  EXPECT_NE(text.find("= 12"), std::string::npos);
+  EXPECT_NE(text.find("not on"), std::string::npos);
+}
+
+TEST(ExplainTest, Scenario21MentionsEq3) {
+  const auto analysis = analyze_heterogeneous(testing::s21_example(10), 2);
+  const std::string text = explain(analysis, 2);
+  EXPECT_NE(text.find("Eq. 3"), std::string::npos);
+  EXPECT_NE(text.find("S2.1"), std::string::npos);
+  EXPECT_NE(text.find(">= R_hom(G_par)"), std::string::npos);
+}
+
+TEST(ExplainTest, Scenario22MentionsEq4) {
+  const auto analysis =
+      analyze_heterogeneous(testing::wide_gpar_example(4), 2);
+  const std::string text = explain(analysis, 2);
+  EXPECT_NE(text.find("Eq. 4"), std::string::npos);
+  EXPECT_NE(text.find("S2.2"), std::string::npos);
+  EXPECT_NE(text.find("< R_hom(G_par)"), std::string::npos);
+}
+
+TEST(ExplainTest, ReportsVerdictAgainstBaseline) {
+  const auto ex = testing::paper_example();
+  const auto analysis = analyze_heterogeneous(ex.dag, 2);
+  const std::string text = explain(analysis, 2);
+  EXPECT_NE(text.find("R_hom (Eq. 1) = 13"), std::string::npos);
+  EXPECT_NE(text.find("tighter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedra::analysis

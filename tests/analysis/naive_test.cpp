@@ -1,0 +1,47 @@
+#include "analysis/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "sim/scheduler.h"
+#include "util/error.h"
+
+namespace hedra::analysis {
+namespace {
+
+TEST(NaiveTest, PaperExampleEquals11) {
+  // §3.2 / Figure 1(b): 8 + (18 - 8 - 4)/2 = 11.
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(rta_naive_subtraction(ex.dag, 2), Frac(11));
+}
+
+TEST(NaiveTest, DemonstratedUnsound) {
+  // The whole point of §3.2: a legal work-conserving execution (the
+  // breadth-first schedule of Figure 1(c)) takes 12 > 11.  This is the
+  // motivating counterexample for the transformation.
+  const auto ex = testing::paper_example();
+  const Frac naive = rta_naive_subtraction(ex.dag, 2);
+  sim::SimConfig config;
+  config.cores = 2;
+  config.policy = sim::Policy::kBreadthFirst;
+  const graph::Time observed = sim::simulated_makespan(ex.dag, config);
+  EXPECT_EQ(observed, 12);
+  EXPECT_GT(Frac(observed), naive) << "the naive bound must be violated";
+}
+
+TEST(NaiveTest, AlwaysBelowOrEqualRhomByConstruction) {
+  const auto ex = testing::paper_example();
+  for (const int m : {1, 2, 4, 8}) {
+    EXPECT_LE(rta_naive_subtraction(ex.dag, m).to_double(),
+              8.0 + (18.0 - 8.0) / m);
+  }
+}
+
+TEST(NaiveTest, RequiresHeterogeneousModel) {
+  EXPECT_THROW(rta_naive_subtraction(testing::chain(3, 1), 2), Error);
+  const auto ex = testing::paper_example();
+  EXPECT_THROW(rta_naive_subtraction(ex.dag, 0), Error);
+}
+
+}  // namespace
+}  // namespace hedra::analysis

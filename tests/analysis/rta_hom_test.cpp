@@ -1,0 +1,85 @@
+#include "analysis/rta_homogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "graph/critical_path.h"
+#include "util/error.h"
+
+namespace hedra::analysis {
+namespace {
+
+TEST(RtaHomTest, PaperExampleEquals13) {
+  // §3.2: len = 8, vol = 18, m = 2 -> R_hom = 8 + (18-8)/2 = 13.
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(rta_homogeneous(ex.dag, 2), Frac(13));
+}
+
+TEST(RtaHomTest, SingleCoreGivesVolume) {
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(rta_homogeneous(ex.dag, 1), Frac(18));
+}
+
+TEST(RtaHomTest, ManyCoresApproachLen) {
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(rta_homogeneous(ex.dag, 1000), Frac(8) + Frac(10, 1000));
+  EXPECT_GT(rta_homogeneous(ex.dag, 1000), Frac(8));
+}
+
+TEST(RtaHomTest, MonotoneInCores) {
+  const auto ex = testing::paper_example();
+  Frac prev = rta_homogeneous(ex.dag, 1);
+  for (int m = 2; m <= 32; ++m) {
+    const Frac current = rta_homogeneous(ex.dag, m);
+    EXPECT_LE(current, prev) << "m=" << m;
+    prev = current;
+  }
+}
+
+TEST(RtaHomTest, ChainIsExactlyLenForAnyM) {
+  const auto dag = testing::chain(5, 4);  // len == vol == 20
+  for (const int m : {1, 2, 8}) {
+    EXPECT_EQ(rta_homogeneous(dag, m), Frac(20));
+  }
+}
+
+TEST(RtaHomTest, RawFormOnLenVol) {
+  EXPECT_EQ(rta_homogeneous(10, 30, 4), Frac(10) + Frac(5));
+  EXPECT_EQ(rta_homogeneous(0, 0, 3), Frac(0));
+}
+
+TEST(RtaHomTest, EmptyDagIsZero) {
+  // R_hom(G_par) must be well-defined when G_par is empty.
+  const graph::Dag empty;
+  EXPECT_EQ(rta_homogeneous(empty, 2), Frac(0));
+}
+
+TEST(RtaHomTest, PreconditionsEnforced) {
+  EXPECT_THROW(rta_homogeneous(10, 30, 0), Error);
+  EXPECT_THROW(rta_homogeneous(-1, 30, 2), Error);
+  EXPECT_THROW(rta_homogeneous(31, 30, 2), Error);  // vol < len
+}
+
+TEST(RtaHomTest, ResultIsExactRational) {
+  const auto ex = testing::paper_example();
+  const Frac bound = rta_homogeneous(ex.dag, 4);  // 8 + 10/4 = 21/2
+  EXPECT_EQ(bound, Frac(21, 2));
+  EXPECT_FALSE(bound.is_integer());
+}
+
+/// Graham-bound sandwich: len <= R_hom <= vol for every m.
+class RtaHomSandwichTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtaHomSandwichTest, BoundBetweenLenAndVol) {
+  const int m = GetParam();
+  const auto ex = testing::fig3_example();
+  const Frac bound = rta_homogeneous(ex.dag, m);
+  EXPECT_GE(bound, Frac(graph::critical_path_length(ex.dag)));
+  EXPECT_LE(bound, Frac(ex.dag.volume()));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, RtaHomSandwichTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace hedra::analysis

@@ -1,0 +1,82 @@
+#include "analysis/schedulability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+
+namespace hedra::analysis {
+namespace {
+
+model::DagTask paper_task(graph::Time deadline) {
+  const auto ex = testing::paper_example();
+  return model::DagTask(ex.dag, /*period=*/deadline, deadline);
+}
+
+TEST(SchedulabilityTest, HomogeneousUsesEq1) {
+  const auto report =
+      check_schedulability(paper_task(13), 2, AnalysisKind::kHomogeneous);
+  EXPECT_EQ(report.bound, Frac(13));
+  EXPECT_TRUE(report.schedulable);
+}
+
+TEST(SchedulabilityTest, HomogeneousMissesTighterDeadline) {
+  const auto report =
+      check_schedulability(paper_task(12), 2, AnalysisKind::kHomogeneous);
+  EXPECT_FALSE(report.schedulable);
+}
+
+TEST(SchedulabilityTest, HeterogeneousAcceptsWhatHomogeneousCannot) {
+  // The paper's headline: R_het = 12 < R_hom = 13, so a deadline of 12 is
+  // only provably met with the heterogeneous analysis.
+  const auto hom =
+      check_schedulability(paper_task(12), 2, AnalysisKind::kHomogeneous);
+  const auto het =
+      check_schedulability(paper_task(12), 2, AnalysisKind::kHeterogeneous);
+  EXPECT_FALSE(hom.schedulable);
+  EXPECT_TRUE(het.schedulable);
+  EXPECT_EQ(het.bound, Frac(12));
+  EXPECT_EQ(het.scenario, Scenario::kS1);
+}
+
+TEST(SchedulabilityTest, BestTakesTheMinimum) {
+  const auto report =
+      check_schedulability(paper_task(12), 2, AnalysisKind::kBest);
+  EXPECT_EQ(report.bound, Frac(12));
+  EXPECT_TRUE(report.schedulable);
+}
+
+TEST(SchedulabilityTest, BestIsNeverWorseThanEither) {
+  // s21_example: R_hom = 12.5, R_het = 12.
+  const model::DagTask task(testing::s21_example(), 50, 50);
+  const auto best = check_schedulability(task, 2, AnalysisKind::kBest);
+  const auto hom = check_schedulability(task, 2, AnalysisKind::kHomogeneous);
+  const auto het = check_schedulability(task, 2, AnalysisKind::kHeterogeneous);
+  EXPECT_LE(best.bound, hom.bound);
+  EXPECT_LE(best.bound, het.bound);
+}
+
+TEST(SchedulabilityTest, ExactDeadlineBoundaryIsSchedulable) {
+  const auto report =
+      check_schedulability(paper_task(12), 2, AnalysisKind::kHeterogeneous);
+  EXPECT_TRUE(report.schedulable);  // R <= D, not R < D
+  EXPECT_EQ(report.deadline, 12);
+}
+
+TEST(SchedulabilityTest, KindNamesRender) {
+  EXPECT_STREQ(to_string(AnalysisKind::kHomogeneous), "homogeneous");
+  EXPECT_STREQ(to_string(AnalysisKind::kHeterogeneous), "heterogeneous");
+  EXPECT_STREQ(to_string(AnalysisKind::kBest), "best");
+}
+
+TEST(SchedulabilityTest, MoreCoresNeverHurtSchedulability) {
+  const model::DagTask task(testing::wide_gpar_example(4), 14, 14);
+  bool was_schedulable = false;
+  for (const int m : {1, 2, 4, 8, 16}) {
+    const auto report = check_schedulability(task, m, AnalysisKind::kBest);
+    if (was_schedulable) EXPECT_TRUE(report.schedulable) << "m=" << m;
+    was_schedulable = report.schedulable;
+  }
+}
+
+}  // namespace
+}  // namespace hedra::analysis

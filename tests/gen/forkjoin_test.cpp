@@ -1,0 +1,94 @@
+#include "gen/forkjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/validate.h"
+#include "util/error.h"
+
+namespace hedra::gen {
+namespace {
+
+class ForkJoinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForkJoinPropertyTest, StructurallyValid) {
+  Rng rng(GetParam());
+  const graph::Dag dag = generate_fork_join(ForkJoinParams{}, rng);
+  EXPECT_TRUE(graph::is_valid(dag, graph::homogeneous_rules()))
+      << graph::validate(dag, graph::homogeneous_rules()).front();
+}
+
+TEST_P(ForkJoinPropertyTest, NoTransitiveEdges) {
+  Rng rng(GetParam());
+  const graph::Dag dag = generate_fork_join(ForkJoinParams{}, rng);
+  EXPECT_TRUE(graph::is_transitively_reduced(dag));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkJoinPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ForkJoinTest, DepthZeroIsFlatForkJoin) {
+  Rng rng(3);
+  ForkJoinParams params;
+  params.depth = 0;
+  params.min_branches = 3;
+  params.max_branches = 3;
+  params.min_segment = 1;
+  params.max_segment = 1;
+  const graph::Dag dag = generate_fork_join(params, rng);
+  // fork + join + 3 single-node branches.
+  EXPECT_EQ(dag.num_nodes(), 5u);
+  EXPECT_EQ(dag.num_edges(), 6u);
+}
+
+TEST(ForkJoinTest, SegmentsFormChains) {
+  Rng rng(5);
+  ForkJoinParams params;
+  params.depth = 0;
+  params.min_branches = 2;
+  params.max_branches = 2;
+  params.min_segment = 3;
+  params.max_segment = 3;
+  const graph::Dag dag = generate_fork_join(params, rng);
+  // fork + join + 2 branches x 3 nodes.
+  EXPECT_EQ(dag.num_nodes(), 8u);
+  // Each branch is a chain of 3: fork->n1, n1->n2, n2->n3, n3->join per branch.
+  EXPECT_EQ(dag.num_edges(), 8u);
+}
+
+TEST(ForkJoinTest, WcetRangeRespected) {
+  Rng rng(7);
+  ForkJoinParams params;
+  params.wcet_min = 3;
+  params.wcet_max = 5;
+  const graph::Dag dag = generate_fork_join(params, rng);
+  for (graph::NodeId v = 0; v < dag.num_nodes(); ++v) {
+    EXPECT_GE(dag.wcet(v), 3);
+    EXPECT_LE(dag.wcet(v), 5);
+  }
+}
+
+TEST(ForkJoinTest, Deterministic) {
+  ForkJoinParams params;
+  Rng a(42);
+  Rng b(42);
+  const graph::Dag da = generate_fork_join(params, a);
+  const graph::Dag db = generate_fork_join(params, b);
+  EXPECT_EQ(da.edges(), db.edges());
+}
+
+TEST(ForkJoinTest, InvalidParamsThrow) {
+  Rng rng(1);
+  ForkJoinParams params;
+  params.min_branches = 1;
+  EXPECT_THROW(generate_fork_join(params, rng), Error);
+  params = ForkJoinParams{};
+  params.min_segment = 0;
+  EXPECT_THROW(generate_fork_join(params, rng), Error);
+  params = ForkJoinParams{};
+  params.depth = -1;
+  EXPECT_THROW(generate_fork_join(params, rng), Error);
+}
+
+}  // namespace
+}  // namespace hedra::gen

@@ -1,0 +1,99 @@
+#include "gen/layered.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/validate.h"
+#include "util/error.h"
+
+namespace hedra::gen {
+namespace {
+
+class LayeredPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayeredPropertyTest, StructurallyValid) {
+  Rng rng(GetParam());
+  const graph::Dag dag = generate_layered(LayeredParams{}, rng);
+  EXPECT_TRUE(graph::is_valid(dag, graph::homogeneous_rules()))
+      << graph::validate(dag, graph::homogeneous_rules()).front();
+}
+
+TEST_P(LayeredPropertyTest, NoTransitiveEdges) {
+  // Edges only connect consecutive layers, so shortcuts cannot exist.
+  Rng rng(GetParam());
+  const graph::Dag dag = generate_layered(LayeredParams{}, rng);
+  EXPECT_TRUE(graph::is_transitively_reduced(dag));
+}
+
+TEST_P(LayeredPropertyTest, EveryNodeOnASourceSinkPath) {
+  Rng rng(GetParam());
+  const graph::Dag dag = generate_layered(LayeredParams{}, rng);
+  const auto sources = dag.sources();
+  const auto sinks = dag.sinks();
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sinks.size(), 1u);
+  const auto from_source = graph::descendants(dag, sources.front());
+  const auto to_sink = graph::ancestors(dag, sinks.front());
+  for (graph::NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (v == sources.front() || v == sinks.front()) continue;
+    EXPECT_TRUE(from_source.test(v)) << dag.label(v);
+    EXPECT_TRUE(to_sink.test(v)) << dag.label(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayeredPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(LayeredTest, DummyEndpointsAreSync) {
+  Rng rng(9);
+  const graph::Dag dag = generate_layered(LayeredParams{}, rng);
+  EXPECT_EQ(dag.kind(dag.sources().front()), graph::NodeKind::kSync);
+  EXPECT_EQ(dag.kind(dag.sinks().front()), graph::NodeKind::kSync);
+  EXPECT_EQ(dag.wcet(dag.sources().front()), 0);
+}
+
+TEST(LayeredTest, WidthOneDegeneratesToChain) {
+  Rng rng(11);
+  LayeredParams params;
+  params.min_width = 1;
+  params.max_width = 1;
+  params.min_layers = 4;
+  params.max_layers = 4;
+  const graph::Dag dag = generate_layered(params, rng);
+  EXPECT_EQ(dag.num_nodes(), 6u);  // 4 layers + dummy src/snk
+}
+
+TEST(LayeredTest, ZeroEdgeProbabilityStillConnected) {
+  Rng rng(13);
+  LayeredParams params;
+  params.p_edge = 0.0;  // connectivity repair must kick in
+  const graph::Dag dag = generate_layered(params, rng);
+  EXPECT_TRUE(graph::is_valid(dag, graph::homogeneous_rules()));
+}
+
+TEST(LayeredTest, FullEdgeProbability) {
+  Rng rng(17);
+  LayeredParams params;
+  params.p_edge = 1.0;
+  params.min_layers = 3;
+  params.max_layers = 3;
+  params.min_width = 2;
+  params.max_width = 2;
+  const graph::Dag dag = generate_layered(params, rng);
+  // 2 layers of full bipartite (2x2=4 each) + dummy edges (2+2).
+  EXPECT_EQ(dag.num_edges(), 4u + 4u + 4u);
+}
+
+TEST(LayeredTest, InvalidParamsThrow) {
+  Rng rng(1);
+  LayeredParams params;
+  params.p_edge = -0.5;
+  EXPECT_THROW(generate_layered(params, rng), Error);
+  params = LayeredParams{};
+  params.min_layers = 5;
+  params.max_layers = 4;
+  EXPECT_THROW(generate_layered(params, rng), Error);
+}
+
+}  // namespace
+}  // namespace hedra::gen

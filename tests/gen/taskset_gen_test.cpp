@@ -1,0 +1,143 @@
+#include "gen/taskset_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/critical_path.h"
+#include "graph/validate.h"
+#include "util/error.h"
+
+namespace hedra::gen {
+namespace {
+
+TEST(UUniFastTest, SumsToTotal) {
+  Rng rng(1);
+  for (const double total : {0.5, 1.0, 3.7}) {
+    const auto utils = uunifast(6, total, rng);
+    const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    EXPECT_NEAR(sum, total, 1e-12);
+  }
+}
+
+TEST(UUniFastTest, AllPositive) {
+  Rng rng(2);
+  for (int round = 0; round < 100; ++round) {
+    for (const double u : uunifast(8, 4.0, rng)) {
+      EXPECT_GT(u, 0.0);
+      EXPECT_LT(u, 4.0);
+    }
+  }
+}
+
+TEST(UUniFastTest, SingleTaskTakesAll) {
+  Rng rng(3);
+  const auto utils = uunifast(1, 2.5, rng);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils.front(), 2.5);
+}
+
+TEST(UUniFastTest, MeanIsTotalOverN) {
+  Rng rng(4);
+  double acc = 0.0;
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) acc += uunifast(4, 2.0, rng)[0];
+  EXPECT_NEAR(acc / rounds, 0.5, 0.03);
+}
+
+TEST(UUniFastTest, InvalidArgsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(uunifast(0, 1.0, rng), Error);
+  EXPECT_THROW(uunifast(3, 0.0, rng), Error);
+}
+
+TEST(TaskSetGenTest, ProducesRequestedCount) {
+  Rng rng(7);
+  TaskSetParams params;
+  params.num_tasks = 5;
+  const auto set = generate_task_set(params, rng);
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(TaskSetGenTest, UtilizationNearTarget) {
+  Rng rng(8);
+  TaskSetParams params;
+  params.num_tasks = 6;
+  params.total_utilization = 2.0;
+  const auto set = generate_task_set(params, rng);
+  // Period rounding and the T >= len(G) floor shave a little utilisation.
+  EXPECT_LE(set.total_utilization(), 2.0 + 1e-9);
+  EXPECT_GT(set.total_utilization(), 1.2);
+}
+
+TEST(TaskSetGenTest, TasksAreValidHeterogeneousModels) {
+  Rng rng(9);
+  TaskSetParams params;
+  params.num_tasks = 4;
+  params.coff_ratio = 0.25;
+  const auto set = generate_task_set(params, rng);
+  for (const auto& task : set) {
+    EXPECT_TRUE(graph::is_valid(task.dag(), graph::heterogeneous_rules()));
+    EXPECT_GE(task.period(),
+              graph::critical_path_length(task.dag()));
+  }
+}
+
+TEST(TaskSetGenTest, ZeroCoffSkipsOffloading) {
+  Rng rng(10);
+  TaskSetParams params;
+  params.coff_ratio = 0.0;
+  const auto set = generate_task_set(params, rng);
+  for (const auto& task : set) {
+    EXPECT_TRUE(task.dag().offload_nodes().empty());
+  }
+}
+
+TEST(TaskSetGenTest, ConstrainedDeadlinesWithinWindow) {
+  Rng rng(11);
+  TaskSetParams params;
+  params.num_tasks = 8;
+  params.implicit_deadlines = false;
+  const auto set = generate_task_set(params, rng);
+  for (const auto& task : set) {
+    EXPECT_LE(task.deadline(), task.period());
+    EXPECT_GE(task.deadline(),
+              graph::critical_path_length(task.dag()));
+  }
+}
+
+TEST(TaskSetGenTest, ImplicitDeadlinesEqualPeriods) {
+  Rng rng(12);
+  TaskSetParams params;
+  params.implicit_deadlines = true;
+  const auto set = generate_task_set(params, rng);
+  for (const auto& task : set) {
+    EXPECT_EQ(task.deadline(), task.period());
+  }
+}
+
+TEST(TaskSetGenTest, Deterministic) {
+  TaskSetParams params;
+  Rng a(13);
+  Rng b(13);
+  const auto sa = generate_task_set(params, a);
+  const auto sb = generate_task_set(params, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].period(), sb[i].period());
+    EXPECT_EQ(sa[i].dag().volume(), sb[i].dag().volume());
+  }
+}
+
+TEST(TaskSetGenTest, InvalidParamsThrow) {
+  Rng rng(14);
+  TaskSetParams params;
+  params.num_tasks = 0;
+  EXPECT_THROW(generate_task_set(params, rng), Error);
+  params = TaskSetParams{};
+  params.coff_ratio = 1.0;
+  EXPECT_THROW(generate_task_set(params, rng), Error);
+}
+
+}  // namespace
+}  // namespace hedra::gen

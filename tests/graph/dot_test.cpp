@@ -1,0 +1,72 @@
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "util/error.h"
+
+namespace hedra::graph {
+namespace {
+
+TEST(DotTest, ContainsAllNodesAndEdges) {
+  const auto ex = testing::paper_example();
+  const std::string dot = to_dot(ex.dag);
+  for (NodeId v = 0; v < ex.dag.num_nodes(); ++v) {
+    EXPECT_NE(dot.find(ex.dag.label(v)), std::string::npos);
+  }
+  std::size_t arrows = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("->", pos)) != std::string::npos) {
+    ++arrows;
+    pos += 2;
+  }
+  EXPECT_EQ(arrows, ex.dag.num_edges());
+}
+
+TEST(DotTest, OffloadAndSyncShapes) {
+  Dag dag;
+  dag.add_node(1);
+  dag.add_node(2, NodeKind::kOffload);
+  dag.add_node(0, NodeKind::kSync);
+  const std::string dot = to_dot(dag);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("square"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotTest, HighlightCluster) {
+  const auto ex = testing::paper_example();
+  DotOptions options;
+  options.highlight = {ex.v2, ex.v3};
+  options.highlight_label = "GPar";
+  const std::string dot = to_dot(ex.dag, options);
+  EXPECT_NE(dot.find("cluster_highlight"), std::string::npos);
+  EXPECT_NE(dot.find("GPar"), std::string::npos);
+  EXPECT_NE(dot.find("dashed"), std::string::npos);
+}
+
+TEST(DotTest, WcetShownAndHidden) {
+  const auto ex = testing::paper_example();
+  DotOptions with;
+  EXPECT_NE(to_dot(ex.dag, with).find("v3 (6)"), std::string::npos);
+  DotOptions without;
+  without.show_wcet = false;
+  EXPECT_EQ(to_dot(ex.dag, without).find("v3 (6)"), std::string::npos);
+}
+
+TEST(DotTest, RankdirOption) {
+  const auto ex = testing::paper_example();
+  DotOptions options;
+  options.rankdir_lr = true;
+  EXPECT_NE(to_dot(ex.dag, options).find("rankdir=LR"), std::string::npos);
+}
+
+TEST(DotTest, BadHighlightThrows) {
+  const auto ex = testing::paper_example();
+  DotOptions options;
+  options.highlight = {99};
+  EXPECT_THROW(to_dot(ex.dag, options), Error);
+}
+
+}  // namespace
+}  // namespace hedra::graph

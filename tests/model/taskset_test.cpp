@@ -1,0 +1,55 @@
+#include "model/taskset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "util/error.h"
+
+namespace hedra::model {
+namespace {
+
+TaskSet make_set() {
+  const auto ex = testing::paper_example();  // vol 18, host vol 14
+  TaskSet set;
+  set.add(DagTask(ex.dag, 36, 36, "t1"));
+  set.add(DagTask(ex.dag, 18, 18, "t2"));
+  return set;
+}
+
+TEST(TaskSetTest, SizeAndIndexing) {
+  const TaskSet set = make_set();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set[0].name(), "t1");
+  EXPECT_EQ(set[1].name(), "t2");
+  EXPECT_THROW((void)set[2], Error);
+}
+
+TEST(TaskSetTest, TotalUtilization) {
+  const TaskSet set = make_set();
+  EXPECT_DOUBLE_EQ(set.total_utilization(), 0.5 + 1.0);
+}
+
+TEST(TaskSetTest, TotalHostUtilization) {
+  const TaskSet set = make_set();
+  EXPECT_DOUBLE_EQ(set.total_host_utilization(), 14.0 / 36.0 + 14.0 / 18.0);
+}
+
+TEST(TaskSetTest, IterationVisitsAll) {
+  const TaskSet set = make_set();
+  int count = 0;
+  for (const auto& task : set) {
+    EXPECT_FALSE(task.name().empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TaskSetTest, EmptySetTotalsAreZero) {
+  const TaskSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.total_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace hedra::model

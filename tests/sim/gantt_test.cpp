@@ -1,0 +1,98 @@
+#include "sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/transform.h"
+#include "common/fixtures.h"
+#include "sim/scheduler.h"
+#include "util/error.h"
+
+namespace hedra::sim {
+namespace {
+
+ScheduleTrace paper_trace(int cores) {
+  const auto ex = testing::paper_example();
+  SimConfig config;
+  config.cores = cores;
+  return simulate(ex.dag, config);
+}
+
+TEST(GanttTest, ShowsEveryUnitRow) {
+  const auto ex = testing::paper_example();
+  const auto trace = paper_trace(2);
+  const std::string chart = render_gantt(trace, ex.dag);
+  EXPECT_NE(chart.find("C0"), std::string::npos);
+  EXPECT_NE(chart.find("C1"), std::string::npos);
+  EXPECT_NE(chart.find("ACC"), std::string::npos);
+}
+
+TEST(GanttTest, ShowsNodeLabels) {
+  const auto ex = testing::paper_example();
+  const auto trace = paper_trace(2);
+  const std::string chart = render_gantt(trace, ex.dag);
+  EXPECT_NE(chart.find("v2"), std::string::npos);
+  EXPECT_NE(chart.find("vO"), std::string::npos);  // vOff, possibly truncated
+}
+
+TEST(GanttTest, ShowsTimeAxis) {
+  const auto ex = testing::paper_example();
+  const auto trace = paper_trace(2);
+  const std::string chart = render_gantt(trace, ex.dag);
+  EXPECT_NE(chart.find("t=0 .. 12"), std::string::npos);
+}
+
+TEST(GanttTest, ListsInstantCompletions) {
+  const auto ex = testing::paper_example();
+  const auto transformed = analysis::transform_for_offload(ex.dag).transformed;
+  SimConfig config;
+  config.cores = 2;
+  const auto trace = simulate(transformed, config);
+  const std::string chart = render_gantt(trace, transformed);
+  EXPECT_NE(chart.find("instant:"), std::string::npos);
+  EXPECT_NE(chart.find("vSync@3"), std::string::npos);
+}
+
+TEST(GanttTest, InstantsCanBeHidden) {
+  const auto ex = testing::paper_example();
+  const auto transformed = analysis::transform_for_offload(ex.dag).transformed;
+  SimConfig config;
+  config.cores = 2;
+  const auto trace = simulate(transformed, config);
+  GanttOptions options;
+  options.show_instants = false;
+  const std::string chart = render_gantt(trace, transformed, options);
+  EXPECT_EQ(chart.find("instant:"), std::string::npos);
+}
+
+TEST(GanttTest, LongScheduleIsScaled) {
+  const auto dag = testing::chain(4, 100);  // makespan 400
+  SimConfig config;
+  config.cores = 1;
+  const auto trace = simulate(dag, config);
+  GanttOptions options;
+  options.max_width = 40;
+  const std::string chart = render_gantt(trace, dag, options);
+  // Each line stays renderable; the scale note reflects compression.
+  EXPECT_NE(chart.find("1 char = 10 ticks"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyScheduleRenders) {
+  graph::Dag dag;
+  dag.add_node(0, graph::NodeKind::kSync);
+  SimConfig config;
+  config.cores = 1;
+  const auto trace = simulate(dag, config);
+  const std::string chart = render_gantt(trace, dag);
+  EXPECT_NE(chart.find("empty"), std::string::npos);
+}
+
+TEST(GanttTest, TinyWidthRejected) {
+  const auto ex = testing::paper_example();
+  const auto trace = paper_trace(2);
+  GanttOptions options;
+  options.max_width = 3;
+  EXPECT_THROW(render_gantt(trace, ex.dag, options), Error);
+}
+
+}  // namespace
+}  // namespace hedra::sim

@@ -1,0 +1,184 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/transform.h"
+#include "common/fixtures.h"
+#include "graph/critical_path.h"
+#include "util/error.h"
+
+namespace hedra::sim {
+namespace {
+
+SimConfig cfg(int cores, Policy policy = Policy::kBreadthFirst) {
+  SimConfig config;
+  config.cores = cores;
+  config.policy = policy;
+  return config;
+}
+
+TEST(SchedulerTest, ChainOnOneCoreTakesVolume) {
+  const auto dag = testing::chain(5, 3);
+  EXPECT_EQ(simulated_makespan(dag, cfg(1)), 15);
+}
+
+TEST(SchedulerTest, ChainIgnoresExtraCores) {
+  const auto dag = testing::chain(5, 3);
+  EXPECT_EQ(simulated_makespan(dag, cfg(8)), 15);
+}
+
+TEST(SchedulerTest, WideGraphWithEnoughCoresTakesLen) {
+  const auto dag = testing::wide_gpar_example(4);
+  // v1(1) + max(p_i(2), vOff(4)) + v6(1); with 4+ cores everything parallel.
+  EXPECT_EQ(simulated_makespan(dag, cfg(4)), 6);
+}
+
+TEST(SchedulerTest, PaperFig1cBreadthFirstReaches12) {
+  // §3.2/Figure 1(c): breadth-first on m=2 runs v2, v3 before v4, leaving
+  // the host idle while v_off executes; response time 12.
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(simulated_makespan(ex.dag, cfg(2, Policy::kBreadthFirst)), 12);
+}
+
+TEST(SchedulerTest, PaperFig1bCriticalPathFirstReaches8) {
+  // Figure 1(b)'s best case: scheduling v3 and v4 first overlaps v_off with
+  // host work; response time 8.
+  const auto ex = testing::paper_example();
+  EXPECT_EQ(simulated_makespan(ex.dag, cfg(2, Policy::kCriticalPathFirst)), 8);
+}
+
+TEST(SchedulerTest, PaperFig2bTransformedBreadthFirstReaches10) {
+  // Figure 2(b): after the transformation the breadth-first schedule takes
+  // exactly len(G') = 10.
+  const auto ex = testing::paper_example();
+  const auto transformed =
+      analysis::transform_for_offload(ex.dag).transformed;
+  EXPECT_EQ(simulated_makespan(transformed, cfg(2, Policy::kBreadthFirst)),
+            10);
+}
+
+TEST(SchedulerTest, TraceIsValidatedInternally) {
+  const auto ex = testing::paper_example();
+  const ScheduleTrace trace = simulate(ex.dag, cfg(2));
+  EXPECT_TRUE(trace.validate().empty());
+  EXPECT_EQ(trace.makespan(), 12);
+}
+
+TEST(SchedulerTest, OffloadRunsOnAccelerator) {
+  const auto ex = testing::paper_example();
+  const ScheduleTrace trace = simulate(ex.dag, cfg(2));
+  EXPECT_EQ(trace.interval_of(ex.voff).unit, kAcceleratorUnit);
+}
+
+TEST(SchedulerTest, ZeroWcetNodesCompleteInstantly) {
+  graph::Dag dag;
+  const auto s = dag.add_node(0, graph::NodeKind::kSync);
+  const auto a = dag.add_node(5);
+  const auto t = dag.add_node(0, graph::NodeKind::kSync);
+  dag.add_edge(s, a);
+  dag.add_edge(a, t);
+  const ScheduleTrace trace = simulate(dag, cfg(1));
+  EXPECT_EQ(trace.makespan(), 5);
+  EXPECT_EQ(trace.interval_of(s).unit, kInstantUnit);
+  EXPECT_EQ(trace.interval_of(t).start, 5);
+  EXPECT_EQ(trace.interval_of(t).finish, 5);
+  (void)a;
+}
+
+TEST(SchedulerTest, WorkConservingNeverIdlesWithReadyWork) {
+  // With two independent nodes and two cores, both start at time 0.
+  graph::Dag dag;
+  dag.add_node(3);
+  dag.add_node(4);
+  const ScheduleTrace trace = simulate(dag, cfg(2));
+  EXPECT_EQ(trace.interval_of(0).start, 0);
+  EXPECT_EQ(trace.interval_of(1).start, 0);
+  EXPECT_EQ(trace.makespan(), 4);
+}
+
+TEST(SchedulerTest, DepthFirstPrefersNewestReady) {
+  // v1 -> {a, b}; a -> c.  After v1, LIFO runs b (newest last? ready order
+  // a, b -> LIFO picks b first) on the single core.
+  graph::Dag dag;
+  const auto v1 = dag.add_node(1);
+  const auto a = dag.add_node(1, graph::NodeKind::kHost, "a");
+  const auto b = dag.add_node(5, graph::NodeKind::kHost, "b");
+  dag.add_edge(v1, a);
+  dag.add_edge(v1, b);
+  const ScheduleTrace lifo = simulate(dag, cfg(1, Policy::kDepthFirst));
+  const ScheduleTrace fifo = simulate(dag, cfg(1, Policy::kBreadthFirst));
+  // FIFO runs a (ready first by id) before b; LIFO the opposite.
+  EXPECT_LT(fifo.start_of(a), fifo.start_of(b));
+  EXPECT_LT(lifo.start_of(b), lifo.start_of(a));
+}
+
+TEST(SchedulerTest, RandomPolicyIsSeedDeterministic) {
+  const auto ex = testing::fig3_example();
+  SimConfig a = cfg(2, Policy::kRandom);
+  a.seed = 7;
+  SimConfig b = cfg(2, Policy::kRandom);
+  b.seed = 7;
+  EXPECT_EQ(simulated_makespan(ex.dag, a), simulated_makespan(ex.dag, b));
+}
+
+TEST(SchedulerTest, MakespanSandwichedByLenAndGraham) {
+  const auto ex = testing::fig3_example();
+  const graph::Time len = graph::critical_path_length(ex.dag);
+  const graph::Time vol = ex.dag.volume();
+  for (const int m : {1, 2, 3, 4, 8}) {
+    for (const auto policy :
+         {Policy::kBreadthFirst, Policy::kDepthFirst,
+          Policy::kCriticalPathFirst, Policy::kIndexOrder, Policy::kRandom}) {
+      const graph::Time makespan =
+          simulated_makespan(ex.dag, cfg(m, policy));
+      EXPECT_GE(makespan, len);
+      EXPECT_LE(makespan, vol);
+    }
+  }
+}
+
+TEST(SchedulerTest, SingleNodeGraph) {
+  graph::Dag dag;
+  dag.add_node(7);
+  EXPECT_EQ(simulated_makespan(dag, cfg(3)), 7);
+}
+
+TEST(SchedulerTest, MultipleOffloadsSerialiseOnAccelerator) {
+  graph::Dag dag;
+  const auto v1 = dag.add_node(1);
+  const auto o1 = dag.add_node(5, graph::NodeKind::kOffload, "o1");
+  const auto o2 = dag.add_node(5, graph::NodeKind::kOffload, "o2");
+  const auto vn = dag.add_node(1);
+  dag.add_edge(v1, o1);
+  dag.add_edge(v1, o2);
+  dag.add_edge(o1, vn);
+  dag.add_edge(o2, vn);
+  const ScheduleTrace trace = simulate(dag, cfg(4));
+  // Both offloads on the single accelerator: 1 + 5 + 5 + 1.
+  EXPECT_EQ(trace.makespan(), 12);
+  EXPECT_EQ(trace.interval_of(o1).unit, kAcceleratorUnit);
+  EXPECT_EQ(trace.interval_of(o2).unit, kAcceleratorUnit);
+}
+
+TEST(SchedulerTest, InvalidInputsThrow) {
+  EXPECT_THROW(simulate(graph::Dag{}, cfg(2)), Error);
+  const auto ex = testing::paper_example();
+  EXPECT_THROW(simulate(ex.dag, cfg(0)), Error);
+  graph::Dag cyclic;
+  const auto a = cyclic.add_node(1);
+  const auto b = cyclic.add_node(1);
+  cyclic.add_edge(a, b);
+  cyclic.add_edge(b, a);
+  EXPECT_THROW(simulate(cyclic, cfg(1)), Error);
+}
+
+TEST(SchedulerTest, PolicyNamesRender) {
+  EXPECT_STREQ(to_string(Policy::kBreadthFirst), "breadth-first");
+  EXPECT_STREQ(to_string(Policy::kDepthFirst), "depth-first");
+  EXPECT_STREQ(to_string(Policy::kCriticalPathFirst), "critical-path-first");
+  EXPECT_STREQ(to_string(Policy::kIndexOrder), "index-order");
+  EXPECT_STREQ(to_string(Policy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace hedra::sim

@@ -1,0 +1,147 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "util/error.h"
+
+namespace hedra::sim {
+namespace {
+
+TEST(TraceTest, MakespanIsLatestFinish) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 5});
+  trace.add(Interval{1, 0, 5, 10});
+  EXPECT_EQ(trace.makespan(), 10);
+}
+
+TEST(TraceTest, EmptyTraceHasZeroMakespan) {
+  const auto dag = testing::chain(1, 1);
+  const ScheduleTrace trace(&dag, 1);
+  EXPECT_EQ(trace.makespan(), 0);
+}
+
+TEST(TraceTest, IntervalOfThrowsForMissingNode) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 5});
+  EXPECT_THROW((void)trace.interval_of(1), Error);
+}
+
+TEST(TraceTest, AddRejectsMalformedIntervals) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 2);
+  EXPECT_THROW(trace.add(Interval{9, 0, 0, 5}), Error);   // bad node
+  EXPECT_THROW(trace.add(Interval{0, 5, 0, 5}), Error);   // bad unit
+  EXPECT_THROW(trace.add(Interval{0, 0, 5, 3}), Error);   // negative span
+}
+
+TEST(TraceTest, ValidateAcceptsCorrectSchedule) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 5});
+  trace.add(Interval{1, 0, 5, 10});
+  EXPECT_TRUE(trace.validate().empty());
+}
+
+TEST(TraceTest, ValidateCatchesPrecedenceViolation) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 2);
+  trace.add(Interval{0, 0, 0, 5});
+  trace.add(Interval{1, 1, 3, 8});  // starts before predecessor finishes
+  const auto issues = trace.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues.front().find("before predecessor"), std::string::npos);
+}
+
+TEST(TraceTest, ValidateCatchesCapacityOverlap) {
+  graph::Dag dag;
+  dag.add_node(5);
+  dag.add_node(5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 5});
+  trace.add(Interval{1, 0, 3, 8});  // same core, overlapping
+  const auto issues = trace.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues.front().find("overlaps"), std::string::npos);
+}
+
+TEST(TraceTest, ValidateCatchesWrongDuration) {
+  const auto dag = testing::chain(1, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 3});
+  const auto issues = trace.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("expected 5"), std::string::npos);
+}
+
+TEST(TraceTest, ValidateWithDurationsAcceptsEarlyCompletion) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, 0, 0, 3});
+  trace.add(Interval{1, 0, 3, 8});
+  EXPECT_FALSE(trace.validate().empty());
+  EXPECT_TRUE(trace.validate_with_durations({3, 5}).empty());
+  EXPECT_THROW((void)trace.validate_with_durations({3}), Error);
+}
+
+TEST(TraceTest, ValidateCatchesMissingAndDuplicateNodes) {
+  const auto dag = testing::chain(2, 5);
+  ScheduleTrace trace(&dag, 2);
+  trace.add(Interval{0, 0, 0, 5});
+  trace.add(Interval{0, 1, 0, 5});  // node 0 twice, node 1 missing
+  const auto issues = trace.validate();
+  EXPECT_GE(issues.size(), 2u);
+}
+
+TEST(TraceTest, ValidateCatchesMisplacedOffload) {
+  const auto ex = testing::paper_example();
+  ScheduleTrace trace(&ex.dag, 2);
+  trace.add(Interval{ex.voff, 0, 0, 4});  // offload on a host core
+  const auto issues = trace.validate();
+  bool found = false;
+  for (const auto& issue : issues) {
+    if (issue.find("host core") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, ValidateCatchesHostNodeOnAccelerator) {
+  const auto dag = testing::chain(1, 5);
+  ScheduleTrace trace(&dag, 1);
+  trace.add(Interval{0, kAcceleratorUnit, 0, 5});
+  const auto issues = trace.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("off the host cores"), std::string::npos);
+}
+
+TEST(TraceTest, BusyTimeAndUtilization) {
+  graph::Dag dag;
+  dag.add_node(6);
+  dag.add_node(3);
+  ScheduleTrace trace(&dag, 2);
+  trace.add(Interval{0, 0, 0, 6});
+  trace.add(Interval{1, 1, 0, 3});
+  EXPECT_EQ(trace.busy_time(0), 6);
+  EXPECT_EQ(trace.busy_time(1), 3);
+  EXPECT_DOUBLE_EQ(trace.utilization(0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.utilization(1), 0.5);
+  EXPECT_EQ(trace.host_idle_time(), 3);
+}
+
+TEST(TraceTest, AcceleratorBusyTime) {
+  const auto ex = testing::paper_example();
+  ScheduleTrace trace(&ex.dag, 2);
+  trace.add(Interval{ex.voff, kAcceleratorUnit, 0, 4});
+  EXPECT_EQ(trace.busy_time(kAcceleratorUnit), 4);
+}
+
+TEST(TraceTest, ConstructionRequiresDagAndCores) {
+  const auto dag = testing::chain(1, 1);
+  EXPECT_THROW(ScheduleTrace(nullptr, 2), Error);
+  EXPECT_THROW(ScheduleTrace(&dag, 0), Error);
+}
+
+}  // namespace
+}  // namespace hedra::sim

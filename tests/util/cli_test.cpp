@@ -1,0 +1,96 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace hedra {
+namespace {
+
+TEST(CliTest, DefaultsSurviveEmptyArgv) {
+  ArgParser parser("prog", "test");
+  const auto* n = parser.add_int("n", 42, "count");
+  const auto* r = parser.add_real("ratio", 0.5, "ratio");
+  const auto* f = parser.add_flag("verbose", "flag");
+  const auto* s = parser.add_string("out", "a.csv", "path");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*r, 0.5);
+  EXPECT_FALSE(*f);
+  EXPECT_EQ(*s, "a.csv");
+}
+
+TEST(CliTest, ParsesSpaceSeparatedValues) {
+  ArgParser parser("prog", "test");
+  const auto* n = parser.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n", "17"};
+  EXPECT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(*n, 17);
+}
+
+TEST(CliTest, ParsesEqualsValues) {
+  ArgParser parser("prog", "test");
+  const auto* r = parser.add_real("ratio", 0.0, "ratio");
+  const char* argv[] = {"prog", "--ratio=0.25"};
+  EXPECT_TRUE(parser.parse(2, argv));
+  EXPECT_DOUBLE_EQ(*r, 0.25);
+}
+
+TEST(CliTest, FlagsNeedNoValue) {
+  ArgParser parser("prog", "test");
+  const auto* f = parser.add_flag("quick", "flag");
+  const char* argv[] = {"prog", "--quick"};
+  EXPECT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(*f);
+}
+
+TEST(CliTest, UnknownOptionThrows) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(parser.parse(2, argv), Error);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  ArgParser parser("prog", "test");
+  parser.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(parser.parse(2, argv), Error);
+}
+
+TEST(CliTest, MalformedIntThrows) {
+  ArgParser parser("prog", "test");
+  parser.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_THROW(parser.parse(3, argv), Error);
+}
+
+TEST(CliTest, PositionalArgumentsRejected) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(parser.parse(2, argv), Error);
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(CliTest, DuplicateOptionRegistrationThrows) {
+  ArgParser parser("prog", "test");
+  parser.add_int("n", 0, "count");
+  EXPECT_THROW(parser.add_real("n", 0.0, "again"), Error);
+}
+
+TEST(CliTest, UsageMentionsOptionsAndDefaults) {
+  ArgParser parser("prog", "summary text");
+  parser.add_int("dags", 100, "number of DAGs");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--dags"), std::string::npos);
+  EXPECT_NE(usage.find("100"), std::string::npos);
+  EXPECT_NE(usage.find("summary text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedra

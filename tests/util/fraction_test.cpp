@@ -1,0 +1,142 @@
+#include "util/fraction.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hedra {
+namespace {
+
+TEST(FracTest, DefaultIsZero) {
+  const Frac f;
+  EXPECT_EQ(f.num(), 0);
+  EXPECT_EQ(f.den(), 1);
+  EXPECT_TRUE(f.is_integer());
+}
+
+TEST(FracTest, IntegerConversionIsImplicit) {
+  const Frac f = 7;
+  EXPECT_EQ(f.num(), 7);
+  EXPECT_EQ(f.den(), 1);
+}
+
+TEST(FracTest, NormalisesOnConstruction) {
+  const Frac f(6, 4);
+  EXPECT_EQ(f.num(), 3);
+  EXPECT_EQ(f.den(), 2);
+}
+
+TEST(FracTest, NormalisesSignIntoNumerator) {
+  const Frac f(3, -6);
+  EXPECT_EQ(f.num(), -1);
+  EXPECT_EQ(f.den(), 2);
+  const Frac g(-3, -6);
+  EXPECT_EQ(g.num(), 1);
+  EXPECT_EQ(g.den(), 2);
+}
+
+TEST(FracTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Frac(1, 0), Error);
+}
+
+TEST(FracTest, Addition) {
+  EXPECT_EQ(Frac(1, 3) + Frac(2, 3), Frac(1));
+  EXPECT_EQ(Frac(1, 2) + Frac(1, 3), Frac(5, 6));
+  EXPECT_EQ(Frac(-1, 2) + Frac(1, 2), Frac(0));
+}
+
+TEST(FracTest, Subtraction) {
+  EXPECT_EQ(Frac(5, 6) - Frac(1, 3), Frac(1, 2));
+  EXPECT_EQ(Frac(1, 4) - Frac(1, 2), Frac(-1, 4));
+}
+
+TEST(FracTest, Multiplication) {
+  EXPECT_EQ(Frac(2, 3) * Frac(3, 4), Frac(1, 2));
+  EXPECT_EQ(Frac(-2, 5) * Frac(5, 2), Frac(-1));
+}
+
+TEST(FracTest, Division) {
+  EXPECT_EQ(Frac(1, 2) / Frac(1, 4), Frac(2));
+  EXPECT_THROW(Frac(1) / Frac(0), Error);
+}
+
+TEST(FracTest, Negation) {
+  EXPECT_EQ(-Frac(3, 7), Frac(-3, 7));
+}
+
+TEST(FracTest, Comparison) {
+  EXPECT_LT(Frac(1, 3), Frac(1, 2));
+  EXPECT_GT(Frac(7, 2), Frac(3));
+  EXPECT_LE(Frac(2, 4), Frac(1, 2));
+  EXPECT_EQ(Frac(2, 4), Frac(1, 2));
+  EXPECT_LT(Frac(-1, 2), Frac(0));
+}
+
+TEST(FracTest, FloorAndCeil) {
+  EXPECT_EQ(Frac(7, 2).floor(), 3);
+  EXPECT_EQ(Frac(7, 2).ceil(), 4);
+  EXPECT_EQ(Frac(-7, 2).floor(), -4);
+  EXPECT_EQ(Frac(-7, 2).ceil(), -3);
+  EXPECT_EQ(Frac(6).floor(), 6);
+  EXPECT_EQ(Frac(6).ceil(), 6);
+}
+
+TEST(FracTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Frac(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Frac(-3, 4).to_double(), -0.75);
+}
+
+TEST(FracTest, ToString) {
+  EXPECT_EQ(Frac(7, 2).to_string(), "7/2");
+  EXPECT_EQ(Frac(4, 2).to_string(), "2");
+  EXPECT_EQ(Frac(-1, 3).to_string(), "-1/3");
+}
+
+TEST(FracTest, StreamOutput) {
+  std::ostringstream os;
+  os << Frac(5, 4);
+  EXPECT_EQ(os.str(), "5/4");
+}
+
+TEST(FracTest, MinMaxHelpers) {
+  EXPECT_EQ(frac_max(Frac(1, 2), Frac(2, 3)), Frac(2, 3));
+  EXPECT_EQ(frac_min(Frac(1, 2), Frac(2, 3)), Frac(1, 2));
+}
+
+TEST(FracTest, LargeIntermediatesDoNotOverflowWhenResultFits) {
+  // (2^40)/3 + (2^40)/3 has a 2^80-scale cross product before reduction.
+  const std::int64_t big = std::int64_t{1} << 40;
+  const Frac f(big, 3);
+  EXPECT_EQ(f + f, Frac(2 * big, 3));
+}
+
+TEST(FracTest, OverflowIsDetected) {
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max();
+  const Frac f(huge, 1);
+  EXPECT_THROW(f * Frac(2), Error);
+  EXPECT_THROW(f + f, Error);
+}
+
+/// The shape every bound in the paper takes: len + (vol - len)/m must be
+/// exactly representable and ordered sensibly for all m.
+class FracBoundShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FracBoundShapeTest, GrahamBoundShape) {
+  const int m = GetParam();
+  const std::int64_t len = 37;
+  const std::int64_t vol = 1234;
+  const Frac bound = Frac(len) + Frac(vol - len, m);
+  EXPECT_GE(bound, Frac(len));
+  EXPECT_LE(bound, Frac(vol));
+  // Exactness: multiplying back by m recovers the numerator identity.
+  EXPECT_EQ(bound * Frac(m), Frac(len * (m - 1) + vol));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, FracBoundShapeTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace hedra

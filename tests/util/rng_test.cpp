@@ -1,0 +1,148 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hedra {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  EXPECT_NE(rng.next_u64(), 0u);  // SplitMix64 avoids the all-zero state
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntHitsAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), Error);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 100);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+  EXPECT_THROW(rng.bernoulli(-0.1), Error);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(37);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(RngTest, IndexRequiresNonEmpty) {
+  Rng rng(41);
+  EXPECT_THROW(rng.index(0), Error);
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(51);
+  Rng child = parent.fork();
+  // The child stream is not the parent's continuation.
+  Rng parent2(51);
+  (void)parent2.fork();
+  Rng reference(51);
+  Rng ref_child = reference.fork();
+  // Deterministic: same parent seed -> same child stream.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child.next_u64(), ref_child.next_u64());
+}
+
+TEST(RngTest, ForkedChildrenDiffer) {
+  Rng parent(53);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace hedra

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace hedra {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  TextTable table({"x", "y"});
+  table.add_row({"short", "1"});
+  table.add_row({"much-longer-cell", "2"});
+  const std::string out = table.render();
+  // Every data line has the same length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected);
+    start = end + 1;
+  }
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), Error);
+}
+
+TEST(TableTest, AlignmentArityMismatchThrows) {
+  EXPECT_THROW(TextTable({"a", "b"}, {Align::kLeft}), Error);
+}
+
+TEST(TableTest, SeparatorRows) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // header rule + separator + top/bottom rules = at least 4 dashed lines
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TableTest, LeftAndRightAlignment) {
+  TextTable table({"l", "r"}, {Align::kLeft, Align::kRight});
+  table.add_row({"a", "b"});
+  table.add_row({"aa", "bb"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| a  |"), std::string::npos) << out;
+  EXPECT_NE(out.find("|  b |"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace hedra
