@@ -11,14 +11,17 @@
 ///    R_het (Theorem 1), min(R_hom, R_het), the unsound naive subtraction
 ///    (§3.2, reported for reference only), and the two-resource chain bound
 ///    of analysis/multi_offload.h.
+///
+/// Both ablations run on the exp::Runner engine (--jobs N fans the per-DAG
+/// work out over a thread pool; output is identical for any N).
 
+#include <array>
 #include <iostream>
 #include <vector>
 
 #include "analysis/multi_offload.h"
 #include "analysis/naive.h"
-#include "analysis/rta_heterogeneous.h"
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "sim/scheduler.h"
 #include "stats/descriptive.h"
 #include "util/cli.h"
@@ -27,52 +30,87 @@
 
 namespace {
 
-using hedra::Frac;
-using hedra::graph::Dag;
+using hedra::analysis::AnalysisCache;
+using hedra::exp::Runner;
+using hedra::exp::SweepPoint;
 
-void run_policy_ablation(int dags, std::uint64_t seed) {
-  const std::vector<double> ratios{0.02, 0.10, 0.28, 0.50};
+const std::vector<double> kRatios{0.02, 0.10, 0.28, 0.50};
+
+std::vector<SweepPoint> ratio_points(int dags, std::uint64_t seed,
+                                     const std::vector<int>& cores,
+                                     bool fork_seeds) {
+  std::vector<SweepPoint> points;
+  const auto seeds = hedra::exp::batch_seeds(seed, kRatios.size());
+  for (std::size_t i = 0; i < kRatios.size(); ++i) {
+    SweepPoint point;
+    point.batch.params.min_nodes = 100;
+    point.batch.params.max_nodes = 250;
+    point.batch.coff_ratio = kRatios[i];
+    point.batch.count = dags;
+    // The analysis ablation reuses one seed across ratios on purpose: the
+    // same underlying graphs at different C_off make the columns paired.
+    point.batch.seed = fork_seeds ? seeds[i] : seed;
+    point.cores = cores;
+    point.ratio = kRatios[i];
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void run_policy_ablation(int dags, std::uint64_t seed, int jobs) {
   const std::vector<hedra::sim::Policy> policies{
       hedra::sim::Policy::kBreadthFirst, hedra::sim::Policy::kDepthFirst,
       hedra::sim::Policy::kCriticalPathFirst,
       hedra::sim::Policy::kIndexOrder, hedra::sim::Policy::kRandom};
+  struct Sample {
+    std::array<double, 5> t_orig{};
+    std::array<double, 5> t_trans{};
+  };
+  struct Row {
+    double ratio;
+    std::array<double, 5> avg_orig{};
+    std::array<double, 5> avg_trans{};
+  };
+
+  Runner runner(jobs);
+  const auto rows = runner.sweep(
+      ratio_points(dags, seed, {8}, true),
+      [&policies](AnalysisCache& cache, int m) {
+        Sample s;
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+          hedra::sim::SimConfig config;
+          config.cores = m;
+          config.policy = policies[p];
+          s.t_orig[p] = static_cast<double>(
+              hedra::sim::simulated_makespan(cache.original(), config));
+          s.t_trans[p] = static_cast<double>(
+              hedra::sim::simulated_makespan(cache.transformed(), config));
+        }
+        return s;
+      },
+      [](const SweepPoint& point, int, const std::vector<Sample>& samples) {
+        Row row{point.ratio, {}, {}};
+        for (const Sample& s : samples) {
+          for (std::size_t p = 0; p < row.avg_orig.size(); ++p) {
+            row.avg_orig[p] += s.t_orig[p] / samples.size();
+            row.avg_trans[p] += s.t_trans[p] / samples.size();
+          }
+        }
+        return row;
+      });
 
   hedra::TextTable table(
       {"C_off/vol", "policy", "avg T(tau)", "avg T(tau')", "pct change"});
-  for (const double ratio : ratios) {
-    hedra::exp::BatchConfig batch_config;
-    batch_config.params.min_nodes = 100;
-    batch_config.params.max_nodes = 250;
-    batch_config.coff_ratio = ratio;
-    batch_config.count = dags;
-    batch_config.seed = seed;
-    const auto batch = hedra::exp::generate_batch(batch_config);
-    std::vector<Dag> transformed;
-    transformed.reserve(batch.size());
-    for (const auto& dag : batch) {
-      transformed.push_back(
-          hedra::analysis::transform_for_offload(dag).transformed);
-    }
-    for (const auto policy : policies) {
-      std::vector<double> t_orig;
-      std::vector<double> t_trans;
-      hedra::sim::SimConfig config;
-      config.cores = 8;
-      config.policy = policy;
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        t_orig.push_back(static_cast<double>(
-            hedra::sim::simulated_makespan(batch[i], config)));
-        t_trans.push_back(static_cast<double>(
-            hedra::sim::simulated_makespan(transformed[i], config)));
-      }
-      const double avg_o = hedra::stats::mean(t_orig);
-      const double avg_t = hedra::stats::mean(t_trans);
-      table.add_row({hedra::format_double(100.0 * ratio, 1) + "%",
-                     hedra::sim::to_string(policy),
-                     hedra::format_double(avg_o, 1),
-                     hedra::format_double(avg_t, 1),
-                     hedra::format_percent(
-                         hedra::stats::percentage_change(avg_o, avg_t), 2)});
+  for (const Row& row : rows) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      table.add_row({hedra::format_double(100.0 * row.ratio, 1) + "%",
+                     hedra::sim::to_string(policies[p]),
+                     hedra::format_double(row.avg_orig[p], 1),
+                     hedra::format_double(row.avg_trans[p], 1),
+                     hedra::format_percent(hedra::stats::percentage_change(
+                                               row.avg_orig[p],
+                                               row.avg_trans[p]),
+                                           2)});
     }
     table.add_separator();
   }
@@ -81,40 +119,49 @@ void run_policy_ablation(int dags, std::uint64_t seed) {
             << table.render() << "\n";
 }
 
-void run_analysis_ablation(int dags, std::uint64_t seed) {
-  const std::vector<double> ratios{0.02, 0.10, 0.28, 0.50};
+void run_analysis_ablation(int dags, std::uint64_t seed, int jobs) {
+  struct Sample {
+    double hom, het, best, chain, naive;
+  };
+  struct Row {
+    double ratio;
+    int m;
+    double hom = 0, het = 0, best = 0, chain = 0, naive = 0;
+  };
+
+  Runner runner(jobs);
+  const auto rows = runner.sweep(
+      ratio_points(dags, seed + 17, {2, 16}, false),
+      [](AnalysisCache& cache, int m) {
+        const double hom = cache.r_hom(m).to_double();
+        const double het = cache.r_het(m).to_double();
+        return Sample{
+            hom, het, std::min(hom, het),
+            hedra::analysis::rta_multi_offload(cache.original(), m).to_double(),
+            hedra::analysis::rta_naive_subtraction(cache.original(), m)
+                .to_double()};
+      },
+      [](const SweepPoint& point, int m, const std::vector<Sample>& samples) {
+        Row row{point.ratio, m};
+        for (const Sample& s : samples) {
+          row.hom += s.hom / samples.size();
+          row.het += s.het / samples.size();
+          row.best += s.best / samples.size();
+          row.chain += s.chain / samples.size();
+          row.naive += s.naive / samples.size();
+        }
+        return row;
+      });
+
   hedra::TextTable table({"C_off/vol", "m", "R_hom", "R_het", "best",
                           "chain bound", "naive (UNSOUND)"});
-  for (const double ratio : ratios) {
-    hedra::exp::BatchConfig batch_config;
-    batch_config.params.min_nodes = 100;
-    batch_config.params.max_nodes = 250;
-    batch_config.coff_ratio = ratio;
-    batch_config.count = dags;
-    batch_config.seed = seed + 17;
-    const auto batch = hedra::exp::generate_batch(batch_config);
-    for (const int m : {2, 16}) {
-      double hom = 0;
-      double het = 0;
-      double best = 0;
-      double chain = 0;
-      double naive = 0;
-      for (const auto& dag : batch) {
-        const auto analysis = hedra::analysis::analyze_heterogeneous(dag, m);
-        hom += analysis.r_hom.to_double();
-        het += analysis.r_het.to_double();
-        best += hedra::frac_min(analysis.r_hom, analysis.r_het).to_double();
-        chain += hedra::analysis::rta_multi_offload(dag, m).to_double();
-        naive += hedra::analysis::rta_naive_subtraction(dag, m).to_double();
-      }
-      const double n = static_cast<double>(batch.size());
-      table.add_row({hedra::format_double(100.0 * ratio, 1) + "%",
-                     std::to_string(m), hedra::format_double(hom / n, 1),
-                     hedra::format_double(het / n, 1),
-                     hedra::format_double(best / n, 1),
-                     hedra::format_double(chain / n, 1),
-                     hedra::format_double(naive / n, 1)});
-    }
+  for (const Row& row : rows) {
+    table.add_row({hedra::format_double(100.0 * row.ratio, 1) + "%",
+                   std::to_string(row.m), hedra::format_double(row.hom, 1),
+                   hedra::format_double(row.het, 1),
+                   hedra::format_double(row.best, 1),
+                   hedra::format_double(row.chain, 1),
+                   hedra::format_double(row.naive, 1)});
   }
   std::cout << "-- Analysis-variant ablation (mean bound, lower is tighter; "
                "naive shown only to illustrate what unsoundness buys) --\n"
@@ -129,13 +176,17 @@ int main(int argc, char** argv) {
                           "variants");
   const auto* dags = parser.add_int("dags", 40, "DAGs per parameter point");
   const auto* seed = parser.add_int("seed", 42, "master RNG seed");
+  const auto* jobs = parser.add_int(
+      "jobs", 0, "worker threads (0 = all hardware threads)");
   try {
     if (!parser.parse(argc, argv)) return 0;
     std::cout << "== Ablation bench ==\n\n";
     run_policy_ablation(static_cast<int>(*dags),
-                        static_cast<std::uint64_t>(*seed));
+                        static_cast<std::uint64_t>(*seed),
+                        static_cast<int>(*jobs));
     run_analysis_ablation(static_cast<int>(*dags),
-                          static_cast<std::uint64_t>(*seed));
+                          static_cast<std::uint64_t>(*seed),
+                          static_cast<int>(*jobs));
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -26,12 +26,15 @@ int main(int argc, char** argv) {
   const auto* max_nodes =
       parser.add_int("solver-nodes", 300000, "solver node budget");
   const auto* csv = parser.add_string("csv", "", "also write results to CSV");
+  const auto* jobs = parser.add_int(
+      "jobs", 0, "worker threads (0 = all hardware threads)");
   try {
     if (!parser.parse(argc, argv)) return 0;
 
     hedra::exp::Fig7Config config;
     config.dags_per_point = static_cast<int>(*dags);
     config.seed = static_cast<std::uint64_t>(*seed);
+    config.jobs = static_cast<int>(*jobs);
     config.solver.time_limit_sec = *time_limit;
     config.solver.max_nodes = static_cast<std::uint64_t>(*max_nodes);
 

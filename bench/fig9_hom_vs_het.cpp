@@ -21,12 +21,15 @@ int main(int argc, char** argv) {
   const auto* min_nodes = parser.add_int("min-nodes", 100, "minimum DAG size");
   const auto* max_nodes = parser.add_int("max-nodes", 250, "maximum DAG size");
   const auto* csv = parser.add_string("csv", "", "also write results to CSV");
+  const auto* jobs = parser.add_int(
+      "jobs", 0, "worker threads (0 = all hardware threads)");
   try {
     if (!parser.parse(argc, argv)) return 0;
 
     hedra::exp::Fig9Config config;
     config.dags_per_point = static_cast<int>(*dags);
     config.seed = static_cast<std::uint64_t>(*seed);
+    config.jobs = static_cast<int>(*jobs);
     config.params.min_nodes = static_cast<int>(*min_nodes);
     config.params.max_nodes = static_cast<int>(*max_nodes);
 

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/analysis_cache.h"
 #include "analysis/rta_heterogeneous.h"
 #include "exact/bnb.h"
 #include "gen/hierarchical.h"
@@ -87,6 +88,37 @@ void BM_FullHeterogeneousAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullHeterogeneousAnalysis)->Arg(50)->Arg(100)->Arg(200);
+
+// The figure sweeps evaluate every DAG under m = 2/4/8/16.  The next two
+// benchmarks measure that inner loop before and after the AnalysisCache:
+// uncached re-validates, re-transforms and re-walks the graphs per m (the
+// pre-engine run_fig9 path); cached pays for the graph work once and serves
+// all four core counts from arithmetic.
+void BM_MultiCoreAnalysisUncached(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 8, 0.2);
+  for (auto _ : state) {
+    for (const int m : {2, 4, 8, 16}) {
+      benchmark::DoNotOptimize(hedra::analysis::analyze_heterogeneous(dag, m));
+    }
+  }
+}
+BENCHMARK(BM_MultiCoreAnalysisUncached)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MultiCoreAnalysisCached(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 8, 0.2);
+  for (auto _ : state) {
+    hedra::analysis::AnalysisCache cache(dag);
+    for (const int m : {2, 4, 8, 16}) {
+      benchmark::DoNotOptimize(cache.r_het(m));
+      benchmark::DoNotOptimize(cache.r_hom(m));
+    }
+  }
+}
+BENCHMARK(BM_MultiCoreAnalysisCached)->Arg(50)->Arg(100)->Arg(200);
 
 void BM_SimulateBreadthFirst(benchmark::State& state) {
   const Dag dag =

@@ -4,12 +4,15 @@
 /// schedulability-test comparison plot and shows the practical value of the
 /// paper's analysis: R_het admits task sets that the homogeneous baseline
 /// rejects, especially for large offloaded shares.
+///
+/// Runs on the exp::Runner engine: each task is analysed exactly once (all
+/// deadline tightnesses reuse the same bounds) and the per-task analyses fan
+/// out over --jobs worker threads.
 
 #include <iostream>
 #include <vector>
 
-#include "analysis/schedulability.h"
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -22,17 +25,36 @@ int main(int argc, char** argv) {
   const auto* cores = parser.add_int("m", 4, "host cores");
   const auto* ratio = parser.add_real("coff", 0.25, "C_off / vol target");
   const auto* seed = parser.add_int("seed", 42, "RNG seed");
+  const auto* jobs = parser.add_int(
+      "jobs", 0, "worker threads (0 = all hardware threads)");
   try {
     if (!parser.parse(argc, argv)) return 0;
 
-    exp::BatchConfig batch_config;
-    batch_config.params.min_nodes = 50;
-    batch_config.params.max_nodes = 250;
-    batch_config.coff_ratio = *ratio;
-    batch_config.count = static_cast<int>(*tasks);
-    batch_config.seed = static_cast<std::uint64_t>(*seed);
-    const auto batch = exp::generate_batch(batch_config);
-    const int m = static_cast<int>(*cores);
+    exp::SweepPoint point;
+    point.batch.params.min_nodes = 50;
+    point.batch.params.max_nodes = 250;
+    point.batch.coff_ratio = *ratio;
+    point.batch.count = static_cast<int>(*tasks);
+    point.batch.seed = static_cast<std::uint64_t>(*seed);
+    point.cores = {static_cast<int>(*cores)};
+    point.ratio = *ratio;
+    const int m = point.cores.front();
+
+    struct Bounds {
+      Frac r_hom, r_het;
+      graph::Time len = 0;
+    };
+    exp::Runner runner(static_cast<int>(*jobs));
+    const auto cells = runner.sweep(
+        std::vector<exp::SweepPoint>{point},
+        [](analysis::AnalysisCache& cache, int cores_m) {
+          return Bounds{cache.r_hom(cores_m), cache.r_het(cores_m),
+                        cache.len_original()};
+        },
+        [](const exp::SweepPoint&, int, const std::vector<Bounds>& samples) {
+          return samples;
+        });
+    const std::vector<Bounds>& bounds = cells.front();
 
     std::cout << "== Acceptance ratio, m = " << m << ", C_off/vol = "
               << format_double(100.0 * *ratio, 0) << "%, " << *tasks
@@ -47,15 +69,14 @@ int main(int argc, char** argv) {
       int hom_ok = 0;
       int het_ok = 0;
       int best_ok = 0;
-      for (const auto& dag : batch) {
-        const auto analysis = analysis::analyze_heterogeneous(dag, m);
-        const double len = static_cast<double>(analysis.len_original);
-        const Frac deadline(static_cast<graph::Time>(tightness * len));
-        if (analysis.r_hom <= deadline) ++hom_ok;
-        if (analysis.r_het <= deadline) ++het_ok;
-        if (frac_min(analysis.r_hom, analysis.r_het) <= deadline) ++best_ok;
+      for (const Bounds& b : bounds) {
+        const Frac deadline(
+            static_cast<graph::Time>(tightness * static_cast<double>(b.len)));
+        if (b.r_hom <= deadline) ++hom_ok;
+        if (b.r_het <= deadline) ++het_ok;
+        if (frac_min(b.r_hom, b.r_het) <= deadline) ++best_ok;
       }
-      const double n = static_cast<double>(batch.size());
+      const double n = static_cast<double>(bounds.size());
       table.add_row({format_double(tightness, 1),
                      format_double(100.0 * hom_ok / n, 1) + "%",
                      format_double(100.0 * het_ok / n, 1) + "%",

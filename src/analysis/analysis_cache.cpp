@@ -1,0 +1,103 @@
+#include "analysis/analysis_cache.h"
+
+#include <utility>
+
+#include "graph/algorithms.h"
+
+namespace hedra::analysis {
+
+const TransformResult& AnalysisCache::transform() {
+  if (!transform_) transform_ = transform_for_offload(*dag_);
+  return *transform_;
+}
+
+const graph::CriticalPathInfo& AnalysisCache::critical_path() {
+  if (!cp_transformed_) cp_transformed_.emplace(transformed());
+  return *cp_transformed_;
+}
+
+const std::vector<graph::NodeId>& AnalysisCache::topo_original() {
+  if (!topo_original_) topo_original_ = graph::topological_order(*dag_);
+  return *topo_original_;
+}
+
+const std::vector<graph::NodeId>& AnalysisCache::topo_transformed() {
+  if (!topo_transformed_) {
+    topo_transformed_ = graph::topological_order(transformed());
+  }
+  return *topo_transformed_;
+}
+
+const TheoremQuantities& AnalysisCache::quantities() {
+  if (!quantities_) {
+    // Inline `measure` against the cached CriticalPathInfo so the longest
+    // -path pass over G' is shared with any other critical_path() user.
+    const TransformResult& t = transform();
+    const graph::CriticalPathInfo& info = critical_path();
+    TheoremQuantities q{};
+    q.len_trans = info.length();
+    q.vol = t.transformed.volume();
+    q.c_off = t.transformed.wcet(t.voff);
+    q.len_gpar = graph::critical_path_length(t.gpar.dag);
+    q.vol_gpar = t.gpar.dag.volume();
+    q.voff_critical = info.on_critical_path(t.transformed, t.voff);
+    quantities_ = q;
+  }
+  return *quantities_;
+}
+
+graph::Time AnalysisCache::len_original() {
+  if (!len_original_) len_original_ = graph::critical_path_length(*dag_);
+  return *len_original_;
+}
+
+Frac AnalysisCache::r_hom(int m) {
+  // vol(G) = vol(G'), and using the original graph keeps r_hom usable
+  // without forcing the transform.
+  return rta_homogeneous(len_original(), dag_->volume(), m);
+}
+
+Frac AnalysisCache::r_hom_gpar(int m) {
+  return analysis::r_hom_gpar(quantities(), m);
+}
+
+Scenario AnalysisCache::scenario(int m) {
+  return classify(quantities(), m);
+}
+
+Frac AnalysisCache::r_het(int m) {
+  const TheoremQuantities& q = quantities();
+  return evaluate(q, classify(q, m), m);
+}
+
+HetAnalysis AnalysisCache::assemble(int m) {
+  const TheoremQuantities& q = quantities();
+  HetAnalysis out;
+  out.scenario = classify(q, m);
+  out.r_het = evaluate(q, out.scenario, m);
+  out.r_hom = r_hom(m);
+  out.r_hom_gpar = r_hom_gpar(m);
+  out.voff_on_critical_path = q.voff_critical;
+  out.len_original = len_original();
+  out.len_transformed = q.len_trans;
+  out.volume = q.vol;
+  out.len_gpar = q.len_gpar;
+  out.vol_gpar = q.vol_gpar;
+  out.c_off = q.c_off;
+  return out;
+}
+
+HetAnalysis AnalysisCache::analyze(int m) & {
+  HetAnalysis out = assemble(m);
+  out.transform = transform();
+  return out;
+}
+
+HetAnalysis AnalysisCache::analyze(int m) && {
+  HetAnalysis out = assemble(m);
+  out.transform = *std::move(transform_);
+  transform_.reset();
+  return out;
+}
+
+}  // namespace hedra::analysis

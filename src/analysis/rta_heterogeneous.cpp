@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/analysis_cache.h"
 #include "graph/critical_path.h"
 #include "util/strings.h"
 
@@ -19,94 +20,71 @@ const char* to_string(Scenario s) noexcept {
   return "?";
 }
 
-namespace {
-
-/// Quantities shared by classification and evaluation.
-struct TheoremInputs {
-  graph::Time len_trans;
-  graph::Time vol;
-  graph::Time c_off;
-  graph::Time len_gpar;
-  graph::Time vol_gpar;
-  bool voff_critical;
-  Frac r_hom_gpar;
-};
-
-TheoremInputs gather(const TransformResult& transform, int m) {
-  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+TheoremQuantities measure(const TransformResult& transform) {
   const Dag& g = transform.transformed;
   const graph::CriticalPathInfo info(g);
-  TheoremInputs in{};
-  in.len_trans = info.length();
-  in.vol = g.volume();
-  in.c_off = g.wcet(transform.voff);
-  in.len_gpar = graph::critical_path_length(transform.gpar.dag);
-  in.vol_gpar = transform.gpar.dag.volume();
-  in.voff_critical = info.on_critical_path(g, transform.voff);
-  in.r_hom_gpar = rta_homogeneous(transform.gpar.dag, m);
-  return in;
+  TheoremQuantities q{};
+  q.len_trans = info.length();
+  q.vol = g.volume();
+  q.c_off = g.wcet(transform.voff);
+  q.len_gpar = graph::critical_path_length(transform.gpar.dag);
+  q.vol_gpar = transform.gpar.dag.volume();
+  q.voff_critical = info.on_critical_path(g, transform.voff);
+  return q;
 }
 
-Scenario classify(const TheoremInputs& in) {
-  if (!in.voff_critical) return Scenario::kS1;
+Frac r_hom_gpar(const TheoremQuantities& q, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  // Eq. 1 on the cached len/vol; an empty G_par yields 0, matching
+  // rta_homogeneous on an empty DAG.
+  return rta_homogeneous(q.len_gpar, q.vol_gpar, m);
+}
+
+Scenario classify(const TheoremQuantities& q, int m) {
+  if (!q.voff_critical) return Scenario::kS1;
   // Exact rational comparison; the C_off == R_hom(G_par) tie goes to S2.1
   // (Eqs. 3 and 4 agree there, see the equivalence test).
-  return Frac(in.c_off) >= in.r_hom_gpar ? Scenario::kS21 : Scenario::kS22;
+  return Frac(q.c_off) >= r_hom_gpar(q, m) ? Scenario::kS21 : Scenario::kS22;
 }
 
-Frac evaluate(const TheoremInputs& in, Scenario scenario, int m) {
-  const Frac len(in.len_trans);
+Frac evaluate(const TheoremQuantities& q, Scenario scenario, int m) {
+  HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
+  const Frac len(q.len_trans);
   switch (scenario) {
     case Scenario::kS1:
       // Eq. 2: v_off's workload can never delay the critical path, because
       // len(G_par) > C_off guarantees the host outlasts the accelerator.
-      return len + Frac(in.vol - in.len_trans - in.c_off, m);
+      return len + Frac(q.vol - q.len_trans - q.c_off, m);
     case Scenario::kS21:
       // Eq. 3: the accelerator outlasts G_par, so all of vol(G_par) runs
       // strictly in parallel with v_off and generates no interference.
-      return len + Frac(in.vol - in.len_trans - in.vol_gpar, m);
+      return len + Frac(q.vol - q.len_trans - q.vol_gpar, m);
     case Scenario::kS22:
       // Eq. 4: v_off is critical but finishes before G_par can; replace
       // C_off by R_hom(G_par) on the critical path and drop vol(G_par) from
       // the interference term (it would otherwise be counted twice).
-      return len - Frac(in.c_off) + Frac(in.len_gpar) +
-             Frac(in.vol - in.len_trans - in.len_gpar, m);
+      return len - Frac(q.c_off) + Frac(q.len_gpar) +
+             Frac(q.vol - q.len_trans - q.len_gpar, m);
   }
   throw InternalError("unreachable scenario");
 }
 
-}  // namespace
-
 Frac rta_heterogeneous(const TransformResult& transform, int m) {
-  const auto in = gather(transform, m);
-  return evaluate(in, classify(in), m);
+  const auto q = measure(transform);
+  return evaluate(q, classify(q, m), m);
 }
 
 Scenario classify_scenario(const TransformResult& transform, int m) {
-  return classify(gather(transform, m));
+  return classify(measure(transform), m);
 }
 
 HetAnalysis analyze_heterogeneous(const Dag& dag, int m) {
-  HetAnalysis out;
-  out.transform = transform_for_offload(dag);
-  const auto in = gather(out.transform, m);
-  out.scenario = classify(in);
-  out.r_het = evaluate(in, out.scenario, m);
-  out.r_hom = rta_homogeneous(dag, m);
-  out.r_hom_gpar = in.r_hom_gpar;
-  out.voff_on_critical_path = in.voff_critical;
-  out.len_original = graph::critical_path_length(dag);
-  out.len_transformed = in.len_trans;
-  out.volume = in.vol;
-  out.len_gpar = in.len_gpar;
-  out.vol_gpar = in.vol_gpar;
-  out.c_off = in.c_off;
-  return out;
+  return AnalysisCache(dag).analyze(m);
 }
 
 Frac best_bound(const Dag& dag, int m) {
-  const auto analysis = analyze_heterogeneous(dag, m);
-  return frac_min(analysis.r_het, analysis.r_hom);
+  AnalysisCache cache(dag);
+  return frac_min(cache.r_het(m), cache.r_hom(m));
 }
 
 std::string explain(const HetAnalysis& analysis, int m) {

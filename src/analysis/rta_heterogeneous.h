@@ -54,6 +54,31 @@ struct HetAnalysis {
   TransformResult transform;      ///< the τ ⇒ τ' rewriting
 };
 
+/// The m-independent measurements Theorem 1 consumes: one pass over G',
+/// G_par and v_off.  Classification and evaluation are pure arithmetic on
+/// these, so a multi-m sweep measures once (see analysis/analysis_cache.h).
+struct TheoremQuantities {
+  graph::Time len_trans = 0;  ///< len(G')
+  graph::Time vol = 0;        ///< vol(G) = vol(G')
+  graph::Time c_off = 0;      ///< C_off
+  graph::Time len_gpar = 0;   ///< len(G_par)
+  graph::Time vol_gpar = 0;   ///< vol(G_par)
+  bool voff_critical = false; ///< v_off on a critical path of G'?
+};
+
+/// Measures the quantities (the only graph walks of the analysis).
+[[nodiscard]] TheoremQuantities measure(const TransformResult& transform);
+
+/// R_hom(G_par) from the measured quantities (Eq. 1 arithmetic).
+[[nodiscard]] Frac r_hom_gpar(const TheoremQuantities& q, int m);
+
+/// Scenario decision from measured quantities (exact rational comparison).
+[[nodiscard]] Scenario classify(const TheoremQuantities& q, int m);
+
+/// Theorem 1 under a given scenario from measured quantities.
+[[nodiscard]] Frac evaluate(const TheoremQuantities& q, Scenario scenario,
+                            int m);
+
 /// Applies Theorem 1 to an already-transformed DAG.
 [[nodiscard]] Frac rta_heterogeneous(const TransformResult& transform, int m);
 

@@ -3,17 +3,29 @@
 namespace hedra::exp {
 
 std::vector<graph::Dag> generate_batch(const BatchConfig& config) {
+  ThreadPool inline_pool(1);
+  return generate_batch(config, inline_pool);
+}
+
+std::vector<graph::Dag> generate_batch(const BatchConfig& config,
+                                       ThreadPool& pool) {
   HEDRA_REQUIRE(config.count >= 1, "batch count must be >= 1");
-  std::vector<graph::Dag> out;
-  out.reserve(static_cast<std::size_t>(config.count));
+  const auto count = static_cast<std::size_t>(config.count);
+  // Fork every replication stream serially first: the master RNG is the
+  // only shared state, and each DAG then builds from its own stream into
+  // its own slot, independent of evaluation order.
   Rng master(config.seed);
-  for (int i = 0; i < config.count; ++i) {
-    Rng rng = master.fork();
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(master.fork());
+  std::vector<graph::Dag> out(count);
+  pool.parallel_for_each(count, [&](std::size_t i) {
+    Rng rng = streams[i];
     graph::Dag dag = gen::generate_hierarchical(config.params, rng);
     (void)gen::select_offload_node(dag, rng);
     (void)gen::set_offload_ratio(dag, config.coff_ratio);
-    out.push_back(std::move(dag));
-  }
+    out[i] = std::move(dag);
+  });
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include "gen/hierarchical.h"
 #include "gen/offload.h"
 #include "graph/dag.h"
+#include "util/thread_pool.h"
 
 namespace hedra::exp {
 
@@ -29,6 +30,12 @@ struct BatchConfig {
 /// Generates `count` heterogeneous DAGs: hierarchical structure, random
 /// internal v_off, C_off set to the target ratio.
 [[nodiscard]] std::vector<graph::Dag> generate_batch(const BatchConfig& config);
+
+/// Same batch, generated over `pool`.  Replication RNGs are forked serially
+/// from the master and each DAG builds from its own stream into its own
+/// slot, so the result is bit-identical to the serial overload.
+[[nodiscard]] std::vector<graph::Dag> generate_batch(const BatchConfig& config,
+                                                     ThreadPool& pool);
 
 /// Core counts evaluated throughout §5: m = 2, 4, 8, 16.
 [[nodiscard]] std::vector<int> paper_core_counts();

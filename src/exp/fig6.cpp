@@ -1,71 +1,59 @@
 #include "exp/fig6.h"
 
-#include <cmath>
 #include <limits>
 
-#include "analysis/transform.h"
+#include "exp/runner.h"
 #include "stats/descriptive.h"
 
 namespace hedra::exp {
 
 Fig6Result run_fig6(const Fig6Config& config) {
+  struct Sample {
+    double t_original = 0.0;
+    double t_transformed = 0.0;
+  };
+  Runner runner(config.jobs);
   Fig6Result result;
-  std::uint64_t batch_index = 0;
-  for (const double ratio : config.ratios) {
-    BatchConfig batch_config;
-    batch_config.params = config.params;
-    batch_config.coff_ratio = ratio;
-    batch_config.count = config.dags_per_point;
-    batch_config.seed = config.seed + 0x1000 * batch_index++;
-    const auto batch = generate_batch(batch_config);
+  result.rows = runner.sweep(
+      make_grid({config.ratios, config.cores, config.params,
+                 config.dags_per_point, config.seed}),
+      [&config](analysis::AnalysisCache& cache, int m) {
+        sim::SimConfig sim_config;
+        sim_config.cores = m;
+        sim_config.policy = config.policy;
+        return Sample{static_cast<double>(sim::simulated_makespan(
+                          cache.original(), sim_config)),
+                      static_cast<double>(sim::simulated_makespan(
+                          cache.transformed(), sim_config))};
+      },
+      [](const SweepPoint& point, int m, const std::vector<Sample>& samples) {
+        Fig6Row row;
+        row.m = m;
+        row.ratio = point.ratio;
+        double sum_original = 0.0;
+        double sum_transformed = 0.0;
+        for (const Sample& s : samples) {
+          sum_original += s.t_original;
+          sum_transformed += s.t_transformed;
+        }
+        row.avg_original = sum_original / static_cast<double>(samples.size());
+        row.avg_transformed =
+            sum_transformed / static_cast<double>(samples.size());
+        row.pct_change =
+            stats::percentage_change(row.avg_original, row.avg_transformed);
+        return row;
+      });
 
-    // Transform once per DAG; simulation differs only in m.
-    std::vector<graph::Dag> transformed;
-    transformed.reserve(batch.size());
-    for (const auto& dag : batch) {
-      transformed.push_back(analysis::transform_for_offload(dag).transformed);
-    }
-
-    for (const int m : config.cores) {
-      sim::SimConfig sim_config;
-      sim_config.cores = m;
-      sim_config.policy = config.policy;
-      std::vector<double> t_orig;
-      std::vector<double> t_trans;
-      t_orig.reserve(batch.size());
-      t_trans.reserve(batch.size());
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        t_orig.push_back(static_cast<double>(
-            sim::simulated_makespan(batch[i], sim_config)));
-        t_trans.push_back(static_cast<double>(
-            sim::simulated_makespan(transformed[i], sim_config)));
-      }
-      Fig6Row row;
-      row.m = m;
-      row.ratio = ratio;
-      row.avg_original = stats::mean(t_orig);
-      row.avg_transformed = stats::mean(t_trans);
-      row.pct_change =
-          stats::percentage_change(row.avg_original, row.avg_transformed);
-      result.rows.push_back(row);
-    }
-  }
-
-  // Per-m shape summaries.
   for (const int m : config.cores) {
     Fig6Summary summary;
     summary.m = m;
-    summary.crossover_ratio = std::numeric_limits<double>::quiet_NaN();
+    summary.crossover_ratio = crossover_ratio(
+        result.rows, m, [](const Fig6Row& r) { return r.pct_change >= 0.0; });
     summary.peak_pct = -std::numeric_limits<double>::infinity();
-    for (const auto& row : result.rows) {
-      if (row.m != m) continue;
-      if (std::isnan(summary.crossover_ratio) && row.pct_change >= 0.0) {
-        summary.crossover_ratio = row.ratio;
-      }
-      if (row.pct_change > summary.peak_pct) {
-        summary.peak_pct = row.pct_change;
-        summary.peak_ratio = row.ratio;
-      }
+    if (const Fig6Row* peak = peak_row(
+            result.rows, m, [](const Fig6Row& r) { return r.pct_change; })) {
+      summary.peak_pct = peak->pct_change;
+      summary.peak_ratio = peak->ratio;
     }
     result.summaries.push_back(summary);
   }

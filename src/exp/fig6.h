@@ -24,6 +24,7 @@ struct Fig6Config {
   int dags_per_point = 100;
   std::uint64_t seed = 42;
   sim::Policy policy = sim::Policy::kBreadthFirst;
+  int jobs = 1;  ///< worker threads; <= 0 picks the hardware default
 };
 
 /// One (m, ratio) cell.

@@ -29,6 +29,11 @@ struct Fig7Config {
   int dags_per_point = 25;
   std::uint64_t seed = 42;
   exact::BnbConfig solver;
+  /// Worker threads; <= 0 picks the hardware default.  Unlike the other
+  /// figures, fig7 is only jobs-invariant if the solver runs without a
+  /// wall-clock limit (time_limit_sec): a time-budgeted solve under CPU
+  /// contention can close fewer instances, changing `optimal_fraction`.
+  int jobs = 1;
 };
 
 /// One (case, ratio) cell.

@@ -1,70 +1,51 @@
 #include "exp/fig8.h"
 
-#include <cmath>
-#include <limits>
-
-#include "analysis/rta_heterogeneous.h"
+#include "exp/runner.h"
 
 namespace hedra::exp {
 
 Fig8Result run_fig8(const Fig8Config& config) {
+  Runner runner(config.jobs);
   Fig8Result result;
-  std::uint64_t batch_index = 0;
-  for (const double ratio : config.ratios) {
-    BatchConfig batch_config;
-    batch_config.params = config.params;
-    batch_config.coff_ratio = ratio;
-    batch_config.count = config.dags_per_point;
-    batch_config.seed = config.seed + 0x1000 * batch_index++;
-    const auto batch = generate_batch(batch_config);
-
-    // The transformation is m-independent; classification depends on m only
-    // through R_hom(G_par).
-    std::vector<analysis::TransformResult> transforms;
-    transforms.reserve(batch.size());
-    for (const auto& dag : batch) {
-      transforms.push_back(analysis::transform_for_offload(dag));
-    }
-
-    for (const int m : config.cores) {
-      int count_s1 = 0;
-      int count_s21 = 0;
-      int count_s22 = 0;
-      for (const auto& transform : transforms) {
-        switch (analysis::classify_scenario(transform, m)) {
-          case analysis::Scenario::kS1:
-            ++count_s1;
-            break;
-          case analysis::Scenario::kS21:
-            ++count_s21;
-            break;
-          case analysis::Scenario::kS22:
-            ++count_s22;
-            break;
+  result.rows = runner.sweep(
+      make_grid({config.ratios, config.cores, config.params,
+                 config.dags_per_point, config.seed}),
+      [](analysis::AnalysisCache& cache, int m) { return cache.scenario(m); },
+      [](const SweepPoint& point, int m,
+         const std::vector<analysis::Scenario>& samples) {
+        int count_s1 = 0;
+        int count_s21 = 0;
+        int count_s22 = 0;
+        for (const auto scenario : samples) {
+          switch (scenario) {
+            case analysis::Scenario::kS1:
+              ++count_s1;
+              break;
+            case analysis::Scenario::kS21:
+              ++count_s21;
+              break;
+            case analysis::Scenario::kS22:
+              ++count_s22;
+              break;
+          }
         }
-      }
-      const double total = static_cast<double>(batch.size());
-      Fig8Row row;
-      row.m = m;
-      row.ratio = ratio;
-      row.pct_s1 = 100.0 * count_s1 / total;
-      row.pct_s21 = 100.0 * count_s21 / total;
-      row.pct_s22 = 100.0 * count_s22 / total;
-      result.rows.push_back(row);
-    }
-  }
+        const auto total = static_cast<double>(samples.size());
+        Fig8Row row;
+        row.m = m;
+        row.ratio = point.ratio;
+        row.pct_s1 = 100.0 * count_s1 / total;
+        row.pct_s21 = 100.0 * count_s21 / total;
+        row.pct_s22 = 100.0 * count_s22 / total;
+        return row;
+      });
 
   for (const int m : config.cores) {
     Fig8Summary summary;
     summary.m = m;
-    summary.s21_s22_crossover = std::numeric_limits<double>::quiet_NaN();
-    for (const auto& row : result.rows) {
-      if (row.m != m) continue;
-      if (std::isnan(summary.s21_s22_crossover) && row.pct_s21 >= row.pct_s22 &&
-          row.pct_s21 > 0.0) {
-        summary.s21_s22_crossover = row.ratio;
-      }
-    }
+    summary.s21_s22_crossover =
+        crossover_ratio(result.rows, m, [](const Fig8Row& r) {
+          return r.pct_s21 >= r.pct_s22 && r.pct_s21 > 0.0;
+        });
     result.summaries.push_back(summary);
   }
   return result;

@@ -20,6 +20,7 @@ struct Fig8Config {
       gen::HierarchicalParams::large_tasks_100_250();
   int dags_per_point = 100;
   std::uint64_t seed = 42;
+  int jobs = 1;  ///< worker threads; <= 0 picks the hardware default
 };
 
 /// One (m, ratio) cell: scenario shares in percent (sum to 100).

@@ -1,58 +1,50 @@
 #include "exp/fig9.h"
 
-#include <cmath>
+#include <algorithm>
 #include <limits>
 
-#include "analysis/rta_heterogeneous.h"
+#include "exp/runner.h"
 #include "stats/descriptive.h"
 
 namespace hedra::exp {
 
 Fig9Result run_fig9(const Fig9Config& config) {
+  Runner runner(config.jobs);
   Fig9Result result;
-  std::uint64_t batch_index = 0;
-  for (const double ratio : config.ratios) {
-    BatchConfig batch_config;
-    batch_config.params = config.params;
-    batch_config.coff_ratio = ratio;
-    batch_config.count = config.dags_per_point;
-    batch_config.seed = config.seed + 0x1000 * batch_index++;
-    const auto batch = generate_batch(batch_config);
-
-    for (const int m : config.cores) {
-      std::vector<double> changes;
-      changes.reserve(batch.size());
-      for (const auto& dag : batch) {
-        const auto analysis = analysis::analyze_heterogeneous(dag, m);
-        changes.push_back(stats::percentage_change(
-            analysis.r_hom.to_double(), analysis.r_het.to_double()));
-      }
-      const auto summary = stats::summarize(changes);
-      Fig9Row row;
-      row.m = m;
-      row.ratio = ratio;
-      row.mean_pct = summary.mean;
-      row.max_pct = summary.max;
-      result.rows.push_back(row);
-    }
-  }
+  result.rows = runner.sweep(
+      make_grid({config.ratios, config.cores, config.params,
+                 config.dags_per_point, config.seed}),
+      [](analysis::AnalysisCache& cache, int m) {
+        return stats::percentage_change(cache.r_hom(m).to_double(),
+                                        cache.r_het(m).to_double());
+      },
+      [](const SweepPoint& point, int m, const std::vector<double>& samples) {
+        const auto summary = stats::summarize(samples);
+        Fig9Row row;
+        row.m = m;
+        row.ratio = point.ratio;
+        row.mean_pct = summary.mean;
+        row.max_pct = summary.max;
+        return row;
+      });
 
   for (const int m : config.cores) {
     Fig9Summary summary;
     summary.m = m;
-    summary.crossover_ratio = std::numeric_limits<double>::quiet_NaN();
+    summary.crossover_ratio = crossover_ratio(
+        result.rows, m, [](const Fig9Row& r) { return r.mean_pct >= 0.0; });
     summary.peak_mean_pct = -std::numeric_limits<double>::infinity();
     summary.max_observed_pct = -std::numeric_limits<double>::infinity();
+    if (const Fig9Row* peak = peak_row(
+            result.rows, m, [](const Fig9Row& r) { return r.mean_pct; })) {
+      summary.peak_mean_pct = peak->mean_pct;
+      summary.peak_ratio = peak->ratio;
+    }
     for (const auto& row : result.rows) {
-      if (row.m != m) continue;
-      if (std::isnan(summary.crossover_ratio) && row.mean_pct >= 0.0) {
-        summary.crossover_ratio = row.ratio;
+      if (row.m == m) {
+        summary.max_observed_pct =
+            std::max(summary.max_observed_pct, row.max_pct);
       }
-      if (row.mean_pct > summary.peak_mean_pct) {
-        summary.peak_mean_pct = row.mean_pct;
-        summary.peak_ratio = row.ratio;
-      }
-      summary.max_observed_pct = std::max(summary.max_observed_pct, row.max_pct);
     }
     result.summaries.push_back(summary);
   }
