@@ -6,6 +6,16 @@
 ///
 ///   dag_tool --file graph.dag --m 4
 ///   dag_tool --file graph.dag --m 8 --dot out.dot --transformed out.dag
+///   dag_tool --file multi.dag --platform 4:gpu,dsp
+///
+/// `--platform m[:name1,name2,...]` switches to the heterogeneous Platform
+/// model (m host cores + one named single-unit accelerator class per
+/// device): the graph may place any number of nodes on any listed device
+/// (`offload` = device 1, `offload:2` = device 2, ...), and the report
+/// shows the K-device chain bound R_plat with its per-device term-by-term
+/// derivation.  When the graph also fits the paper's model (exactly one
+/// offload node on device 1), Theorem 1 and its derivation are printed
+/// alongside for comparison.
 ///
 /// Example input file:
 ///   node v1 1
@@ -20,21 +30,67 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/platform_rta.h"
 #include "analysis/rta_heterogeneous.h"
 #include "graph/critical_path.h"
 #include "graph/dag_io.h"
 #include "graph/dot.h"
 #include "graph/validate.h"
+#include "model/platform.h"
 #include "util/cli.h"
+
+namespace {
+
+/// The --platform path: structural validation (any offload population),
+/// device-compatibility check, and the per-device R_plat derivation.
+int run_platform_report(const hedra::graph::Dag& dag,
+                        const hedra::model::Platform& platform) {
+  using namespace hedra;
+  graph::ValidationRules rules = graph::heterogeneous_rules();
+  rules.required_offload_count = -1;  // any number, any device
+  auto issues = graph::validate(dag, rules);
+  const auto placement = model::check_supports(platform, dag);
+  issues.insert(issues.end(), placement.begin(), placement.end());
+  if (!issues.empty()) {
+    std::cerr << "input graph violates the platform model:\n";
+    for (const auto& issue : issues) std::cerr << "  - " << issue << "\n";
+    return 1;
+  }
+
+  std::cout << "graph: " << dag.num_nodes() << " nodes, " << dag.num_edges()
+            << " edges, vol = " << dag.volume()
+            << ", len = " << graph::critical_path_length(dag) << "\n"
+            << "platform: " << platform.describe() << "\n";
+  const auto analysis = analysis::analyze_platform(dag, platform);
+  std::cout << analysis::explain(analysis);
+
+  // When the task also fits the paper's single-accelerator model, show
+  // Theorem 1 next to the chain bound.
+  if (platform.num_devices() == 1 && dag.offload_nodes().size() == 1 &&
+      graph::is_valid(dag, graph::heterogeneous_rules())) {
+    std::cout << "\n";
+    const auto het = analysis::analyze_heterogeneous(dag, platform.cores);
+    std::cout << analysis::explain(het, platform.cores);
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hedra;
   ArgParser parser("dag_tool", "analyze a heterogeneous DAG task from a file");
   const auto* file = parser.add_string("file", "", "input task graph (.dag)");
-  const auto* m_opt = parser.add_int("m", 4, "host cores");
-  const auto* dot_out = parser.add_string("dot", "", "write DOT of G' here");
-  const auto* trans_out =
-      parser.add_string("transformed", "", "write transformed graph here");
+  const auto* m_opt = parser.add_int(
+      "m", 4, "host cores (ignored with --platform, whose spec carries m)");
+  const auto* platform_opt = parser.add_string(
+      "platform", "",
+      "platform spec m[:dev1,dev2,...]; enables the multi-device report");
+  const auto* dot_out = parser.add_string(
+      "dot", "", "write DOT here (of G'; of the input graph with --platform)");
+  const auto* trans_out = parser.add_string(
+      "transformed", "",
+      "write transformed graph here (single-accelerator mode only)");
   try {
     if (!parser.parse(argc, argv)) return 0;
     if (file->empty()) {
@@ -43,6 +99,24 @@ int main(int argc, char** argv) {
     }
     const graph::Dag dag = graph::load_dag_file(*file);
     const int m = static_cast<int>(*m_opt);
+
+    if (!platform_opt->empty()) {
+      if (!trans_out->empty()) {
+        std::cerr << "error: --transformed applies Algorithm 1, which is "
+                     "defined for the single-accelerator model only; it "
+                     "cannot be combined with --platform\n";
+        return 1;
+      }
+      const auto platform = model::Platform::parse(*platform_opt);
+      const int status = run_platform_report(dag, platform);
+      if (status != 0) return status;
+      if (!dot_out->empty()) {
+        std::ofstream out(*dot_out);
+        out << graph::to_dot(dag);
+        std::cout << "DOT written to " << *dot_out << "\n";
+      }
+      return 0;
+    }
 
     const auto issues = graph::validate(dag, graph::heterogeneous_rules());
     if (!issues.empty()) {

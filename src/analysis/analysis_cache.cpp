@@ -1,7 +1,9 @@
 #include "analysis/analysis_cache.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "analysis/platform_rta.h"
 #include "graph/algorithms.h"
 
 namespace hedra::analysis {
@@ -46,6 +48,21 @@ const TheoremQuantities& AnalysisCache::quantities() {
   return *quantities_;
 }
 
+const PlatformQuantities& AnalysisCache::platform_quantities() {
+  if (!platform_quantities_) {
+    PlatformQuantities q;
+    q.vol_host = dag_->volume_on(graph::kHostDevice);
+    q.max_host_path = analysis::max_host_path(*dag_, topo_original());
+    for (const auto device : dag_->device_ids()) {
+      const graph::Time volume = dag_->volume_on(device);
+      q.device_volumes.emplace_back(device, volume);
+      q.device_volume_sum += volume;
+    }
+    platform_quantities_ = std::move(q);
+  }
+  return *platform_quantities_;
+}
+
 graph::Time AnalysisCache::len_original() {
   if (!len_original_) len_original_ = graph::critical_path_length(*dag_);
   return *len_original_;
@@ -68,6 +85,12 @@ Scenario AnalysisCache::scenario(int m) {
 Frac AnalysisCache::r_het(int m) {
   const TheoremQuantities& q = quantities();
   return evaluate(q, classify(q, m), m);
+}
+
+Frac AnalysisCache::r_platform(int m) {
+  const PlatformQuantities& q = platform_quantities();
+  return evaluate_platform_bound(q.vol_host, q.device_volume_sum,
+                                 q.max_host_path, m);
 }
 
 HetAnalysis AnalysisCache::assemble(int m) {

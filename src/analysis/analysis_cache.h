@@ -18,6 +18,7 @@
 /// inside each worker task.
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "analysis/rta_heterogeneous.h"
@@ -27,6 +28,18 @@
 #include "util/fraction.h"
 
 namespace hedra::analysis {
+
+/// The m-independent quantities of the K-device platform bound
+/// (analysis/platform_rta.h), measured once on the ORIGINAL graph: host
+/// volume, per-device volumes and the maximum host-weighted path.
+struct PlatformQuantities {
+  graph::Time vol_host = 0;
+  graph::Time max_host_path = 0;
+  graph::Time device_volume_sum = 0;  ///< Σ_d vol_d
+  /// (device id, vol_d) ascending by device id; one entry per accelerator
+  /// device present in the graph.
+  std::vector<std::pair<graph::DeviceId, graph::Time>> device_volumes;
+};
 
 class AnalysisCache {
  public:
@@ -63,11 +76,18 @@ class AnalysisCache {
     return quantities().voff_critical;
   }
 
+  /// Host/per-device volumes and the max host-weighted path of the ORIGINAL
+  /// graph, measured once.  These feed r_platform and never force the
+  /// (single-offload-only) transform, so the cache works on multi-device
+  /// DAGs too.
+  [[nodiscard]] const PlatformQuantities& platform_quantities();
+
   /// Per-m results, pure arithmetic over the cached quantities.
   [[nodiscard]] Frac r_hom(int m);       ///< Eq. 1 on the original τ
   [[nodiscard]] Frac r_hom_gpar(int m);  ///< the scenario discriminator
   [[nodiscard]] Scenario scenario(int m);
   [[nodiscard]] Frac r_het(int m);       ///< Theorem 1 on τ'
+  [[nodiscard]] Frac r_platform(int m);  ///< K-device chain bound on τ
 
   /// Assembles the full HetAnalysis record (identical field-for-field to
   /// analyze_heterogeneous, which delegates here).  On an lvalue cache the
@@ -83,6 +103,7 @@ class AnalysisCache {
   std::optional<std::vector<graph::NodeId>> topo_original_;
   std::optional<std::vector<graph::NodeId>> topo_transformed_;
   std::optional<TheoremQuantities> quantities_;
+  std::optional<PlatformQuantities> platform_quantities_;
   std::optional<graph::Time> len_original_;
 
   /// analyze() minus the transform field, shared by both overloads.

@@ -26,6 +26,13 @@
 /// With a single offload node this is in general *incomparable* with
 /// Theorem 1 (no v_sync is inserted, so no serialisation penalty, but no
 /// parallel-execution guarantee either); the ablation bench compares them.
+///
+/// analysis/platform_rta.h generalises this argument to K named accelerator
+/// devices (R <= vol_host/m + Σ_d vol_d + max_P Σ_{v∈P,host} C_v·(m−1)/m).
+/// This two-resource implementation is deliberately kept independent as the
+/// K = 1 reference: tests/analysis/platform_rta_test.cpp pins the exact
+/// rational equality rta_platform == rta_multi_offload on generated
+/// single-device batches.
 
 #include "graph/dag.h"
 #include "util/fraction.h"

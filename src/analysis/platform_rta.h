@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file platform_rta.h
+/// EXTENSION (the DAC'18 paper names multiple accelerators as future work,
+/// §7): a sound response-time bound for DAGs whose nodes are spread over a
+/// heterogeneous Platform — m identical host cores plus K named accelerator
+/// device classes, one execution unit each (model/platform.h).
+///
+/// Derivation (K+1-resource Graham argument, generalising the two-resource
+/// argument of analysis/multi_offload.h).  Fix any work-conserving schedule
+/// and build the interference chain C backwards from the last completing
+/// node.  At any instant where the head of the chain is ready but not
+/// executing, either
+///   (a) it is a host node, so all m host cores are busy with host work not
+///       in C, or
+///   (b) it is placed on accelerator device d, so unit d is busy with
+///       device-d work not in C.
+/// Summing the three disjoint kinds of time (chain execution, host-saturated
+/// waiting, device-saturated waiting) and bounding each gives
+///
+///   R <= len(C) + (vol_host − host(C))/m + Σ_d (vol_d − dev_d(C))
+///     <= vol_host/m + Σ_d vol_d + max_P Σ_{v∈P, host} C_v·(m−1)/m ,
+///
+/// where the maximum ranges over all source-to-sink paths P — a weighted
+/// longest-path computation in which accelerator nodes contribute weight 0.
+/// With K = 1 this is *exactly* rta_multi_offload (a regression test pins
+/// the equality on generated batches), and with K = 0 it reduces to the
+/// chain form of the classic Graham bound, vol/m + max_P Σ C_v·(m−1)/m.
+///
+/// The bound is monotone in each per-device volume and surfaces its
+/// derivation term-by-term (PlatformAnalysis + explain) so tooling can show
+/// *why* a task misses or meets its deadline on a given platform.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+#include "model/platform.h"
+#include "util/fraction.h"
+
+namespace hedra::analysis {
+
+/// One accelerator device's contribution to the bound.
+struct DeviceTerm {
+  graph::DeviceId device = 0;  ///< device id (>= 1)
+  std::string name;            ///< platform name of the device
+  graph::Time volume = 0;      ///< vol_d, total WCET placed on the device
+  std::size_t node_count = 0;  ///< number of nodes placed on the device
+};
+
+/// Term-by-term decomposition of the K-device chain bound.
+struct PlatformAnalysis {
+  model::Platform platform;
+  int m = 0;                        ///< platform.cores
+  graph::Time vol_host = 0;         ///< host + sync volume
+  graph::Time max_host_path = 0;    ///< max_P Σ_{v∈P, host} C_v
+  std::vector<DeviceTerm> devices;  ///< one entry per platform device
+
+  Frac host_term;    ///< vol_host / m
+  Frac device_term;  ///< Σ_d vol_d
+  Frac path_term;    ///< max_host_path · (m−1) / m
+  Frac bound;        ///< R_plat = host_term + device_term + path_term
+};
+
+/// Computes the K-device chain bound with its full derivation.  Requires a
+/// non-empty acyclic DAG every node of which is placed on the host or on one
+/// of the platform's devices (model::check_supports).
+[[nodiscard]] PlatformAnalysis analyze_platform(const graph::Dag& dag,
+                                                const model::Platform& platform);
+
+/// Just the bound.
+[[nodiscard]] Frac rta_platform(const graph::Dag& dag,
+                                const model::Platform& platform);
+
+/// Convenience: infers the smallest supporting platform (one unit per device
+/// id present in the DAG) and evaluates the bound on m host cores.
+[[nodiscard]] Frac rta_platform(const graph::Dag& dag, int m);
+
+/// Evaluates the chain bound from pre-measured quantities — the single
+/// place the formula lives; analyze_platform and AnalysisCache::r_platform
+/// both delegate here.  `device_volume_sum` is Σ_d vol_d.
+[[nodiscard]] Frac evaluate_platform_bound(graph::Time vol_host,
+                                           graph::Time device_volume_sum,
+                                           graph::Time max_host_path, int m);
+
+/// max over source-to-sink paths P of Σ_{v∈P, host} C_v — the bound's
+/// self-interference chain, exposed so per-DAG caches can share the walk
+/// across core counts (the quantity is m-independent).
+[[nodiscard]] graph::Time max_host_path(const graph::Dag& dag);
+
+/// Overload reusing an already-computed topological order of `dag`.
+[[nodiscard]] graph::Time max_host_path(const graph::Dag& dag,
+                                        std::span<const graph::NodeId> order);
+
+/// Human-readable, term-by-term derivation of the bound (the multi-device
+/// counterpart of rta_heterogeneous's explain).  Meant for tooling output
+/// (see examples/dag_tool) and certification evidence trails.
+[[nodiscard]] std::string explain(const PlatformAnalysis& analysis);
+
+}  // namespace hedra::analysis

@@ -291,6 +291,9 @@ BnbResult min_makespan(const Dag& dag, int m, const BnbConfig& config) {
   HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot solve an empty graph");
   HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
   HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot solve a cyclic graph");
+  HEDRA_REQUIRE(dag.max_device() <= 1,
+                "exact solvers model a single accelerator device; "
+                "multi-device DAGs are not supported");
   Solver solver(dag, m, config);
   return solver.solve();
 }

@@ -16,7 +16,12 @@ LowerBounds makespan_lower_bounds(const Dag& dag, int m) {
   lb.critical_path = graph::critical_path_length(dag);
   const Time host_vol = dag.host_volume();
   lb.host_area = (host_vol + m - 1) / m;
-  lb.accel_area = dag.volume() - host_vol;
+  // Each accelerator device serialises its own work, so the busiest device
+  // is a lower bound; devices overlap each other, so their volumes must NOT
+  // be summed (with a single device this is exactly vol_off).
+  for (const auto device : dag.device_ids()) {
+    lb.accel_area = std::max(lb.accel_area, dag.volume_on(device));
+  }
   return lb;
 }
 

@@ -2,8 +2,10 @@
 
 /// \file bounds.h
 /// Lower bounds on the minimum makespan of a heterogeneous DAG on m host
-/// cores plus one accelerator.  Used to seed and prune the branch-and-bound
-/// solver and as test oracles (LB <= OPT <= any schedule).
+/// cores plus its accelerator devices (one unit each).  Used to seed and
+/// prune the branch-and-bound solver and as test oracles
+/// (LB <= OPT <= any schedule).  Unlike the exact solvers, which model a
+/// single accelerator, these bounds are sound for any device count.
 
 #include "graph/dag.h"
 
@@ -16,7 +18,7 @@ using graph::Time;
 struct LowerBounds {
   Time critical_path = 0;  ///< len(G): precedence bound
   Time host_area = 0;      ///< ceil(vol_host / m): host capacity bound
-  Time accel_area = 0;     ///< vol_off: single accelerator serialises offloads
+  Time accel_area = 0;     ///< max_d vol_d: busiest device serialises its work
   [[nodiscard]] Time best() const noexcept;
 };
 

@@ -150,6 +150,9 @@ Time brute_force_min_makespan(const Dag& dag, int m,
                 "graph too large for brute force");
   HEDRA_REQUIRE(m >= 1, "core count m must be >= 1");
   HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot solve a cyclic graph");
+  HEDRA_REQUIRE(dag.max_device() <= 1,
+                "exact solvers model a single accelerator device; "
+                "multi-device DAGs are not supported");
   Enumerator e(dag, m);
   return e.solve();
 }

@@ -1,5 +1,7 @@
 #include "exp/experiment.h"
 
+#include "gen/multi_device.h"
+
 namespace hedra::exp {
 
 std::vector<graph::Dag> generate_batch(const BatchConfig& config) {
@@ -21,6 +23,12 @@ std::vector<graph::Dag> generate_batch(const BatchConfig& config,
   std::vector<graph::Dag> out(count);
   pool.parallel_for_each(count, [&](std::size_t i) {
     Rng rng = streams[i];
+    if (config.params.num_devices > 0) {
+      // Multi-device variant: K devices populated per the params knobs,
+      // coff_ratio interpreted as the TOTAL offloaded share of vol(G).
+      out[i] = gen::generate_multi_device(config.params, config.coff_ratio, rng);
+      return;
+    }
     graph::Dag dag = gen::generate_hierarchical(config.params, rng);
     (void)gen::select_offload_node(dag, rng);
     (void)gen::set_offload_ratio(dag, config.coff_ratio);

@@ -1,5 +1,6 @@
 #include "exp/report.h"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -103,6 +104,47 @@ std::string render_fig9(const Fig9Result& result) {
   return os.str();
 }
 
+std::string render_fig10(const Fig10Result& result) {
+  // Policy columns abbreviate to hyphen-initials: breadth-first -> "BF",
+  // critical-path-first -> "CPF", random -> "R".
+  const auto abbreviate = [](const std::string& name) {
+    std::string out;
+    bool take = true;
+    for (const char c : name) {
+      if (take && c != '-') out.push_back(static_cast<char>(std::toupper(c)));
+      take = c == '-';
+    }
+    return out;
+  };
+  std::vector<std::string> header{"K", "C_off/vol", "m", "mean R_plat"};
+  for (const auto& name : result.policy_names) {
+    header.push_back("sim " + abbreviate(name));
+  }
+  header.emplace_back("worst/bound");
+  TextTable table(header);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells{std::to_string(row.devices),
+                                   ratio_str(row.ratio), std::to_string(row.m),
+                                   format_double(row.mean_bound, 1)};
+    for (const double makespan : row.mean_makespan) {
+      cells.push_back(format_double(makespan, 1));
+    }
+    cells.push_back(format_double(row.max_sim_over_bound, 3));
+    table.add_row(cells);
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << "\nSoundness & tightness per (K, m) — every work-conserving policy "
+        "must stay below R_plat:\n";
+  for (const auto& s : result.summaries) {
+    os << "  K=" << s.devices << " m=" << s.m << ": worst sim/bound "
+       << format_double(s.max_sim_over_bound, 3) << ", mean slack "
+       << format_double(s.mean_slack_pct, 1) << "%, violations "
+       << s.violations << (s.violations == 0 ? "" : "  <-- UNSOUND") << "\n";
+  }
+  return os.str();
+}
+
 void write_fig6_csv(const Fig6Result& result, const std::string& path) {
   auto out = open_out(path);
   CsvWriter csv(out);
@@ -139,6 +181,29 @@ void write_fig9_csv(const Fig9Result& result, const std::string& path) {
   csv.row({"m", "coff_ratio", "mean_pct", "max_pct"});
   for (const auto& row : result.rows) {
     csv.cells(row.m, row.ratio, row.mean_pct, row.max_pct);
+  }
+}
+
+void write_fig10_csv(const Fig10Result& result, const std::string& path) {
+  auto out = open_out(path);
+  CsvWriter csv(out);
+  std::vector<std::string> header{"devices", "coff_ratio", "m", "mean_bound"};
+  for (const auto& name : result.policy_names) {
+    header.push_back("mean_sim_" + name);
+  }
+  header.emplace_back("max_sim_over_bound");
+  header.emplace_back("violations");
+  csv.row(header);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells{
+        std::to_string(row.devices), format_double(row.ratio, 4),
+        std::to_string(row.m), format_double(row.mean_bound, 6)};
+    for (const double makespan : row.mean_makespan) {
+      cells.push_back(format_double(makespan, 6));
+    }
+    cells.push_back(format_double(row.max_sim_over_bound, 6));
+    cells.push_back(std::to_string(row.violations));
+    csv.row(cells);
   }
 }
 

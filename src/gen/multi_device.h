@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file multi_device.h
+/// Turning a homogeneous random DAG into a *multi-device* heterogeneous task
+/// — the K-accelerator generalisation of gen/offload.h.  Mirrors the
+/// paper's §5.1 recipe device by device: random distinct internal nodes are
+/// placed on each accelerator class, and the per-device offloaded volumes
+/// are solved against a target total C_off/vol ratio split across devices by
+/// a mix vector.
+///
+/// The single-device pipeline (select_offload_node + set_offload_ratio)
+/// stays untouched so the paper's reproduction is bit-identical; these
+/// functions drive the fig10 multi-device sweep and the platform-bound
+/// property tests.
+
+#include <vector>
+
+#include "gen/params.h"
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace hedra::gen {
+
+/// Places `per_device` uniformly chosen distinct internal nodes (neither
+/// source nor sink) on each of devices 1..num_devices via Dag::set_device,
+/// keeping labels and edges.  Returns the chosen node ids device-major
+/// (device 1's nodes first).  Requires num_devices >= 1, a graph with at
+/// least num_devices·per_device internal nodes, and no pre-existing offload
+/// node.
+std::vector<graph::NodeId> select_offload_nodes(graph::Dag& dag,
+                                                int num_devices,
+                                                int per_device, Rng& rng);
+
+/// Sets the WCETs of the offloaded nodes so the total offloaded volume is
+/// ≈ `ratio` of the final vol(G) (ratio strictly inside (0, 1)), split
+/// across devices proportionally to `mix` (empty = even split; otherwise
+/// one positive weight per device present) and evenly across each device's
+/// nodes (every node keeps WCET >= 1).  Returns the total offloaded volume.
+graph::Time set_offload_ratio_multi(graph::Dag& dag, double ratio,
+                                    const std::vector<double>& mix = {});
+
+/// The realised per-device ratio vol_d / vol(G).
+[[nodiscard]] double device_ratio(const graph::Dag& dag,
+                                  graph::DeviceId device);
+
+/// One-call generator: hierarchical structure (params), then
+/// select_offload_nodes(params.num_devices, params.offloads_per_device),
+/// then set_offload_ratio_multi(coff_ratio, params.device_mix).  Requires
+/// params.num_devices >= 1.
+[[nodiscard]] graph::Dag generate_multi_device(const HierarchicalParams& params,
+                                               double coff_ratio, Rng& rng);
+
+}  // namespace hedra::gen

@@ -31,7 +31,7 @@ NodeId select_offload_node(Dag& dag, Rng& rng) {
     if (v == chosen) {
       out.add_node(n.wcet, graph::NodeKind::kOffload, "vOff");
     } else {
-      out.add_node(n.wcet, n.kind, n.label);
+      out.add_node(n);
     }
   }
   for (const auto& [u, w] : dag.edges()) out.add_edge(u, w);

@@ -37,6 +37,14 @@ void HierarchicalParams::validate() const {
   HEDRA_REQUIRE(wcet_min >= 1 && wcet_max >= wcet_min,
                 "WCET window [wcet_min, wcet_max] is empty");
   HEDRA_REQUIRE(max_attempts >= 1, "max_attempts must be >= 1");
+  HEDRA_REQUIRE(num_devices >= 0, "num_devices must be >= 0");
+  HEDRA_REQUIRE(offloads_per_device >= 1, "offloads_per_device must be >= 1");
+  HEDRA_REQUIRE(device_mix.empty() ||
+                    device_mix.size() == static_cast<std::size_t>(num_devices),
+                "device_mix must be empty or have one entry per device");
+  for (const double share : device_mix) {
+    HEDRA_REQUIRE(share > 0.0, "device_mix shares must be positive");
+  }
 }
 
 void LayeredParams::validate() const {

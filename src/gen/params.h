@@ -13,6 +13,7 @@
 /// "equals 11" for maxdepth = 5.
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/dag.h"
 
@@ -30,6 +31,16 @@ struct HierarchicalParams {
   Time wcet_min = 1;      ///< C_min
   Time wcet_max = 100;    ///< C_max
   int max_attempts = 100000;  ///< generation retries before giving up
+
+  // -- Multi-device knobs (see gen/multi_device.h).  generate_hierarchical
+  //    itself produces pure host DAGs and ignores these; the multi-device
+  //    variant and exp::generate_batch consume them.  num_devices = 0 keeps
+  //    the paper's pipeline (separate single-offload selection) untouched.
+  int num_devices = 0;          ///< K accelerator device classes to populate
+  int offloads_per_device = 1;  ///< offload nodes assigned to each device
+  /// Relative share of the offloaded volume each device receives (size
+  /// num_devices, positive entries, need not sum to 1); empty = even split.
+  std::vector<double> device_mix;
 
   /// §5.1 "Small tasks": n <= 100, n_par = 6, maxdepth = 3 (longest path 7).
   /// Used for the ILP comparison.

@@ -112,8 +112,7 @@ bool is_transitively_reduced(const Dag& dag) {
 Dag transitive_reduction(const Dag& dag) {
   Dag out;
   for (NodeId v = 0; v < dag.num_nodes(); ++v) {
-    const auto& n = dag.node(v);
-    out.add_node(n.wcet, n.kind, n.label);
+    out.add_node(dag.node(v));
   }
   const auto redundant = transitive_edges(dag);
   const auto is_redundant = [&](NodeId u, NodeId w) {

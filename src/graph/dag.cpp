@@ -17,24 +17,46 @@ const char* to_string(NodeKind kind) noexcept {
 }
 
 NodeId Dag::add_node(Time wcet, NodeKind kind, std::string label) {
-  HEDRA_REQUIRE(wcet >= 0, "node WCET must be non-negative");
-  HEDRA_REQUIRE(kind != NodeKind::kSync || wcet == 0,
+  Node node;
+  node.wcet = wcet;
+  node.device = kind == NodeKind::kOffload ? DeviceId{1} : kHostDevice;
+  node.sync = kind == NodeKind::kSync;
+  node.label = std::move(label);
+  return add_node(node);
+}
+
+NodeId Dag::add_node_on(Time wcet, DeviceId device, std::string label) {
+  Node node;
+  node.wcet = wcet;
+  node.device = device;
+  node.label = std::move(label);
+  return add_node(node);
+}
+
+NodeId Dag::add_node(const Node& node) {
+  HEDRA_REQUIRE(node.wcet >= 0, "node WCET must be non-negative");
+  HEDRA_REQUIRE(!node.sync || node.wcet == 0,
                 "sync nodes must have zero WCET");
+  HEDRA_REQUIRE(!node.sync || node.device == kHostDevice,
+                "sync nodes must stay on the host");
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  if (label.empty()) {
-    switch (kind) {
+  Node stored = node;
+  if (stored.label.empty()) {
+    switch (stored.kind()) {
       case NodeKind::kHost:
-        label = "v" + std::to_string(id + 1);
+        stored.label = "v" + std::to_string(id + 1);
         break;
       case NodeKind::kOffload:
-        label = "vOff";
+        stored.label = stored.device == 1
+                           ? "vOff"
+                           : "vOff" + std::to_string(stored.device);
         break;
       case NodeKind::kSync:
-        label = "vSync";
+        stored.label = "vSync";
         break;
     }
   }
-  nodes_.push_back(Node{wcet, kind, std::move(label)});
+  nodes_.push_back(std::move(stored));
   succ_.emplace_back();
   pred_.emplace_back();
   return id;
@@ -74,9 +96,16 @@ bool Dag::has_edge(NodeId from, NodeId to) const {
 void Dag::set_wcet(NodeId id, Time wcet) {
   check_id(id);
   HEDRA_REQUIRE(wcet >= 0, "node WCET must be non-negative");
-  HEDRA_REQUIRE(nodes_[id].kind != NodeKind::kSync || wcet == 0,
+  HEDRA_REQUIRE(!nodes_[id].sync || wcet == 0,
                 "sync nodes must have zero WCET");
   nodes_[id].wcet = wcet;
+}
+
+void Dag::set_device(NodeId id, DeviceId device) {
+  check_id(id);
+  HEDRA_REQUIRE(!nodes_[id].sync || device == kHostDevice,
+                "sync nodes must stay on the host");
+  nodes_[id].device = device;
 }
 
 std::vector<NodeId> Dag::sources() const {
@@ -107,7 +136,7 @@ std::vector<std::pair<NodeId, NodeId>> Dag::edges() const {
 std::vector<NodeId> Dag::offload_nodes() const {
   std::vector<NodeId> out;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].kind == NodeKind::kOffload) out.push_back(id);
+    if (nodes_[id].device != kHostDevice) out.push_back(id);
   }
   return out;
 }
@@ -120,6 +149,38 @@ std::optional<NodeId> Dag::offload_node() const {
   return all.front();
 }
 
+std::vector<NodeId> Dag::nodes_on(DeviceId device) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].device == device) out.push_back(id);
+  }
+  return out;
+}
+
+Time Dag::volume_on(DeviceId device) const noexcept {
+  Time total = 0;
+  for (const auto& n : nodes_) {
+    if (n.device == device) total += n.wcet;
+  }
+  return total;
+}
+
+std::vector<DeviceId> Dag::device_ids() const {
+  std::vector<DeviceId> out;
+  for (const auto& n : nodes_) {
+    if (n.device != kHostDevice) out.push_back(n.device);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+DeviceId Dag::max_device() const noexcept {
+  DeviceId max = kHostDevice;
+  for (const auto& n : nodes_) max = std::max(max, n.device);
+  return max;
+}
+
 Time Dag::volume() const noexcept {
   Time total = 0;
   for (const auto& n : nodes_) total += n.wcet;
@@ -127,11 +188,7 @@ Time Dag::volume() const noexcept {
 }
 
 Time Dag::host_volume() const noexcept {
-  Time total = 0;
-  for (const auto& n : nodes_) {
-    if (n.kind != NodeKind::kOffload) total += n.wcet;
-  }
-  return total;
+  return volume_on(kHostDevice);
 }
 
 }  // namespace hedra::graph

@@ -1,6 +1,7 @@
 #include "graph/dag_io.h"
 
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -14,7 +15,11 @@ std::string write_dag_text(const Dag& dag) {
      << " edges\n";
   for (NodeId v = 0; v < dag.num_nodes(); ++v) {
     os << "node " << dag.label(v) << ' ' << dag.wcet(v) << ' '
-       << to_string(dag.kind(v)) << '\n';
+       << to_string(dag.kind(v));
+    // Device 1 is the paper's single accelerator and stays implicit so
+    // single-device files are byte-identical to the historical format.
+    if (dag.device(v) > 1) os << ':' << dag.device(v);
+    os << '\n';
   }
   for (const auto& [u, w] : dag.edges()) {
     os << "edge " << dag.label(u) << ' ' << dag.label(w) << '\n';
@@ -24,12 +29,26 @@ std::string write_dag_text(const Dag& dag) {
 
 namespace {
 
-NodeKind parse_kind(const std::string& text, int line_no) {
-  if (text == "host") return NodeKind::kHost;
-  if (text == "offload") return NodeKind::kOffload;
-  if (text == "sync") return NodeKind::kSync;
-  throw Error("line " + std::to_string(line_no) + ": unknown node kind '" +
-              text + "'");
+/// Kind token grammar: "host", "sync", "offload" (device 1), or
+/// "offload:<d>" for an explicit accelerator device d >= 1.
+struct ParsedKind {
+  NodeKind kind = NodeKind::kHost;
+  DeviceId device = kHostDevice;
+};
+
+ParsedKind parse_kind(const std::string& text, int line_no) {
+  const std::string where = "line " + std::to_string(line_no) + ": ";
+  if (text == "host") return {NodeKind::kHost, kHostDevice};
+  if (text == "sync") return {NodeKind::kSync, kHostDevice};
+  if (text == "offload") return {NodeKind::kOffload, DeviceId{1}};
+  if (text.starts_with("offload:")) {
+    const Time device = parse_int(text.substr(8));
+    HEDRA_REQUIRE(device >= 1 &&
+                      device <= std::numeric_limits<DeviceId>::max(),
+                  where + "offload device id out of range in '" + text + "'");
+    return {NodeKind::kOffload, static_cast<DeviceId>(device)};
+  }
+  throw Error(where + "unknown node kind '" + text + "'");
 }
 
 std::vector<std::string> tokens_of(std::string_view line) {
@@ -61,9 +80,11 @@ Dag read_dag_text(const std::string& text) {
       HEDRA_REQUIRE(!by_label.contains(label),
                     where + "duplicate node label '" + label + "'");
       const Time wcet = parse_int(tokens[2]);
-      const NodeKind kind =
-          tokens.size() == 4 ? parse_kind(tokens[3], line_no) : NodeKind::kHost;
-      by_label[label] = dag.add_node(wcet, kind, label);
+      const ParsedKind kind =
+          tokens.size() == 4 ? parse_kind(tokens[3], line_no) : ParsedKind{};
+      by_label[label] = kind.kind == NodeKind::kSync
+                            ? dag.add_node(wcet, NodeKind::kSync, label)
+                            : dag.add_node_on(wcet, kind.device, label);
     } else if (tokens[0] == "edge") {
       HEDRA_REQUIRE(tokens.size() == 3,
                     where + "expected 'edge <from> <to>'");

@@ -6,10 +6,14 @@
 /// comments):
 ///
 ///     # nodes first, then edges
-///     node <label> <wcet> [host|offload|sync]
+///     node <label> <wcet> [host|offload|offload:<device>|sync]
 ///     edge <from-label> <to-label>
 ///
-/// Labels are arbitrary whitespace-free strings and must be unique.
+/// Labels are arbitrary whitespace-free strings and must be unique.  A bare
+/// `offload` places the node on accelerator device 1 (the paper's single
+/// accelerator); `offload:<d>` names device d >= 1 of a heterogeneous
+/// platform.  Device 1 is written back without the suffix, so single-device
+/// files round-trip byte-identically.
 
 #include <iosfwd>
 #include <string>

@@ -1,5 +1,6 @@
 #include "graph/dot.h"
 
+#include <iterator>
 #include <sstream>
 
 #include "util/bitset.h"
@@ -8,17 +9,33 @@ namespace hedra::graph {
 
 namespace {
 
+/// Fill colours for accelerator devices 1, 2, 3, ... (cycled beyond the
+/// palette).  Device 1 keeps the paper's lightgrey so single-accelerator
+/// renderings are unchanged; further devices get visually distinct fills so
+/// multi-device DAGs are debuggable at a glance.
+const char* device_fill(DeviceId device) {
+  static constexpr const char* kPalette[] = {
+      "lightgrey",  "lightblue",  "lightsalmon", "palegreen",
+      "plum",       "khaki",      "lightpink",   "aquamarine"};
+  constexpr std::size_t kCount = std::size(kPalette);
+  return kPalette[static_cast<std::size_t>(device - 1) % kCount];
+}
+
 void emit_node(std::ostringstream& os, const Dag& dag, NodeId v,
                const DotOptions& options, const std::string& indent) {
   os << indent << "n" << v << " [label=\"" << dag.label(v);
   if (options.show_wcet) os << " (" << dag.wcet(v) << ")";
+  if (options.show_device && dag.device(v) > 1) {
+    os << " @d" << dag.device(v);
+  }
   os << "\"";
   switch (dag.kind(v)) {
     case NodeKind::kHost:
       os << ", shape=circle";
       break;
     case NodeKind::kOffload:
-      os << ", shape=doublecircle, style=filled, fillcolor=lightgrey";
+      os << ", shape=doublecircle, style=filled, fillcolor="
+         << device_fill(dag.device(v));
       break;
     case NodeKind::kSync:
       os << ", shape=square, color=red";

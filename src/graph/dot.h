@@ -22,6 +22,10 @@ struct DotOptions {
   std::string highlight_label = "GPar";
   /// Include "label (wcet)" on each node.
   bool show_wcet = true;
+  /// Annotate nodes on accelerator devices >= 2 with "@d<device>" (device 1
+  /// is the paper's implicit single accelerator).  Offload nodes are always
+  /// fill-colour-coded by device.
+  bool show_device = true;
   /// Left-to-right layout instead of top-down.
   bool rankdir_lr = false;
 };

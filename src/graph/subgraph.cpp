@@ -9,8 +9,7 @@ Subgraph induced_subgraph(const Dag& dag, const DynamicBitset& members) {
   out.from_parent.assign(dag.num_nodes(), kInvalidNode);
   for (NodeId v = 0; v < dag.num_nodes(); ++v) {
     if (!members.test(v)) continue;
-    const auto& n = dag.node(v);
-    const NodeId nv = out.dag.add_node(n.wcet, n.kind, n.label);
+    const NodeId nv = out.dag.add_node(dag.node(v));
     out.from_parent[v] = nv;
     out.to_parent.push_back(v);
   }

@@ -1,0 +1,116 @@
+#include "model/platform.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hedra::model {
+
+const std::string& Platform::device_name(graph::DeviceId device) const {
+  HEDRA_REQUIRE(device >= 1 && device <= device_names.size(),
+                "platform has no device id " + std::to_string(device));
+  return device_names[device - 1];
+}
+
+Platform Platform::homogeneous(int cores) {
+  Platform platform;
+  platform.cores = cores;
+  platform.validate();
+  return platform;
+}
+
+Platform Platform::single_accelerator(int cores, std::string name) {
+  Platform platform;
+  platform.cores = cores;
+  platform.device_names.push_back(std::move(name));
+  platform.validate();
+  return platform;
+}
+
+Platform Platform::symmetric(int cores, int num_devices) {
+  HEDRA_REQUIRE(num_devices >= 0, "device count must be non-negative");
+  Platform platform;
+  platform.cores = cores;
+  for (int d = 1; d <= num_devices; ++d) {
+    platform.device_names.push_back("acc" + std::to_string(d));
+  }
+  platform.validate();
+  return platform;
+}
+
+Platform Platform::parse(const std::string& text) {
+  Platform platform;
+  const auto colon = text.find(':');
+  const std::string cores_text = text.substr(0, colon);
+  HEDRA_REQUIRE(!trim(cores_text).empty(),
+                "platform spec '" + text + "' is missing the core count");
+  platform.cores = static_cast<int>(parse_int(trim(cores_text)));
+  if (colon != std::string::npos) {
+    for (auto& name : split(text.substr(colon + 1), ',')) {
+      platform.device_names.emplace_back(trim(name));
+    }
+  }
+  platform.validate();
+  return platform;
+}
+
+std::string Platform::spec() const {
+  std::ostringstream os;
+  os << cores;
+  for (std::size_t i = 0; i < device_names.size(); ++i) {
+    os << (i == 0 ? ':' : ',') << device_names[i];
+  }
+  return os.str();
+}
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  os << cores << " host core" << (cores == 1 ? "" : "s");
+  if (device_names.empty()) {
+    os << " (homogeneous)";
+    return os.str();
+  }
+  os << " + accelerator" << (device_names.size() == 1 ? " " : "s ");
+  for (std::size_t i = 0; i < device_names.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << device_names[i] << "(d" << i + 1 << ")";
+  }
+  return os.str();
+}
+
+void Platform::validate() const {
+  HEDRA_REQUIRE(cores >= 1, "platform needs at least one host core");
+  for (const auto& name : device_names) {
+    HEDRA_REQUIRE(!name.empty(), "accelerator device names must be non-empty");
+    HEDRA_REQUIRE(std::count(device_names.begin(), device_names.end(), name) ==
+                      1,
+                  "duplicate accelerator device name '" + name + "'");
+  }
+}
+
+std::vector<std::string> check_supports(const Platform& platform,
+                                        const graph::Dag& dag) {
+  std::vector<std::string> issues;
+  const auto num_devices = static_cast<graph::DeviceId>(platform.num_devices());
+  for (graph::NodeId v = 0; v < dag.num_nodes(); ++v) {
+    const graph::DeviceId device = dag.device(v);
+    if (device > num_devices) {
+      issues.push_back("node " + dag.label(v) + " is placed on device " +
+                       std::to_string(device) + " but the platform has only " +
+                       std::to_string(platform.num_devices()) +
+                       " accelerator device(s)");
+    }
+  }
+  return issues;
+}
+
+bool supports(const Platform& platform, const graph::Dag& dag) {
+  return check_supports(platform, dag).empty();
+}
+
+Platform platform_for(const graph::Dag& dag, int cores) {
+  return Platform::symmetric(cores, dag.max_device());
+}
+
+}  // namespace hedra::model

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file platform.h
+/// First-class description of the heterogeneous execution platform.
+///
+/// The paper's system model (§2) fixes the platform implicitly: m identical
+/// host cores plus ONE accelerator device.  The multi-device extension makes
+/// the platform explicit — m identical host cores plus K *named* accelerator
+/// device classes (GPU, FPGA, DSP, ...), each providing a single execution
+/// unit, exactly as the paper's accelerator does.  Device ids follow the
+/// graph convention: device 0 is the host pool and device d ∈ [1, K] is the
+/// d-th accelerator class (see graph::DeviceId).
+///
+/// A Platform is pure data; compatibility with a concrete DAG (every node
+/// placed on an existing device) is checked by check_supports / supports.
+/// Per-device multiplicity (> 1 unit per accelerator class) is future work —
+/// the analysis bound and the simulator both assume one unit per class.
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hedra::model {
+
+/// m identical host cores + K named single-unit accelerator device classes.
+struct Platform {
+  int cores = 2;                          ///< m
+  std::vector<std::string> device_names;  ///< index i names device id i + 1
+
+  /// Number of accelerator device classes, K.
+  [[nodiscard]] int num_devices() const noexcept {
+    return static_cast<int>(device_names.size());
+  }
+
+  /// Name of accelerator device d ∈ [1, K]; throws on out-of-range ids.
+  [[nodiscard]] const std::string& device_name(graph::DeviceId device) const;
+
+  /// Host-only platform (the homogeneous baseline).
+  [[nodiscard]] static Platform homogeneous(int cores);
+
+  /// The paper's platform: m cores + one accelerator.
+  [[nodiscard]] static Platform single_accelerator(int cores,
+                                                   std::string name = "acc");
+
+  /// m cores + K accelerators named "acc1".."accK".
+  [[nodiscard]] static Platform symmetric(int cores, int num_devices);
+
+  /// Parses "m" or "m:name1,name2,..." (e.g. "4:gpu,dsp" = 4 host cores,
+  /// device 1 "gpu", device 2 "dsp").  Throws hedra::Error on malformed
+  /// specs.  Inverse of spec().
+  [[nodiscard]] static Platform parse(const std::string& text);
+
+  /// Machine-readable "m:name1,name2,..." (just "m" when K = 0).
+  [[nodiscard]] std::string spec() const;
+
+  /// Human-readable, e.g. "4 host cores + accelerators gpu(d1), dsp(d2)".
+  [[nodiscard]] std::string describe() const;
+
+  /// Throws hedra::Error if cores < 1 or any device name is empty or
+  /// duplicated.
+  void validate() const;
+};
+
+/// Human-readable placement violations of `dag` on `platform` (nodes placed
+/// on devices the platform does not provide); empty means compatible.
+[[nodiscard]] std::vector<std::string> check_supports(const Platform& platform,
+                                                      const graph::Dag& dag);
+
+/// True iff every node of `dag` is placed on a device `platform` provides.
+[[nodiscard]] bool supports(const Platform& platform, const graph::Dag& dag);
+
+/// Smallest platform accommodating `dag`: m host cores plus one device class
+/// per accelerator id in [1, max_device], named "acc<d>".
+[[nodiscard]] Platform platform_for(const graph::Dag& dag, int cores);
+
+}  // namespace hedra::model

@@ -42,7 +42,13 @@ std::string render_gantt(const ScheduleTrace& trace, const Dag& dag,
   for (int core = 0; core < trace.cores(); ++core) {
     render_unit(core, "C" + std::to_string(core));
   }
-  render_unit(kAcceleratorUnit, "ACC");
+  // One row per accelerator device; a device-free DAG still shows the
+  // paper's single (idle) accelerator row.
+  const int num_devices = std::max<int>(1, dag.max_device());
+  for (int d = 1; d <= num_devices; ++d) {
+    render_unit(accelerator_unit(static_cast<graph::DeviceId>(d)),
+                d == 1 ? "ACC" : "ACC" + std::to_string(d));
+  }
   os << "     t=0 .. " << span << "  (1 char = " << scale << " tick"
      << (scale == 1 ? "" : "s") << ")\n";
 

@@ -11,6 +11,13 @@
 
 namespace hedra::sim {
 
+const std::vector<Policy>& all_policies() noexcept {
+  static const std::vector<Policy> kAll{
+      Policy::kBreadthFirst, Policy::kDepthFirst, Policy::kCriticalPathFirst,
+      Policy::kIndexOrder, Policy::kRandom};
+  return kAll;
+}
+
 const char* to_string(Policy policy) noexcept {
   switch (policy) {
     case Policy::kBreadthFirst:
@@ -50,7 +57,9 @@ class Simulation {
         actual_(actual),
         trace_(&dag, config.cores),
         rng_(config.seed),
-        cp_info_(dag) {
+        cp_info_(dag),
+        ready_dev_(dag.max_device()),
+        dev_busy_(dag.max_device(), false) {
     HEDRA_REQUIRE(config_.cores >= 1, "simulation requires at least one core");
     if (actual_ != nullptr) {
       HEDRA_REQUIRE(actual_->size() == dag_.num_nodes(),
@@ -91,7 +100,7 @@ class Simulation {
       for (auto it = running_.begin(); it != running_.end();) {
         if (it->finish == next) {
           if (it->unit >= 0) free_cores_.push(it->unit);
-          else accel_busy_ = false;
+          else dev_busy_[device_of_unit(it->unit) - 1] = false;
           finished.push_back(it->node);
           it = running_.erase(it);
         } else {
@@ -136,8 +145,9 @@ class Simulation {
         retire(v, newly);
         continue;
       }
-      if (dag_.kind(v) == graph::NodeKind::kOffload) {
-        ready_accel_.push_back(v);
+      if (const graph::DeviceId device = dag_.device(v);
+          device != graph::kHostDevice) {
+        ready_dev_[device - 1].push_back(v);
       } else {
         ready_host_.push_back(ReadyEntry{next_seq_++, v});
       }
@@ -146,11 +156,12 @@ class Simulation {
 
   /// Work-conserving assignment of ready nodes to free units at `time`.
   void dispatch(Time time) {
-    if (!accel_busy_ && !ready_accel_.empty()) {
-      const NodeId v = ready_accel_.front();  // FIFO on the single device
-      ready_accel_.pop_front();
-      accel_busy_ = true;
-      start(v, kAcceleratorUnit, time);
+    for (std::size_t d = 0; d < ready_dev_.size(); ++d) {
+      if (dev_busy_[d] || ready_dev_[d].empty()) continue;
+      const NodeId v = ready_dev_[d].front();  // FIFO per device unit
+      ready_dev_[d].pop_front();
+      dev_busy_[d] = true;
+      start(v, accelerator_unit(static_cast<graph::DeviceId>(d + 1)), time);
     }
     while (!free_cores_.empty() && !ready_host_.empty()) {
       const std::size_t pick = pick_index();
@@ -212,10 +223,13 @@ class Simulation {
 
   std::vector<std::size_t> remaining_preds_;
   std::vector<ReadyEntry> ready_host_;
-  std::deque<NodeId> ready_accel_;
+  /// One FIFO ready queue and one busy flag per accelerator device; index
+  /// d−1 holds device d (a single device reproduces the historical
+  /// accelerator queue exactly).
+  std::vector<std::deque<NodeId>> ready_dev_;
+  std::vector<bool> dev_busy_;
   std::vector<Running> running_;
   std::priority_queue<int, std::vector<int>, std::greater<>> free_cores_;
-  bool accel_busy_ = false;
   std::uint64_t next_seq_ = 0;
   std::size_t completed_ = 0;
 };

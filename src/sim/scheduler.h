@@ -2,7 +2,9 @@
 
 /// \file scheduler.h
 /// Deterministic discrete-event simulation of a work-conserving scheduler on
-/// m identical host cores plus one accelerator device (§5.2).
+/// m identical host cores plus the accelerator devices the DAG names (§5.2
+/// simulates the paper's single accelerator; one execution unit is
+/// provisioned per device id in [1, dag.max_device()]).
 ///
 /// The paper's Figure 6 simulates "the work-conserving breadth-first
 /// scheduler implemented in GOMP": ready tasks enter a FIFO queue in the
@@ -13,8 +15,8 @@
 ///
 /// Semantics:
 ///  - host nodes execute non-preemptively on any free host core;
-///  - the offloaded node(s) execute on the accelerator, FIFO if several are
-///    ready (single device);
+///  - offloaded nodes execute on their own device's single unit, FIFO per
+///    device if several are ready (devices never steal each other's work);
 ///  - zero-WCET nodes (v_sync, dummies) complete instantly, occupying no
 ///    unit — they are pure synchronisation points;
 ///  - the scheduler is work-conserving: a free unit never idles while a
@@ -37,6 +39,10 @@ enum class Policy : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(Policy policy) noexcept;
+
+/// Every ready-queue policy, in declaration order — the ablation bench and
+/// the soundness property tests sweep all of them.
+[[nodiscard]] const std::vector<Policy>& all_policies() noexcept;
 
 /// Simulation configuration.
 struct SimConfig {

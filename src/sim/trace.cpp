@@ -17,7 +17,7 @@ void ScheduleTrace::add(const Interval& interval) {
   HEDRA_REQUIRE(interval.finish >= interval.start,
                 "interval must not end before it starts");
   HEDRA_REQUIRE(
-      interval.unit == kAcceleratorUnit || interval.unit == kInstantUnit ||
+      is_accelerator_unit(interval.unit) || interval.unit == kInstantUnit ||
           (interval.unit >= 0 && interval.unit < cores_),
       "interval unit out of range");
   intervals_.push_back(interval);
@@ -82,8 +82,12 @@ std::vector<std::string> ScheduleTrace::validate_with_durations(
           std::to_string(expected_durations[iv.node]));
     }
     const auto kind = dag_->kind(iv.node);
-    if (kind == graph::NodeKind::kOffload && iv.unit != kAcceleratorUnit) {
-      say("offload node " + dag_->label(iv.node) + " ran on a host core");
+    if (kind == graph::NodeKind::kOffload &&
+        iv.unit != accelerator_unit(dag_->device(iv.node))) {
+      say("offload node " + dag_->label(iv.node) +
+          " ran off its device (device " +
+          std::to_string(dag_->device(iv.node)) + ", unit " +
+          std::to_string(iv.unit) + ")");
     }
     if (kind == graph::NodeKind::kHost && dag_->wcet(iv.node) > 0 &&
         !(iv.unit >= 0 && iv.unit < cores_)) {

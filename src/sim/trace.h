@@ -17,10 +17,28 @@ using graph::Dag;
 using graph::NodeId;
 using graph::Time;
 
-/// Execution units: host cores are 0..m-1.
+/// Execution units: host cores are 0..m-1; accelerator devices map to odd
+/// negative units (device d -> unit −(2d−1), so device 1 keeps the
+/// historical −1).
 inline constexpr int kAcceleratorUnit = -1;
 /// Zero-WCET nodes (v_sync, dummies) complete instantly on no unit.
 inline constexpr int kInstantUnit = -2;
+
+/// Unit of accelerator device d >= 1: −1, −3, −5, ...  (even negatives stay
+/// reserved; −2 is kInstantUnit).
+[[nodiscard]] constexpr int accelerator_unit(graph::DeviceId device) noexcept {
+  return -(2 * static_cast<int>(device) - 1);
+}
+
+/// True iff `unit` is some accelerator device's unit.
+[[nodiscard]] constexpr bool is_accelerator_unit(int unit) noexcept {
+  return unit < 0 && (-unit) % 2 == 1;
+}
+
+/// Inverse of accelerator_unit; only meaningful when is_accelerator_unit.
+[[nodiscard]] constexpr graph::DeviceId device_of_unit(int unit) noexcept {
+  return static_cast<graph::DeviceId>((1 - unit) / 2);
+}
 
 /// One contiguous execution of a node (the model is non-preemptive).
 struct Interval {
@@ -69,8 +87,8 @@ class ScheduleTrace {
   ///  - every node appears exactly once, with duration == its WCET;
   ///  - starts respect precedence (start >= max finish over predecessors);
   ///  - per-unit executions do not overlap;
-  ///  - offload nodes run on the accelerator, host nodes on host cores,
-  ///    zero-WCET nodes anywhere.
+  ///  - offload nodes run on their own device's accelerator unit, host
+  ///    nodes on host cores, zero-WCET nodes anywhere.
   /// Returns human-readable violations; empty means valid.
   [[nodiscard]] std::vector<std::string> validate() const;
 

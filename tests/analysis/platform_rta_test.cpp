@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_cache.h"
+#include "analysis/multi_offload.h"
+#include "analysis/platform_rta.h"
+#include "common/fixtures.h"
+#include "exp/experiment.h"
+#include "gen/multi_device.h"
+#include "util/rng.h"
+
+/// The K-device chain bound (analysis/platform_rta.h) against its K = 1
+/// reference implementation (analysis/multi_offload.h).  The equivalence
+/// regression is exact: both are rationals, so EXPECT_EQ compares num/den.
+
+namespace hedra {
+namespace {
+
+using model::Platform;
+
+TEST(PlatformRtaTest, HandCheckedTwoDeviceExample) {
+  const auto ex = testing::multi_device_example();
+  const auto analysis =
+      analysis::analyze_platform(ex.dag, Platform::parse("4:gpu,dsp"));
+  EXPECT_EQ(analysis.vol_host, 17);
+  EXPECT_EQ(analysis.max_host_path, 17);
+  ASSERT_EQ(analysis.devices.size(), 2u);
+  EXPECT_EQ(analysis.devices[0].name, "gpu");
+  EXPECT_EQ(analysis.devices[0].volume, 6);
+  EXPECT_EQ(analysis.devices[0].node_count, 1u);
+  EXPECT_EQ(analysis.devices[1].name, "dsp");
+  EXPECT_EQ(analysis.devices[1].volume, 5);
+  EXPECT_EQ(analysis.host_term, Frac(17, 4));
+  EXPECT_EQ(analysis.device_term, Frac(11));
+  EXPECT_EQ(analysis.path_term, Frac(17 * 3, 4));
+  // 17/m + 11 + 17(m−1)/m = 28 for every m: the host chain dominates.
+  EXPECT_EQ(analysis.bound, Frac(28));
+  EXPECT_EQ(analysis::rta_platform(ex.dag, 2), Frac(28));
+  EXPECT_EQ(analysis::rta_platform(ex.dag, 16), Frac(28));
+}
+
+TEST(PlatformRtaTest, HomogeneousDagReducesToGrahamChainBound) {
+  // Diamond v1(2) -> {a(3), b(5)} -> v4(1): vol = 11, max path = 8.
+  const auto dag = testing::diamond(2, 3, 5, 1);
+  const auto analysis =
+      analysis::analyze_platform(dag, Platform::homogeneous(2));
+  EXPECT_TRUE(analysis.devices.empty());
+  EXPECT_EQ(analysis.device_term, Frac(0));
+  EXPECT_EQ(analysis.bound, Frac(11, 2) + Frac(8, 2));
+  // m = 1 degenerates to pure volume.
+  EXPECT_EQ(analysis::rta_platform(dag, Platform::homogeneous(1)),
+            Frac(11));
+}
+
+TEST(PlatformRtaTest, RejectsUnsupportedPlacements) {
+  const auto ex = testing::multi_device_example();
+  EXPECT_THROW(
+      (void)analysis::analyze_platform(ex.dag, Platform::single_accelerator(2)),
+      Error);
+  EXPECT_THROW(
+      (void)analysis::analyze_platform(ex.dag, Platform::homogeneous(2)),
+      Error);
+}
+
+TEST(PlatformRtaTest, ExtraPlatformDevicesContributeZero) {
+  const auto ex = testing::paper_example();
+  const Frac narrow = analysis::rta_platform(ex.dag, 2);
+  const Frac wide =
+      analysis::rta_platform(ex.dag, Platform::symmetric(2, 4));
+  EXPECT_EQ(narrow, wide);
+}
+
+/// SATELLITE REGRESSION: for generated single-device DAGs the K-device
+/// bound equals the two-resource rta_multi_offload exactly, across the
+/// paper's whole generation envelope (single offload via the paper pipeline
+/// AND several offloads on one device via the multi-device pipeline).
+TEST(PlatformRtaTest, SingleDeviceBoundEqualsMultiOffloadExactly) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    exp::BatchConfig config;
+    config.params.min_nodes = 20;
+    config.params.max_nodes = 120;
+    config.coff_ratio = 0.05 + 0.1 * static_cast<double>(seed % 5);
+    config.count = 40;
+    config.seed = seed;
+    for (const auto& dag : exp::generate_batch(config)) {
+      for (const int m : {1, 2, 4, 8, 16}) {
+        EXPECT_EQ(analysis::rta_platform(dag, m),
+                  analysis::rta_multi_offload(dag, m))
+            << "seed=" << seed << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(PlatformRtaTest, SingleDeviceMultiOffloadBoundEqualsMultiOffloadExactly) {
+  Rng master(77);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 120;
+  params.num_devices = 1;
+  params.offloads_per_device = 3;
+  for (int i = 0; i < 25; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.3, rng);
+    EXPECT_EQ(dag.offload_nodes().size(), 3u);
+    for (const int m : {1, 2, 4, 8, 16}) {
+      EXPECT_EQ(analysis::rta_platform(dag, m),
+                analysis::rta_multi_offload(dag, m))
+          << "i=" << i << " m=" << m;
+    }
+  }
+}
+
+TEST(PlatformRtaTest, CacheServesTheSameBoundAsTheDirectApi) {
+  Rng master(99);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 100;
+  params.num_devices = 3;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 10; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.4, rng);
+    analysis::AnalysisCache cache(dag);
+    const auto& q = cache.platform_quantities();
+    EXPECT_EQ(q.device_volumes.size(), 3u);
+    for (const int m : {1, 2, 4, 8, 16}) {
+      EXPECT_EQ(cache.r_platform(m), analysis::rta_platform(dag, m))
+          << "i=" << i << " m=" << m;
+    }
+  }
+}
+
+TEST(PlatformRtaTest, MoreCoresNeverLoosensTheBound) {
+  const auto ex = testing::multi_device_example();
+  Frac previous = analysis::rta_platform(ex.dag, 1);
+  for (const int m : {2, 3, 4, 8, 16, 64}) {
+    const Frac bound = analysis::rta_platform(ex.dag, m);
+    EXPECT_LE(bound, previous) << "m=" << m;
+    previous = bound;
+  }
+}
+
+TEST(PlatformRtaTest, ExplainShowsEveryDeviceTerm) {
+  const auto ex = testing::multi_device_example();
+  const auto analysis =
+      analysis::analyze_platform(ex.dag, Platform::parse("4:gpu,dsp"));
+  const std::string text = analysis::explain(analysis);
+  EXPECT_NE(text.find("R_plat"), std::string::npos);
+  EXPECT_NE(text.find("gpu"), std::string::npos);
+  EXPECT_NE(text.find("dsp"), std::string::npos);
+  EXPECT_NE(text.find("max host path = 17"), std::string::npos);
+  EXPECT_NE(text.find("= 28"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedra

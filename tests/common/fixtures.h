@@ -153,6 +153,37 @@ inline Dag diamond(graph::Time c1, graph::Time ca, graph::Time cb,
   return dag;
 }
 
+/// Node handles of the two-device platform example.
+struct MultiDeviceExample {
+  Dag dag;
+  NodeId src, a, gpu, dsp, b, snk;
+};
+
+/// A single-source/sink DAG spanning two accelerator classes:
+///   src(2) -> {a(8) -> b(4), gpu(6) on device 1, dsp(5) on device 2},
+///   gpu -> b, {b, dsp} -> snk(3).
+/// Hand-checked quantities: vol = 28, vol_host = 17, vol_d1 = 6, vol_d2 = 5,
+/// max host path = src+a+b+snk = 17, so the K-device chain bound is
+/// R_plat(m) = 17/m + 11 + 17·(m−1)/m  (= 28 for every m — the host chain
+/// dominates exactly).
+inline MultiDeviceExample multi_device_example() {
+  MultiDeviceExample ex;
+  ex.src = ex.dag.add_node(2, NodeKind::kHost, "src");
+  ex.a = ex.dag.add_node(8, NodeKind::kHost, "a");
+  ex.gpu = ex.dag.add_node_on(6, 1, "gpu");
+  ex.dsp = ex.dag.add_node_on(5, 2, "dsp");
+  ex.b = ex.dag.add_node(4, NodeKind::kHost, "b");
+  ex.snk = ex.dag.add_node(3, NodeKind::kHost, "snk");
+  ex.dag.add_edge(ex.src, ex.a);
+  ex.dag.add_edge(ex.src, ex.gpu);
+  ex.dag.add_edge(ex.src, ex.dsp);
+  ex.dag.add_edge(ex.a, ex.b);
+  ex.dag.add_edge(ex.gpu, ex.b);
+  ex.dag.add_edge(ex.b, ex.snk);
+  ex.dag.add_edge(ex.dsp, ex.snk);
+  return ex;
+}
+
 /// A chain of `n` host nodes with the given per-node WCET.
 inline Dag chain(int n, graph::Time wcet) {
   Dag dag;

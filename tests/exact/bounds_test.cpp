@@ -66,6 +66,23 @@ TEST(BoundsTest, MoreCoresWeakensAreaBoundOnly) {
   EXPECT_GE(lb2.best(), lb8.best());
 }
 
+TEST(BoundsTest, DistinctDevicesDoNotSumInAccelArea) {
+  // Same shape as the two-offload case above, but o2 on its own device:
+  // the devices overlap, so only the busiest one (7) is a lower bound —
+  // summing to 12 would exceed the true optimum (1 + 7 + 1 = 9).
+  graph::Dag dag;
+  const auto v1 = dag.add_node(1);
+  const auto o1 = dag.add_node(7, graph::NodeKind::kOffload, "o1");
+  const auto o2 = dag.add_node_on(5, 2, "o2");
+  const auto vn = dag.add_node(1);
+  dag.add_edge(v1, o1);
+  dag.add_edge(v1, o2);
+  dag.add_edge(o1, vn);
+  dag.add_edge(o2, vn);
+  EXPECT_EQ(makespan_lower_bounds(dag, 4).accel_area, 7);
+  EXPECT_LE(makespan_lower_bound(dag, 4), 9);
+}
+
 TEST(BoundsTest, InvalidCoreCountThrows) {
   const auto ex = testing::paper_example();
   EXPECT_THROW(makespan_lower_bound(ex.dag, 0), Error);

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/hierarchical.h"
+#include "gen/multi_device.h"
+#include "graph/validate.h"
+#include "util/rng.h"
+
+namespace hedra {
+namespace {
+
+gen::HierarchicalParams test_params() {
+  gen::HierarchicalParams params;
+  params.min_nodes = 30;
+  params.max_nodes = 120;
+  return params;
+}
+
+TEST(MultiDeviceGenTest, SelectPlacesDistinctInternalNodesDeviceMajor) {
+  Rng rng(1);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  const auto chosen = gen::select_offload_nodes(dag, 3, 2, rng);
+  ASSERT_EQ(chosen.size(), 6u);
+  const std::set<graph::NodeId> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const auto expected_device = static_cast<graph::DeviceId>(1 + i / 2);
+    EXPECT_EQ(dag.device(chosen[i]), expected_device);
+    EXPECT_GT(dag.in_degree(chosen[i]), 0u);
+    EXPECT_GT(dag.out_degree(chosen[i]), 0u);
+  }
+  EXPECT_EQ(dag.device_ids(), (std::vector<graph::DeviceId>{1, 2, 3}));
+  EXPECT_EQ(dag.offload_nodes().size(), 6u);
+}
+
+TEST(MultiDeviceGenTest, SelectRejectsBadRequests) {
+  Rng rng(2);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  EXPECT_THROW((void)gen::select_offload_nodes(dag, 0, 1, rng), Error);
+  EXPECT_THROW((void)gen::select_offload_nodes(dag, 1, 0, rng), Error);
+  EXPECT_THROW(
+      (void)gen::select_offload_nodes(dag, 1000, 1000, rng), Error);
+  (void)gen::select_offload_nodes(dag, 1, 1, rng);
+  EXPECT_THROW((void)gen::select_offload_nodes(dag, 1, 1, rng), Error);
+}
+
+TEST(MultiDeviceGenTest, EvenSplitHitsTheTargetTotalRatio) {
+  Rng rng(3);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  (void)gen::select_offload_nodes(dag, 2, 2, rng);
+  for (const double ratio : {0.05, 0.2, 0.4, 0.6}) {
+    const graph::Time total = gen::set_offload_ratio_multi(dag, ratio);
+    graph::Time device_sum = 0;
+    for (const auto device : dag.device_ids()) {
+      device_sum += dag.volume_on(device);
+    }
+    EXPECT_EQ(total, device_sum);
+    const double realised =
+        static_cast<double>(total) / static_cast<double>(dag.volume());
+    EXPECT_NEAR(realised, ratio, 0.02) << "target " << ratio;
+    // Even mix: device shares are balanced within rounding.
+    EXPECT_NEAR(gen::device_ratio(dag, 1), gen::device_ratio(dag, 2), 0.02);
+  }
+}
+
+TEST(MultiDeviceGenTest, MixWeightsSkewTheDeviceShares) {
+  Rng rng(4);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  (void)gen::select_offload_nodes(dag, 2, 1, rng);
+  (void)gen::set_offload_ratio_multi(dag, 0.4, {3.0, 1.0});
+  const double r1 = gen::device_ratio(dag, 1);
+  const double r2 = gen::device_ratio(dag, 2);
+  EXPECT_NEAR(r1 / r2, 3.0, 0.5);
+  EXPECT_NEAR(r1 + r2, 0.4, 0.02);
+}
+
+TEST(MultiDeviceGenTest, RatioRejectsBadInput) {
+  Rng rng(5);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3), Error)
+      << "no offload nodes selected yet";
+  (void)gen::select_offload_nodes(dag, 2, 1, rng);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.0), Error);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 1.0), Error);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {1.0}), Error)
+      << "mix size must match the devices present";
+}
+
+TEST(MultiDeviceGenTest, GeneratorProducesValidDeviceAnnotatedDags) {
+  gen::HierarchicalParams params = test_params();
+  params.num_devices = 3;
+  params.offloads_per_device = 2;
+  Rng master(6);
+  graph::ValidationRules rules = graph::heterogeneous_rules();
+  rules.required_offload_count = -1;
+  for (int i = 0; i < 20; ++i) {
+    Rng rng = master.fork();
+    const graph::Dag dag = gen::generate_multi_device(params, 0.3, rng);
+    EXPECT_TRUE(graph::is_valid(dag, rules));
+    EXPECT_EQ(dag.device_ids().size(), 3u);
+    EXPECT_EQ(dag.offload_nodes().size(), 6u);
+    EXPECT_EQ(dag.max_device(), 3);
+    const double realised = static_cast<double>(dag.volume() -
+                                                dag.host_volume()) /
+                            static_cast<double>(dag.volume());
+    EXPECT_NEAR(realised, 0.3, 0.05);
+  }
+}
+
+TEST(MultiDeviceGenTest, GeneratorIsDeterministicPerSeed) {
+  gen::HierarchicalParams params = test_params();
+  params.num_devices = 2;
+  Rng a(7);
+  Rng b(7);
+  const graph::Dag first = gen::generate_multi_device(params, 0.25, a);
+  const graph::Dag second = gen::generate_multi_device(params, 0.25, b);
+  ASSERT_EQ(first.num_nodes(), second.num_nodes());
+  EXPECT_EQ(first.edges(), second.edges());
+  for (graph::NodeId v = 0; v < first.num_nodes(); ++v) {
+    EXPECT_EQ(first.wcet(v), second.wcet(v));
+    EXPECT_EQ(first.device(v), second.device(v));
+  }
+}
+
+}  // namespace
+}  // namespace hedra

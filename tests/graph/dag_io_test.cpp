@@ -89,5 +89,37 @@ TEST(DagIoTest, MissingFileThrows) {
   EXPECT_THROW(load_dag_file("/nonexistent/path/to.dag"), Error);
 }
 
+TEST(DagIoTest, DeviceAnnotationsRoundTrip) {
+  const auto ex = testing::multi_device_example();
+  const std::string text = write_dag_text(ex.dag);
+  // Device 1 stays the historical bare "offload"; device 2 is explicit.
+  EXPECT_NE(text.find("node gpu 6 offload\n"), std::string::npos);
+  EXPECT_NE(text.find("node dsp 5 offload:2\n"), std::string::npos);
+  const Dag loaded = read_dag_text(text);
+  ASSERT_EQ(loaded.num_nodes(), ex.dag.num_nodes());
+  for (NodeId v = 0; v < ex.dag.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.device(v), ex.dag.device(v));
+    EXPECT_EQ(loaded.wcet(v), ex.dag.wcet(v));
+    EXPECT_EQ(loaded.kind(v), ex.dag.kind(v));
+  }
+  // Byte-exact second round trip.
+  EXPECT_EQ(write_dag_text(loaded), text);
+}
+
+TEST(DagIoTest, ParsesExplicitDeviceOne) {
+  const Dag dag = read_dag_text("node a 2\nnode b 3 offload:1\nedge a b\n");
+  EXPECT_EQ(dag.device(1), 1);
+  // ...and writes it back in the canonical bare form.
+  EXPECT_NE(write_dag_text(dag).find("node b 3 offload\n"),
+            std::string::npos);
+}
+
+TEST(DagIoTest, RejectsMalformedDeviceAnnotations) {
+  EXPECT_THROW((void)read_dag_text("node a 1 offload:0\n"), Error);
+  EXPECT_THROW((void)read_dag_text("node a 1 offload:x\n"), Error);
+  EXPECT_THROW((void)read_dag_text("node a 1 offload:99999999\n"), Error);
+  EXPECT_THROW((void)read_dag_text("node a 1 sync:2\n"), Error);
+}
+
 }  // namespace
 }  // namespace hedra::graph

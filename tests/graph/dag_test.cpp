@@ -148,5 +148,84 @@ TEST(DagTest, NodeKindToString) {
   EXPECT_STREQ(to_string(NodeKind::kSync), "sync");
 }
 
+TEST(DagTest, DeviceDefaultsMatchTheKindVocabulary) {
+  Dag dag;
+  const NodeId host = dag.add_node(3);
+  const NodeId off = dag.add_node(5, NodeKind::kOffload);
+  const NodeId sync = dag.add_node(0, NodeKind::kSync);
+  EXPECT_EQ(dag.device(host), kHostDevice);
+  EXPECT_EQ(dag.device(off), 1);
+  EXPECT_EQ(dag.device(sync), kHostDevice);
+  EXPECT_EQ(dag.kind(host), NodeKind::kHost);
+  EXPECT_EQ(dag.kind(off), NodeKind::kOffload);
+  EXPECT_EQ(dag.kind(sync), NodeKind::kSync);
+}
+
+TEST(DagTest, AddNodeOnPlacesAndLabelsByDevice) {
+  Dag dag;
+  const NodeId host = dag.add_node_on(3, kHostDevice);
+  const NodeId d1 = dag.add_node_on(5, 1);
+  const NodeId d3 = dag.add_node_on(7, 3);
+  EXPECT_EQ(dag.kind(host), NodeKind::kHost);
+  EXPECT_EQ(dag.kind(d1), NodeKind::kOffload);
+  EXPECT_EQ(dag.kind(d3), NodeKind::kOffload);
+  EXPECT_EQ(dag.label(host), "v1");
+  EXPECT_EQ(dag.label(d1), "vOff");
+  EXPECT_EQ(dag.label(d3), "vOff3");
+  EXPECT_EQ(dag.device(d3), 3);
+}
+
+TEST(DagTest, PerDeviceAccessors) {
+  const auto ex = testing::multi_device_example();
+  EXPECT_EQ(ex.dag.volume(), 28);
+  EXPECT_EQ(ex.dag.host_volume(), 17);
+  EXPECT_EQ(ex.dag.volume_on(kHostDevice), 17);
+  EXPECT_EQ(ex.dag.volume_on(1), 6);
+  EXPECT_EQ(ex.dag.volume_on(2), 5);
+  EXPECT_EQ(ex.dag.volume_on(9), 0);
+  EXPECT_EQ(ex.dag.nodes_on(1), (std::vector<NodeId>{ex.gpu}));
+  EXPECT_EQ(ex.dag.nodes_on(2), (std::vector<NodeId>{ex.dsp}));
+  EXPECT_EQ(ex.dag.device_ids(), (std::vector<DeviceId>{1, 2}));
+  EXPECT_EQ(ex.dag.max_device(), 2);
+  EXPECT_EQ(ex.dag.offload_nodes(), (std::vector<NodeId>{ex.gpu, ex.dsp}));
+  EXPECT_THROW((void)ex.dag.offload_node(), Error);
+}
+
+TEST(DagTest, SetDeviceMovesNodesAndRejectsSync) {
+  auto ex = testing::paper_example();
+  ex.dag.set_device(ex.voff, 2);
+  EXPECT_EQ(ex.dag.device(ex.voff), 2);
+  EXPECT_EQ(ex.dag.kind(ex.voff), NodeKind::kOffload);
+  ex.dag.set_device(ex.voff, kHostDevice);
+  EXPECT_EQ(ex.dag.kind(ex.voff), NodeKind::kHost);
+  EXPECT_TRUE(ex.dag.offload_nodes().empty());
+
+  Dag dag;
+  const NodeId sync = dag.add_node(0, NodeKind::kSync);
+  EXPECT_THROW(dag.set_device(sync, 1), Error);
+  EXPECT_NO_THROW(dag.set_device(sync, kHostDevice));
+}
+
+TEST(DagTest, CopyOverloadPreservesDevicePlacement) {
+  const auto ex = testing::multi_device_example();
+  Dag copy;
+  for (NodeId v = 0; v < ex.dag.num_nodes(); ++v) {
+    copy.add_node(ex.dag.node(v));
+  }
+  for (NodeId v = 0; v < ex.dag.num_nodes(); ++v) {
+    EXPECT_EQ(copy.device(v), ex.dag.device(v));
+    EXPECT_EQ(copy.label(v), ex.dag.label(v));
+    EXPECT_EQ(copy.wcet(v), ex.dag.wcet(v));
+  }
+}
+
+TEST(DagTest, AddNodeRejectsOffDeviceSync) {
+  Dag dag;
+  Node node;
+  node.sync = true;
+  node.device = 1;
+  EXPECT_THROW((void)dag.add_node(node), Error);
+}
+
 }  // namespace
 }  // namespace hedra::graph

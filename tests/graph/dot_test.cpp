@@ -68,5 +68,40 @@ TEST(DotTest, BadHighlightThrows) {
   EXPECT_THROW(to_dot(ex.dag, options), Error);
 }
 
+TEST(DotTest, DevicesAreColourCoded) {
+  const auto ex = testing::multi_device_example();
+  const std::string dot = to_dot(ex.dag);
+  // Device 1 keeps the paper's lightgrey; device 2 gets a distinct fill and
+  // an "@d2" label annotation.
+  EXPECT_NE(dot.find("gpu (6)\", shape=doublecircle, style=filled, "
+                     "fillcolor=lightgrey"),
+            std::string::npos);
+  EXPECT_NE(dot.find("dsp (5) @d2\", shape=doublecircle, style=filled, "
+                     "fillcolor=lightblue"),
+            std::string::npos);
+  // Host nodes stay plain circles.
+  EXPECT_NE(dot.find("src (2)\", shape=circle"), std::string::npos);
+}
+
+TEST(DotTest, DeviceAnnotationCanBeHidden) {
+  const auto ex = testing::multi_device_example();
+  DotOptions options;
+  options.show_device = false;
+  const std::string dot = to_dot(ex.dag, options);
+  EXPECT_EQ(dot.find("@d2"), std::string::npos);
+  // Colour coding stays on regardless.
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(DotTest, SingleAcceleratorRenderingUnchangedByDeviceSupport) {
+  // The paper's example must render exactly as before the Platform refactor:
+  // no "@d" annotations, lightgrey offload fill.
+  const auto ex = testing::paper_example();
+  const std::string dot = to_dot(ex.dag);
+  EXPECT_EQ(dot.find("@d"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);
+  EXPECT_EQ(dot.find("lightblue"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hedra::graph

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include "analysis/multi_offload.h"
+#include "analysis/platform_rta.h"
 #include "analysis/rta_heterogeneous.h"
 #include "common/fixtures.h"
 #include "exact/bnb.h"
 #include "exact/bounds.h"
 #include "gen/hierarchical.h"
+#include "gen/multi_device.h"
 #include "gen/offload.h"
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
@@ -104,15 +106,7 @@ TEST_P(SoundnessSweep, MultiOffloadBoundDominatesExecutions) {
     for (graph::NodeId v = 0; v < dag.num_nodes() && promoted < 3; ++v) {
       if (dag.in_degree(v) > 0 && dag.out_degree(v) > 0 &&
           rng.bernoulli(0.15)) {
-        graph::Dag copy;
-        for (graph::NodeId w = 0; w < dag.num_nodes(); ++w) {
-          const auto& n = dag.node(w);
-          copy.add_node(n.wcet,
-                        w == v ? graph::NodeKind::kOffload : n.kind,
-                        w == v ? ("off" + std::to_string(w)) : n.label);
-        }
-        for (const auto& [a, b] : dag.edges()) copy.add_edge(a, b);
-        dag = std::move(copy);
+        dag.set_device(v, 1);
         ++promoted;
       }
     }
@@ -124,6 +118,39 @@ TEST_P(SoundnessSweep, MultiOffloadBoundDominatesExecutions) {
       config.policy = policy;
       EXPECT_LE(Frac(sim::simulated_makespan(dag, config)), bound)
           << "m=" << m << " policy=" << sim::to_string(policy);
+    }
+  }
+}
+
+TEST_P(SoundnessSweep, PlatformBoundDominatesEveryPolicyOnEveryDevice) {
+  // The K-device chain bound must dominate every work-conserving execution
+  // of every policy — including early-completion runs (simulate_with_times),
+  // which are exactly the anomaly-prone executions Graham's argument covers.
+  Rng master(GetParam() + 6000);
+  gen::HierarchicalParams params = medium_params();
+  for (const int num_devices : {1, 2, 3}) {
+    params.num_devices = num_devices;
+    params.offloads_per_device = 2;
+    for (int i = 0; i < 4; ++i) {
+      Rng rng = master.fork();
+      const double ratio = 0.05 + 0.5 * rng.uniform_real();
+      const graph::Dag dag = gen::generate_multi_device(params, ratio, rng);
+      const int m = static_cast<int>(rng.uniform_int(1, 16));
+      const Frac bound = analysis::rta_platform(dag, m);
+      for (const auto policy : sim::all_policies()) {
+        sim::SimConfig config;
+        config.cores = m;
+        config.policy = policy;
+        EXPECT_LE(Frac(sim::simulated_makespan(dag, config)), bound)
+            << "K=" << num_devices << " m=" << m
+            << " policy=" << sim::to_string(policy);
+        const auto actual = sim::random_actual_times(dag, 0.3, rng);
+        const graph::Time early =
+            sim::simulate_with_times(dag, config, actual).makespan();
+        EXPECT_LE(Frac(early), bound)
+            << "early completion, K=" << num_devices << " m=" << m
+            << " policy=" << sim::to_string(policy);
+      }
     }
   }
 }

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "model/platform.h"
+#include "util/error.h"
+
+namespace hedra {
+namespace {
+
+using model::Platform;
+
+TEST(PlatformTest, FactoriesDescribeTheExpectedShape) {
+  const Platform hom = Platform::homogeneous(4);
+  EXPECT_EQ(hom.cores, 4);
+  EXPECT_EQ(hom.num_devices(), 0);
+
+  const Platform paper = Platform::single_accelerator(2);
+  EXPECT_EQ(paper.cores, 2);
+  EXPECT_EQ(paper.num_devices(), 1);
+  EXPECT_EQ(paper.device_name(1), "acc");
+
+  const Platform sym = Platform::symmetric(8, 3);
+  EXPECT_EQ(sym.num_devices(), 3);
+  EXPECT_EQ(sym.device_name(1), "acc1");
+  EXPECT_EQ(sym.device_name(3), "acc3");
+}
+
+TEST(PlatformTest, DeviceNameRejectsOutOfRangeIds) {
+  const Platform platform = Platform::single_accelerator(2, "gpu");
+  EXPECT_THROW((void)platform.device_name(0), Error);
+  EXPECT_THROW((void)platform.device_name(2), Error);
+}
+
+TEST(PlatformTest, ParseRoundTripsThroughSpec) {
+  for (const std::string text : {"2", "4:gpu", "16:gpu,dsp,fpga"}) {
+    const Platform platform = Platform::parse(text);
+    EXPECT_EQ(platform.spec(), text);
+    EXPECT_EQ(Platform::parse(platform.spec()).describe(),
+              platform.describe());
+  }
+  const Platform platform = Platform::parse("4: gpu , dsp ");
+  EXPECT_EQ(platform.device_name(1), "gpu");
+  EXPECT_EQ(platform.device_name(2), "dsp");
+}
+
+TEST(PlatformTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW((void)Platform::parse(""), Error);
+  EXPECT_THROW((void)Platform::parse("x"), Error);
+  EXPECT_THROW((void)Platform::parse("0:gpu"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu,"), Error);     // empty name
+  EXPECT_THROW((void)Platform::parse("4:gpu,gpu"), Error);  // duplicate
+}
+
+TEST(PlatformTest, ValidateRejectsBadShapes) {
+  Platform platform;
+  platform.cores = 0;
+  EXPECT_THROW(platform.validate(), Error);
+  platform.cores = 2;
+  platform.device_names = {"gpu", ""};
+  EXPECT_THROW(platform.validate(), Error);
+  platform.device_names = {"gpu", "gpu"};
+  EXPECT_THROW(platform.validate(), Error);
+  platform.device_names = {"gpu", "dsp"};
+  EXPECT_NO_THROW(platform.validate());
+}
+
+TEST(PlatformTest, SupportsChecksDevicePlacements) {
+  const auto ex = testing::multi_device_example();
+  EXPECT_TRUE(model::supports(Platform::symmetric(2, 2), ex.dag));
+  EXPECT_TRUE(model::supports(Platform::symmetric(2, 5), ex.dag));
+
+  const Platform single = Platform::single_accelerator(2);
+  const auto issues = model::check_supports(single, ex.dag);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues.front().find("dsp"), std::string::npos);
+
+  // Homogeneous platforms reject any offload placement.
+  EXPECT_FALSE(model::supports(Platform::homogeneous(2), ex.dag));
+  EXPECT_TRUE(
+      model::supports(Platform::homogeneous(2), testing::chain(3, 5)));
+}
+
+TEST(PlatformTest, PlatformForInfersTheSmallestSupportingPlatform) {
+  const auto ex = testing::multi_device_example();
+  const Platform inferred = model::platform_for(ex.dag, 4);
+  EXPECT_EQ(inferred.cores, 4);
+  EXPECT_EQ(inferred.num_devices(), 2);
+  EXPECT_TRUE(model::supports(inferred, ex.dag));
+
+  EXPECT_EQ(model::platform_for(testing::chain(3, 5), 2).num_devices(), 0);
+}
+
+}  // namespace
+}  // namespace hedra

@@ -160,6 +160,63 @@ TEST(SchedulerTest, MultipleOffloadsSerialiseOnAccelerator) {
   EXPECT_EQ(trace.interval_of(o2).unit, kAcceleratorUnit);
 }
 
+TEST(SchedulerTest, DistinctDevicesRunConcurrently) {
+  // Same shape as MultipleOffloadsSerialiseOnAccelerator, but o2 on its own
+  // device: the two offloads overlap and the makespan drops to 1 + 5 + 1.
+  graph::Dag dag;
+  const auto v1 = dag.add_node(1);
+  const auto o1 = dag.add_node(5, graph::NodeKind::kOffload, "o1");
+  const auto o2 = dag.add_node_on(5, 2, "o2");
+  const auto vn = dag.add_node(1);
+  dag.add_edge(v1, o1);
+  dag.add_edge(v1, o2);
+  dag.add_edge(o1, vn);
+  dag.add_edge(o2, vn);
+  const ScheduleTrace trace = simulate(dag, cfg(4));
+  EXPECT_EQ(trace.makespan(), 7);
+  EXPECT_EQ(trace.interval_of(o1).unit, accelerator_unit(1));
+  EXPECT_EQ(trace.interval_of(o2).unit, accelerator_unit(2));
+  EXPECT_EQ(trace.start_of(o1), trace.start_of(o2));
+}
+
+TEST(SchedulerTest, PerDeviceQueuesAreFifo) {
+  // Two nodes per device become ready in id order; each device serialises
+  // its own queue while the other device's work proceeds in parallel.
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto a1 = dag.add_node_on(3, 1, "a1");
+  const auto a2 = dag.add_node_on(4, 1, "a2");
+  const auto b1 = dag.add_node_on(2, 2, "b1");
+  const auto b2 = dag.add_node_on(6, 2, "b2");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {a1, a2, b1, b2}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  const ScheduleTrace trace = simulate(dag, cfg(2));
+  // Device 1: a1 [1,4), a2 [4,8).  Device 2: b1 [1,3), b2 [3,9).
+  EXPECT_EQ(trace.start_of(a1), 1);
+  EXPECT_EQ(trace.start_of(a2), 4);
+  EXPECT_EQ(trace.start_of(b1), 1);
+  EXPECT_EQ(trace.start_of(b2), 3);
+  EXPECT_EQ(trace.makespan(), 10);
+  EXPECT_EQ(trace.busy_time(accelerator_unit(1)), 7);
+  EXPECT_EQ(trace.busy_time(accelerator_unit(2)), 8);
+}
+
+TEST(SchedulerTest, MultiDeviceTraceValidatesUnderEveryPolicy) {
+  const auto ex = testing::multi_device_example();
+  for (const auto policy : all_policies()) {
+    const ScheduleTrace trace = simulate(ex.dag, cfg(2, policy));
+    EXPECT_TRUE(trace.validate().empty()) << to_string(policy);
+  }
+}
+
+TEST(SchedulerTest, AllPoliciesListsEveryPolicyOnce) {
+  EXPECT_EQ(all_policies().size(), 5u);
+  EXPECT_EQ(all_policies().front(), Policy::kBreadthFirst);
+}
+
 TEST(SchedulerTest, InvalidInputsThrow) {
   EXPECT_THROW(simulate(graph::Dag{}, cfg(2)), Error);
   const auto ex = testing::paper_example();

@@ -102,7 +102,7 @@ TEST(TraceTest, ValidateCatchesMisplacedOffload) {
   const auto issues = trace.validate();
   bool found = false;
   for (const auto& issue : issues) {
-    if (issue.find("host core") != std::string::npos) found = true;
+    if (issue.find("off its device") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
 }
