@@ -81,10 +81,13 @@ void run_policy_ablation(int dags, std::uint64_t seed, int jobs) {
           hedra::sim::SimConfig config;
           config.cores = m;
           config.policy = policies[p];
+          // Monte-Carlo loop: share the cache's CSR snapshots of τ and τ'
+          // across every policy and skip per-run trace validation.
+          config.validate = false;
           s.t_orig[p] = static_cast<double>(
-              hedra::sim::simulated_makespan(cache.original(), config));
-          s.t_trans[p] = static_cast<double>(
-              hedra::sim::simulated_makespan(cache.transformed(), config));
+              hedra::sim::simulated_makespan(cache.flat(), config));
+          s.t_trans[p] = static_cast<double>(hedra::sim::simulated_makespan(
+              cache.flat_transformed(), config));
         }
         return s;
       },

@@ -9,11 +9,14 @@
 
 #include "analysis/analysis_cache.h"
 #include "analysis/rta_heterogeneous.h"
+#include "dense_dag.h"
 #include "exact/bnb.h"
+#include "exp/experiment.h"
 #include "gen/hierarchical.h"
 #include "gen/offload.h"
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
+#include "graph/flat_dag.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
@@ -132,6 +135,58 @@ void BM_SimulateBreadthFirst(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateBreadthFirst)->Arg(50)->Arg(200);
 
+// One benchmark per ready-queue policy over a shared CSR snapshot with
+// validation off — the exact shape of the fig10 Monte-Carlo inner loop.
+void BM_SimulatePolicySweepShape(benchmark::State& state) {
+  const Dag dag = make_instance(100, 250, 6, 0.2);
+  const hedra::graph::FlatDag flat(dag);
+  const auto policy =
+      hedra::sim::all_policies()[static_cast<std::size_t>(state.range(0))];
+  hedra::sim::SimConfig config;
+  config.cores = 8;
+  config.policy = policy;
+  config.validate = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::sim::simulated_makespan(flat, config));
+  }
+  state.SetLabel(hedra::sim::to_string(policy));
+}
+BENCHMARK(BM_SimulatePolicySweepShape)->DenseRange(0, 4);
+
+void BM_FlatDagBuild(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 9, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::graph::FlatDag(dag));
+  }
+}
+BENCHMARK(BM_FlatDagBuild)->Arg(50)->Arg(200);
+
+void BM_PlatformRtaCached(benchmark::State& state) {
+  const Dag dag =
+      make_instance(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2, 10, 0.2);
+  for (auto _ : state) {
+    hedra::analysis::AnalysisCache cache(dag);
+    for (const int m : {2, 4, 8, 16}) {
+      benchmark::DoNotOptimize(cache.r_platform(m));
+    }
+  }
+}
+BENCHMARK(BM_PlatformRtaCached)->Arg(50)->Arg(200);
+
+void BM_TransitiveReduction(benchmark::State& state) {
+  // Dense random id-ordered DAG: plenty of redundant edges, the workload
+  // the sorted-lookup rewrite targets.
+  const Dag dag = std::move(hedra::benchdata::make_dense_batch(
+      1, static_cast<int>(state.range(0)), 0.1, 11)[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::graph::transitive_reduction(dag));
+  }
+}
+BENCHMARK(BM_TransitiveReduction)->Arg(60)->Arg(150);
+
 void BM_ExactSolverSmall(benchmark::State& state) {
   const Dag dag = make_instance(8, static_cast<int>(state.range(0)), 7, 0.3);
   hedra::exact::BnbConfig config;
@@ -141,5 +196,32 @@ void BM_ExactSolverSmall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactSolverSmall)->Arg(12)->Arg(20);
+
+// Node throughput of the B&B search: a batch with real search gaps, pure
+// node budget, reported as nodes/second.
+void BM_ExactSolverNodeThroughput(benchmark::State& state) {
+  hedra::exp::BatchConfig batch_config;
+  batch_config.params = hedra::gen::HierarchicalParams::small_tasks();
+  batch_config.params.min_nodes = 3;
+  batch_config.params.max_nodes = 20;
+  batch_config.coff_ratio = 0.35;
+  batch_config.count = 10;
+  batch_config.seed = 21;
+  const auto batch = hedra::exp::generate_batch(batch_config);
+  hedra::exact::BnbConfig config;
+  config.max_nodes = 500'000;
+  config.time_limit_sec = 300.0;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    for (const Dag& dag : batch) {
+      const auto result = hedra::exact::min_makespan(dag, 2, config);
+      nodes += result.nodes_explored;
+      benchmark::DoNotOptimize(result.makespan);
+    }
+  }
+  state.counters["nodes_per_sec"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExactSolverNodeThroughput);
 
 }  // namespace

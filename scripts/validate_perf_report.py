@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validates the JSON emitted by bench/perf_report (schema
+hedra-perf-report-v1).  CI runs `perf_report --quick --out <file>` and then
+this script, so the benchmark harness can't silently rot.
+
+Usage: validate_perf_report.py <report.json> [--expect-benchmarks N]
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = {"schema", "quick", "single_threaded", "benchmarks"}
+REQUIRED_BENCH = {"name", "unit", "value", "iterations"}
+KNOWN_UNITS = {"ms", "us_per_sim", "us_per_dag"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_perf_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: validate_perf_report.py <report.json>")
+    path = sys.argv[1]
+    expected = None
+    if "--expect-benchmarks" in sys.argv:
+        expected = int(sys.argv[sys.argv.index("--expect-benchmarks") + 1])
+
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    missing = REQUIRED_TOP - report.keys()
+    if missing:
+        fail(f"missing top-level keys: {sorted(missing)}")
+    if report["schema"] != "hedra-perf-report-v1":
+        fail(f"unexpected schema {report['schema']!r}")
+    if not isinstance(report["quick"], bool):
+        fail("'quick' must be a boolean")
+    if report["single_threaded"] is not True:
+        fail("perf reports must be measured single-threaded")
+
+    benchmarks = report["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail("'benchmarks' must be a non-empty list")
+    names = set()
+    for bench in benchmarks:
+        missing = REQUIRED_BENCH - bench.keys()
+        if missing:
+            fail(f"benchmark {bench.get('name', '?')!r} missing {sorted(missing)}")
+        if bench["name"] in names:
+            fail(f"duplicate benchmark name {bench['name']!r}")
+        names.add(bench["name"])
+        if bench["unit"] not in KNOWN_UNITS:
+            fail(f"benchmark {bench['name']!r} has unknown unit {bench['unit']!r}")
+        if not isinstance(bench["value"], (int, float)) or bench["value"] < 0:
+            fail(f"benchmark {bench['name']!r} has invalid value {bench['value']!r}")
+        if not isinstance(bench["iterations"], int) or bench["iterations"] < 1:
+            fail(f"benchmark {bench['name']!r} has invalid iterations")
+        for key, value in bench.get("counters", {}).items():
+            if not isinstance(value, (int, float)):
+                fail(f"benchmark {bench['name']!r} counter {key!r} not numeric")
+    if expected is not None and len(benchmarks) != expected:
+        fail(f"expected {expected} benchmarks, found {len(benchmarks)}")
+
+    print(f"validate_perf_report: OK ({len(benchmarks)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

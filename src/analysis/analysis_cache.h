@@ -25,6 +25,7 @@
 #include "analysis/transform.h"
 #include "graph/critical_path.h"
 #include "graph/dag.h"
+#include "graph/flat_dag.h"
 #include "util/fraction.h"
 
 namespace hedra::analysis {
@@ -52,6 +53,15 @@ class AnalysisCache {
 
   [[nodiscard]] const Dag& original() const noexcept { return *dag_; }
 
+  /// CSR snapshot of the ORIGINAL graph, built once on first use.  Every
+  /// graph walk the cache performs on τ runs over this snapshot, and the
+  /// simulation call sites share it so a 5-policy × 4-m sweep snapshots the
+  /// DAG once instead of twenty times.
+  [[nodiscard]] const graph::FlatDag& flat();
+
+  /// CSR snapshot of the transformed graph τ' (forces the transform).
+  [[nodiscard]] const graph::FlatDag& flat_transformed();
+
   /// Algorithm 1 (validates the model preconditions on first call).
   [[nodiscard]] const TransformResult& transform();
 
@@ -61,7 +71,10 @@ class AnalysisCache {
   /// Longest-path data of G'.
   [[nodiscard]] const graph::CriticalPathInfo& critical_path();
 
-  /// Deterministic topological orders (Kahn, id tie-breaks).
+  /// Deterministic topological orders (Kahn, id tie-breaks).  Served from
+  /// the CSR snapshots, so the first call FORCES the corresponding
+  /// snapshot; callers that only ever need an order should call
+  /// graph::topological_order directly.
   [[nodiscard]] const std::vector<graph::NodeId>& topo_original();
   [[nodiscard]] const std::vector<graph::NodeId>& topo_transformed();
 
@@ -99,12 +112,13 @@ class AnalysisCache {
  private:
   const Dag* dag_;
   std::optional<TransformResult> transform_;
+  std::optional<graph::FlatDag> flat_;
+  std::optional<graph::FlatDag> flat_transformed_;
   std::optional<graph::CriticalPathInfo> cp_transformed_;
-  std::optional<std::vector<graph::NodeId>> topo_original_;
-  std::optional<std::vector<graph::NodeId>> topo_transformed_;
   std::optional<TheoremQuantities> quantities_;
   std::optional<PlatformQuantities> platform_quantities_;
   std::optional<graph::Time> len_original_;
+  std::optional<graph::Time> vol_original_;
 
   /// analyze() minus the transform field, shared by both overloads.
   [[nodiscard]] HetAnalysis assemble(int m);

@@ -38,6 +38,22 @@ graph::Time max_host_path(const graph::Dag& dag) {
   return max_host_path(dag, graph::topological_order(dag));
 }
 
+graph::Time max_host_path(const graph::FlatDag& flat) {
+  std::vector<graph::Time> best(flat.num_nodes(), 0);
+  graph::Time max_weighted = 0;
+  for (const auto v : flat.topological_order()) {
+    graph::Time incoming = 0;
+    for (const auto p : flat.predecessors(v)) {
+      incoming = std::max(incoming, best[p]);
+    }
+    const graph::Time weight =
+        flat.device(v) == graph::kHostDevice ? flat.wcet(v) : 0;
+    best[v] = incoming + weight;
+    max_weighted = std::max(max_weighted, best[v]);
+  }
+  return max_weighted;
+}
+
 PlatformAnalysis analyze_platform(const graph::Dag& dag,
                                   const model::Platform& platform) {
   platform.validate();

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "graph/dag.h"
+#include "graph/flat_dag.h"
 #include "model/platform.h"
 #include "util/fraction.h"
 
@@ -92,6 +93,10 @@ struct PlatformAnalysis {
 /// Overload reusing an already-computed topological order of `dag`.
 [[nodiscard]] graph::Time max_host_path(const graph::Dag& dag,
                                         std::span<const graph::NodeId> order);
+
+/// Overload over a CSR snapshot, using its cached topological order — the
+/// AnalysisCache hot path (one contiguous pass, no adjacency indirection).
+[[nodiscard]] graph::Time max_host_path(const graph::FlatDag& flat);
 
 /// Human-readable, term-by-term derivation of the bound (the multi-device
 /// counterpart of rta_heterogeneous's explain).  Meant for tooling output

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "exact/bounds.h"
 #include "exact/list_heuristics.h"
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
+#include "graph/flat_dag.h"
 #include "util/bitset.h"
 
 namespace hedra::exact {
@@ -15,6 +18,7 @@ namespace hedra::exact {
 namespace {
 
 using graph::Dag;
+using graph::FlatDag;
 using graph::NodeId;
 using graph::Time;
 
@@ -24,35 +28,63 @@ struct Running {
   bool on_accel;
 };
 
-/// Mutable search state; the advance branch snapshots the whole struct.
-struct State {
+/// Everything a delay branch needs to restore the search state exactly —
+/// the historical solver snapshotted the whole mutable state (one O(n)
+/// deep copy per delay node); this frame records only the delta: retired
+/// running entries, instantly-completed sync nodes, and the small scalar
+/// counters.  `remaining_preds` and the `started` bitset are restored by
+/// replaying the deltas backwards, and the ready arrays (a few dozen ids)
+/// are the only verbatim copies.
+struct DelayFrame {
   Time now = 0;
-  std::vector<std::size_t> remaining_preds;
-  std::vector<NodeId> ready_host;   ///< sorted by exploration priority
-  std::vector<NodeId> ready_accel;  ///< sorted by exploration priority
-  std::vector<Running> running;
   int free_cores = 0;
   bool accel_free = true;
   std::size_t completed = 0;
-  DynamicBitset started;            ///< started or finished
-  Time unstarted_host_work = 0;
-  Time unstarted_accel_work = 0;
+  Time sum_finish_host = 0;
+  Time sum_finish_accel = 0;
+  int n_running_host = 0;
+  int n_running_accel = 0;
+  std::size_t accel_ready_count = 0;
+  std::size_t down_ptr = 0;
+  std::vector<NodeId> ready_host;
+  std::vector<NodeId> ready_accel;
+  std::vector<NodeId> zero_completed;
+  std::vector<std::pair<std::size_t, Running>> retired;  ///< (index, entry)
+  std::vector<NodeId> newly;  ///< scratch for the retirement scan
 };
 
+/// Depth-first branch-and-bound over left-shifted schedules (see bnb.h),
+/// rewritten over a FlatDag CSR snapshot with
+///  - an incrementally maintained lower bound (the path term reads the
+///    first unstarted entry of a down-sorted node order instead of sweeping
+///    all n nodes per search node; the area terms are running sums),
+///  - O(1) ready-list removal: ready nodes stay in their priority-sorted
+///    arrays and branches mark them via the `started` bitset, which keeps
+///    the branch enumeration order — and therefore the explored node
+///    sequence and any budget-truncated result — bit-identical to the
+///    historical erase/insert implementation, and
+///  - an undo-based delay branch (DelayFrame) instead of a full state
+///    snapshot.
 class Solver {
  public:
   Solver(const Dag& dag, int m, const BnbConfig& config)
-      : dag_(dag), m_(m), config_(config), cp_(dag) {
-    const std::size_t n = dag.num_nodes();
-    down_.resize(n);
-    for (NodeId v = 0; v < n; ++v) down_[v] = cp_.down(v);
-    single_offload_ = dag.offload_nodes().size() == 1;
+      : dag_(dag),
+        flat_(dag),
+        m_(m),
+        config_(config),
+        down_(graph::down_lengths(flat_)) {
+    const std::size_t n = flat_.num_nodes();
+    by_down_.resize(n);
+    for (NodeId v = 0; v < n; ++v) by_down_[v] = v;
+    std::sort(by_down_.begin(), by_down_.end(),
+              [this](NodeId a, NodeId b) { return prior(a, b); });
+    single_offload_ = flat_.num_offload_nodes() == 1;
   }
 
   BnbResult solve() {
     BnbResult result;
     result.root_lower_bound = makespan_lower_bound(dag_, m_);
-    result.heuristic_upper_bound = best_heuristic_makespan(dag_, m_).makespan;
+    result.heuristic_upper_bound = best_heuristic_makespan(flat_, m_).makespan;
     best_ = result.heuristic_upper_bound;
     if (best_ == result.root_lower_bound) {
       result.makespan = best_;
@@ -64,28 +96,32 @@ class Solver {
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(config_.time_limit_sec));
 
-    State root;
-    const std::size_t n = dag_.num_nodes();
-    root.remaining_preds.resize(n);
-    for (NodeId v = 0; v < n; ++v) root.remaining_preds[v] = dag_.in_degree(v);
-    root.free_cores = m_;
-    root.started = DynamicBitset(n);
+    const std::size_t n = flat_.num_nodes();
+    remaining_preds_.resize(n);
     for (NodeId v = 0; v < n; ++v) {
-      if (dag_.wcet(v) == 0) continue;
-      if (dag_.kind(v) == graph::NodeKind::kOffload) {
-        root.unstarted_accel_work += dag_.wcet(v);
+      remaining_preds_[v] = static_cast<std::uint32_t>(flat_.in_degree(v));
+    }
+    free_cores_ = m_;
+    started_ = DynamicBitset(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (flat_.wcet(v) == 0) continue;
+      if (flat_.device(v) != graph::kHostDevice) {
+        unstarted_accel_work_ += flat_.wcet(v);
       } else {
-        root.unstarted_host_work += dag_.wcet(v);
+        unstarted_host_work_ += flat_.wcet(v);
       }
     }
+    running_.reserve(static_cast<std::size_t>(m_) + 1);
+    ready_host_.reserve(n);
+    ready_accel_.reserve(n);
+
     std::vector<NodeId> newly;
     for (NodeId v = 0; v < n; ++v) {
-      if (root.remaining_preds[v] == 0) newly.push_back(v);
+      if (remaining_preds_[v] == 0) newly.push_back(v);
     }
-    absorb(root, newly);
+    absorb(newly, nullptr);
 
     aborted_ = false;
-    state_ = std::move(root);
     search(0, 0);
 
     result.makespan = best_;
@@ -96,7 +132,7 @@ class Solver {
 
  private:
   /// Priority order inside the ready lists: critical (largest down) first.
-  bool prior(NodeId a, NodeId b) const {
+  [[nodiscard]] bool prior(NodeId a, NodeId b) const {
     return down_[a] != down_[b] ? down_[a] > down_[b] : a < b;
   }
 
@@ -107,45 +143,58 @@ class Solver {
     list.insert(it, v);
   }
 
-  /// Files newly ready nodes; zero-WCET nodes complete instantly.
-  void absorb(State& s, std::vector<NodeId>& newly) {
+  /// Drops entries this time step's branches have started; the survivors
+  /// keep their relative (priority) order.
+  void compact(std::vector<NodeId>& list) {
+    std::erase_if(list,
+                  [this](NodeId v) { return started_.test_unchecked(v); });
+  }
+
+  /// Files newly ready nodes; zero-WCET nodes complete instantly (recorded
+  /// in `zero_record` when a delay frame needs to undo them).
+  void absorb(std::vector<NodeId>& newly, std::vector<NodeId>* zero_record) {
     while (!newly.empty()) {
       const NodeId v = newly.back();
       newly.pop_back();
-      if (dag_.wcet(v) == 0) {
-        s.started.set(v);
-        ++s.completed;
-        for (const NodeId w : dag_.successors(v)) {
-          if (--s.remaining_preds[w] == 0) newly.push_back(w);
+      if (flat_.wcet(v) == 0) {
+        started_.set_unchecked(v);
+        ++completed_;
+        if (zero_record != nullptr) zero_record->push_back(v);
+        for (const NodeId w : flat_.successors(v)) {
+          if (--remaining_preds_[w] == 0) newly.push_back(w);
         }
         continue;
       }
-      if (dag_.kind(v) == graph::NodeKind::kOffload) {
-        sorted_insert(s.ready_accel, v);
+      if (flat_.device(v) != graph::kHostDevice) {
+        sorted_insert(ready_accel_, v);
+        ++accel_ready_count_;
       } else {
-        sorted_insert(s.ready_host, v);
+        sorted_insert(ready_host_, v);
       }
     }
   }
 
-  [[nodiscard]] Time lower_bound(const State& s) const {
-    // Path bound: every unstarted node starts at >= now; every running node
-    // finishes at its finish time and is followed by its longest tail.
-    Time lb = s.now;
-    for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
-      if (!s.started.test(v)) lb = std::max(lb, s.now + down_[v]);
+  [[nodiscard]] Time lower_bound() {
+    const std::size_t n = flat_.num_nodes();
+    // Path bound: every unstarted node starts at >= now.  by_down_ is
+    // sorted by descending down(v), so the first unstarted entry IS the
+    // maximum; the pointer only moves over nodes already started and is
+    // saved/restored around every branch.
+    while (down_ptr_ < n && started_.test_unchecked(by_down_[down_ptr_])) ++down_ptr_;
+    Time lb = now_;
+    if (down_ptr_ < n) lb = std::max(lb, now_ + down_[by_down_[down_ptr_]]);
+    // Running nodes finish at their finish time followed by their tail.
+    for (const auto& r : running_) {
+      lb = std::max(lb, r.finish + down_[r.node] - flat_.wcet(r.node));
     }
-    Time running_host_rem = 0;
-    Time running_accel_rem = 0;
-    for (const auto& r : s.running) {
-      lb = std::max(lb, r.finish + down_[r.node] - dag_.wcet(r.node));
-      if (r.on_accel) running_accel_rem += r.finish - s.now;
-      else running_host_rem += r.finish - s.now;
-    }
-    // Area bounds.
-    const Time host_work = s.unstarted_host_work + running_host_rem;
-    lb = std::max(lb, s.now + (host_work + m_ - 1) / m_);
-    lb = std::max(lb, s.now + s.unstarted_accel_work + running_accel_rem);
+    // Area bounds from running sums of finish times.
+    const Time running_host_rem =
+        sum_finish_host_ - static_cast<Time>(n_running_host_) * now_;
+    const Time running_accel_rem =
+        sum_finish_accel_ - static_cast<Time>(n_running_accel_) * now_;
+    const Time host_work = unstarted_host_work_ + running_host_rem;
+    lb = std::max(lb, now_ + (host_work + m_ - 1) / m_);
+    lb = std::max(lb, now_ + unstarted_accel_work_ + running_accel_rem);
     return lb;
   }
 
@@ -163,122 +212,221 @@ class Solver {
     return false;
   }
 
-  void start_node(State& s, NodeId v, bool on_accel) {
-    s.started.set(v);
-    s.running.push_back(Running{s.now + dag_.wcet(v), v, on_accel});
+  void start_node(NodeId v, bool on_accel) {
+    started_.set_unchecked(v);
+    const Time finish = now_ + flat_.wcet(v);
+    running_.push_back(Running{finish, v, on_accel});
     if (on_accel) {
-      s.accel_free = false;
-      s.unstarted_accel_work -= dag_.wcet(v);
+      accel_free_ = false;
+      unstarted_accel_work_ -= flat_.wcet(v);
+      sum_finish_accel_ += finish;
+      ++n_running_accel_;
+      --accel_ready_count_;
     } else {
-      --s.free_cores;
-      s.unstarted_host_work -= dag_.wcet(v);
+      --free_cores_;
+      unstarted_host_work_ -= flat_.wcet(v);
+      sum_finish_host_ += finish;
+      ++n_running_host_;
     }
   }
 
-  void undo_start(State& s, NodeId v, bool on_accel) {
-    s.started.reset(v);
-    HEDRA_ASSERT(!s.running.empty() && s.running.back().node == v);
-    s.running.pop_back();
+  void undo_start(NodeId v, bool on_accel) {
+    started_.reset_unchecked(v);
+    HEDRA_ASSERT(!running_.empty() && running_.back().node == v);
+    const Time finish = running_.back().finish;
+    running_.pop_back();
     if (on_accel) {
-      s.accel_free = true;
-      s.unstarted_accel_work += dag_.wcet(v);
+      accel_free_ = true;
+      unstarted_accel_work_ += flat_.wcet(v);
+      sum_finish_accel_ -= finish;
+      --n_running_accel_;
+      ++accel_ready_count_;
     } else {
-      ++s.free_cores;
-      s.unstarted_host_work += dag_.wcet(v);
+      ++free_cores_;
+      unstarted_host_work_ += flat_.wcet(v);
+      sum_finish_host_ -= finish;
+      --n_running_host_;
     }
   }
 
   /// DFS over decisions at the current event time.  `min_host` / `min_accel`
-  /// restrict which ready-list suffixes may still start at this time,
-  /// cancelling permutation symmetry of simultaneous starts.
+  /// are positions in the (priority-sorted) ready arrays: only suffix
+  /// entries not yet started may still start at this time, cancelling
+  /// permutation symmetry of simultaneous starts exactly as the historical
+  /// erase-based enumeration did.
   void search(std::size_t min_host, std::size_t min_accel) {
     if (out_of_budget()) return;
     ++nodes_;
-    State& s = state_;
 
-    if (s.completed == dag_.num_nodes()) {
-      best_ = std::min(best_, s.now);
+    if (completed_ == flat_.num_nodes()) {
+      best_ = std::min(best_, now_);
       return;
     }
-    if (lower_bound(s) >= best_) return;
+    if (lower_bound() >= best_) return;
 
     // Dominance: a lone offload node starts the moment it is ready.
-    if (single_offload_ && s.accel_free && !s.ready_accel.empty()) {
-      const NodeId v = s.ready_accel.front();
-      s.ready_accel.erase(s.ready_accel.begin());
-      start_node(s, v, /*on_accel=*/true);
+    if (single_offload_ && accel_free_ && accel_ready_count_ > 0) {
+      std::size_t i = 0;
+      while (started_.test_unchecked(ready_accel_[i])) ++i;
+      const NodeId v = ready_accel_[i];
+      const std::size_t saved_ptr = down_ptr_;
+      start_node(v, /*on_accel=*/true);
       search(min_host, 0);
-      undo_start(s, v, /*on_accel=*/true);
-      sorted_insert(s.ready_accel, v);
+      undo_start(v, /*on_accel=*/true);
+      down_ptr_ = saved_ptr;
       return;
     }
 
     // Branch: start a ready host node (canonical suffix order).
-    if (s.free_cores > 0) {
-      for (std::size_t i = min_host; i < s.ready_host.size(); ++i) {
-        const NodeId v = s.ready_host[i];
-        s.ready_host.erase(s.ready_host.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-        start_node(s, v, /*on_accel=*/false);
+    if (free_cores_ > 0) {
+      for (std::size_t i = min_host; i < ready_host_.size(); ++i) {
+        const NodeId v = ready_host_[i];
+        if (started_.test_unchecked(v)) continue;
+        const std::size_t saved_ptr = down_ptr_;
+        start_node(v, /*on_accel=*/false);
         // Canonical order for simultaneous starts: accelerator starts come
         // before host starts, so none are allowed after this one.
-        search(i, s.ready_accel.size());
-        undo_start(s, v, /*on_accel=*/false);
-        s.ready_host.insert(
-            s.ready_host.begin() + static_cast<std::ptrdiff_t>(i), v);
+        search(i + 1, ready_accel_.size());
+        undo_start(v, /*on_accel=*/false);
+        down_ptr_ = saved_ptr;
         if (aborted_) return;
       }
     }
 
     // Branch: start a ready offload node (multi-offload case only; the
     // single-offload case is handled by the dominance rule above).
-    if (s.accel_free) {
-      for (std::size_t i = min_accel; i < s.ready_accel.size(); ++i) {
-        const NodeId v = s.ready_accel[i];
-        s.ready_accel.erase(s.ready_accel.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-        start_node(s, v, /*on_accel=*/true);
-        search(min_host, i);
-        undo_start(s, v, /*on_accel=*/true);
-        s.ready_accel.insert(
-            s.ready_accel.begin() + static_cast<std::ptrdiff_t>(i), v);
+    if (accel_free_) {
+      for (std::size_t i = min_accel; i < ready_accel_.size(); ++i) {
+        const NodeId v = ready_accel_[i];
+        if (started_.test_unchecked(v)) continue;
+        const std::size_t saved_ptr = down_ptr_;
+        start_node(v, /*on_accel=*/true);
+        search(min_host, i + 1);
+        undo_start(v, /*on_accel=*/true);
+        down_ptr_ = saved_ptr;
         if (aborted_) return;
       }
     }
 
     // Branch: delay everything else to the next completion event.
-    if (s.running.empty()) return;  // nothing in flight: delaying deadlocks
-    const State snapshot = s;
-    Time next = s.running.front().finish;
-    for (const auto& r : s.running) next = std::min(next, r.finish);
-    std::vector<NodeId> newly;
-    for (auto it = s.running.begin(); it != s.running.end();) {
-      if (it->finish == next) {
-        if (it->on_accel) s.accel_free = true;
-        else ++s.free_cores;
-        ++s.completed;
-        for (const NodeId w : dag_.successors(it->node)) {
-          if (--s.remaining_preds[w] == 0) newly.push_back(w);
+    if (running_.empty()) return;  // nothing in flight: delaying deadlocks
+    Time next = running_.front().finish;
+    for (const auto& r : running_) next = std::min(next, r.finish);
+
+    // Frames are pooled by delay depth so steady-state search allocates
+    // nothing (the vectors keep their high-water capacity).
+    if (delay_depth_ == frame_pool_.size()) frame_pool_.emplace_back();
+    DelayFrame& frame = frame_pool_[delay_depth_++];
+    frame.now = now_;
+    frame.free_cores = free_cores_;
+    frame.accel_free = accel_free_;
+    frame.completed = completed_;
+    frame.sum_finish_host = sum_finish_host_;
+    frame.sum_finish_accel = sum_finish_accel_;
+    frame.n_running_host = n_running_host_;
+    frame.n_running_accel = n_running_accel_;
+    frame.accel_ready_count = accel_ready_count_;
+    frame.down_ptr = down_ptr_;
+    frame.ready_host.assign(ready_host_.begin(), ready_host_.end());
+    frame.ready_accel.assign(ready_accel_.begin(), ready_accel_.end());
+    frame.zero_completed.clear();
+    frame.retired.clear();
+    frame.newly.clear();
+
+    std::vector<NodeId>& newly = frame.newly;
+    for (std::size_t i = 0; i < running_.size();) {
+      if (running_[i].finish == next) {
+        const Running r = running_[i];
+        frame.retired.emplace_back(i, r);
+        if (r.on_accel) {
+          accel_free_ = true;
+          sum_finish_accel_ -= r.finish;
+          --n_running_accel_;
+        } else {
+          ++free_cores_;
+          sum_finish_host_ -= r.finish;
+          --n_running_host_;
         }
-        it = s.running.erase(it);
+        ++completed_;
+        for (const NodeId w : flat_.successors(r.node)) {
+          if (--remaining_preds_[w] == 0) newly.push_back(w);
+        }
+        running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
-        ++it;
+        ++i;
       }
     }
-    s.now = next;
-    absorb(s, newly);
+    // Entries started by this time step's branches are dropped so the
+    // arrays are pure (sorted, unstarted-only) again for the new time.
+    compact(ready_host_);
+    compact(ready_accel_);
+    now_ = next;
+    absorb(newly, &frame.zero_completed);
+
     search(0, 0);
-    state_ = snapshot;
+
+    // Undo the event: scalars, ready arrays, instant completions, retired
+    // running entries (back at their original positions).
+    now_ = frame.now;
+    free_cores_ = frame.free_cores;
+    accel_free_ = frame.accel_free;
+    completed_ = frame.completed;
+    sum_finish_host_ = frame.sum_finish_host;
+    sum_finish_accel_ = frame.sum_finish_accel;
+    n_running_host_ = frame.n_running_host;
+    n_running_accel_ = frame.n_running_accel;
+    accel_ready_count_ = frame.accel_ready_count;
+    down_ptr_ = frame.down_ptr;
+    ready_host_.assign(frame.ready_host.begin(), frame.ready_host.end());
+    ready_accel_.assign(frame.ready_accel.begin(), frame.ready_accel.end());
+    for (const NodeId v : frame.zero_completed) {
+      started_.reset_unchecked(v);
+      for (const NodeId w : flat_.successors(v)) ++remaining_preds_[w];
+    }
+    for (auto it = frame.retired.rbegin(); it != frame.retired.rend(); ++it) {
+      running_.insert(
+          running_.begin() + static_cast<std::ptrdiff_t>(it->first),
+          it->second);
+      for (const NodeId w : flat_.successors(it->second.node)) {
+        ++remaining_preds_[w];
+      }
+    }
+    --delay_depth_;
   }
 
   const Dag& dag_;
+  FlatDag flat_;
   int m_;
   BnbConfig config_;
-  graph::CriticalPathInfo cp_;
   std::vector<Time> down_;
+  std::vector<NodeId> by_down_;  ///< node ids, descending down(v)
   bool single_offload_ = false;
 
-  State state_;
+  // Mutable search state (was the snapshotted `State` struct).
+  Time now_ = 0;
+  std::vector<std::uint32_t> remaining_preds_;
+  std::vector<NodeId> ready_host_;   ///< sorted by exploration priority
+  std::vector<NodeId> ready_accel_;  ///< sorted by exploration priority
+  std::vector<Running> running_;
+  int free_cores_ = 0;
+  bool accel_free_ = true;
+  std::size_t completed_ = 0;
+  DynamicBitset started_;            ///< started or finished
+  Time unstarted_host_work_ = 0;
+  Time unstarted_accel_work_ = 0;
+  std::size_t accel_ready_count_ = 0;  ///< unstarted entries in ready_accel_
+                                       ///  (gates the dominance rule)
+  Time sum_finish_host_ = 0;    ///< Σ finish over running host nodes
+  Time sum_finish_accel_ = 0;   ///< Σ finish over running accelerator nodes
+  int n_running_host_ = 0;
+  int n_running_accel_ = 0;
+  std::size_t down_ptr_ = 0;    ///< first possibly-unstarted slot of by_down_
+
+  /// One reusable frame per delay depth.  A deque so references handed out
+  /// to a frame stay valid while deeper recursion grows the pool.
+  std::deque<DelayFrame> frame_pool_;
+  std::size_t delay_depth_ = 0;
+
   Time best_ = 0;
   std::uint64_t nodes_ = 0;
   bool aborted_ = false;

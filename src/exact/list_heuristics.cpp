@@ -2,7 +2,7 @@
 
 namespace hedra::exact {
 
-HeuristicResult best_heuristic_makespan(const graph::Dag& dag, int m,
+HeuristicResult best_heuristic_makespan(const graph::FlatDag& flat, int m,
                                         int random_tries) {
   HeuristicResult best;
   bool have = false;
@@ -11,7 +11,8 @@ HeuristicResult best_heuristic_makespan(const graph::Dag& dag, int m,
     config.cores = m;
     config.policy = policy;
     config.seed = seed;
-    const graph::Time makespan = sim::simulated_makespan(dag, config);
+    config.validate = false;  // hot path; the simulator is golden-pinned
+    const graph::Time makespan = sim::simulated_makespan(flat, config);
     if (!have || makespan < best.makespan) {
       best.makespan = makespan;
       best.policy = policy;
@@ -26,6 +27,12 @@ HeuristicResult best_heuristic_makespan(const graph::Dag& dag, int m,
     consider(sim::Policy::kRandom, 0x9e3779b9u + static_cast<std::uint64_t>(i));
   }
   return best;
+}
+
+HeuristicResult best_heuristic_makespan(const graph::Dag& dag, int m,
+                                        int random_tries) {
+  const graph::FlatDag flat(dag);
+  return best_heuristic_makespan(flat, m, random_tries);
 }
 
 }  // namespace hedra::exact

@@ -114,10 +114,14 @@ Dag transitive_reduction(const Dag& dag) {
   for (NodeId v = 0; v < dag.num_nodes(); ++v) {
     out.add_node(dag.node(v));
   }
-  const auto redundant = transitive_edges(dag);
+  // transitive_edges returns edges grouped by source ascending and, within
+  // a source, in adjacency order — not a sorted sequence.  Sort once and
+  // binary-search each edge (the historical std::find made this O(E·R)).
+  auto redundant = transitive_edges(dag);
+  std::sort(redundant.begin(), redundant.end());
   const auto is_redundant = [&](NodeId u, NodeId w) {
-    return std::find(redundant.begin(), redundant.end(),
-                     std::make_pair(u, w)) != redundant.end();
+    return std::binary_search(redundant.begin(), redundant.end(),
+                              std::make_pair(u, w));
   };
   for (const auto& [u, w] : dag.edges()) {
     if (!is_redundant(u, w)) out.add_edge(u, w);

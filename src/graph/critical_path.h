@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/dag.h"
+#include "graph/flat_dag.h"
 
 namespace hedra::graph {
 
@@ -24,6 +25,11 @@ class CriticalPathInfo {
  public:
   /// Computes lengths via one topological pass.  Throws on cyclic input.
   explicit CriticalPathInfo(const Dag& dag);
+
+  /// Same lengths from a CSR snapshot, reusing its cached topological order
+  /// (no re-sort, no pointer-chased adjacency) — the hot-path constructor
+  /// the AnalysisCache and the simulator use.
+  explicit CriticalPathInfo(const FlatDag& flat);
 
   /// len(G): length of the longest path; 0 for an empty graph.
   [[nodiscard]] Time length() const noexcept { return length_; }
@@ -45,6 +51,15 @@ class CriticalPathInfo {
 
 /// len(G) without retaining per-node data.
 [[nodiscard]] Time critical_path_length(const Dag& dag);
+
+/// len(G) from a CSR snapshot (single forward pass, no allocation beyond
+/// one lengths array).
+[[nodiscard]] Time critical_path_length(const FlatDag& flat);
+
+/// down(v) for every node of a snapshot — the longest path starting at v,
+/// v's WCET included.  One reverse pass over the cached topological order;
+/// used by the critical-path-first simulator policy and the B&B solver.
+[[nodiscard]] std::vector<Time> down_lengths(const FlatDag& flat);
 
 /// One longest path, source to sink, as a node sequence.  Deterministic
 /// (smallest-id tie-breaks).  Empty for an empty graph.

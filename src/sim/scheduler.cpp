@@ -1,15 +1,23 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <queue>
 #include <vector>
 
-#include "graph/algorithms.h"
 #include "graph/critical_path.h"
 
 namespace hedra::sim {
+
+namespace {
+std::atomic<std::uint64_t> g_validation_runs{0};
+}  // namespace
+
+std::uint64_t validation_runs() noexcept {
+  return g_validation_runs.load(std::memory_order_relaxed);
+}
 
 const std::vector<Policy>& all_policies() noexcept {
   static const std::vector<Policy> kAll{
@@ -36,120 +44,228 @@ const char* to_string(Policy policy) noexcept {
 
 namespace {
 
-struct ReadyEntry {
-  std::uint64_t seq;  ///< order of becoming ready (FIFO ticket)
-  NodeId node;
-};
-
-struct Running {
+/// One pending completion; the event heap pops the earliest finish (node id
+/// tie-break keeps the pop order fully specified, though retirement batches
+/// all events of the minimum finish time, so ties never change behaviour).
+struct Event {
   Time finish;
   NodeId node;
   int unit;
 };
 
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.finish != b.finish) return a.finish > b.finish;
+    return a.node > b.node;
+  }
+};
+
+/// Critical-path-first key: longest down(v) wins, smallest id tie-breaks —
+/// the same strict total order the historical linear scan minimised over,
+/// so heap and scan always pick the same node.
+struct CpEntry {
+  Time down;
+  NodeId node;
+};
+
+struct CpAfter {
+  bool operator()(const CpEntry& a, const CpEntry& b) const noexcept {
+    if (a.down != b.down) return a.down < b.down;
+    return a.node > b.node;
+  }
+};
+
+/// Host ready set, indexed by the policy so every pick is O(1)/O(log n):
+///  - breadth-first: nodes become ready in FIFO-ticket order, so a deque's
+///    front IS the minimum ticket (the historical scan's pick);
+///  - depth-first: the back is the maximum ticket;
+///  - critical-path / index order: binary heaps over the strict total order
+///    the historical scan minimised;
+///  - random: the historical vector + swap-remove, byte-compatible RNG
+///    consumption (one index draw per pick over the identical layout).
+class ReadyHost {
+ public:
+  ReadyHost(Policy policy, const std::vector<Time>* down)
+      : policy_(policy), down_(down) {}
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  void push(NodeId v) {
+    ++count_;
+    switch (policy_) {
+      case Policy::kBreadthFirst:
+        fifo_.push_back(v);
+        return;
+      case Policy::kDepthFirst:
+        lifo_.push_back(v);
+        return;
+      case Policy::kCriticalPathFirst:
+        cp_.push(CpEntry{(*down_)[v], v});
+        return;
+      case Policy::kIndexOrder:
+        by_index_.push(v);
+        return;
+      case Policy::kRandom:
+        pool_.push_back(v);
+        return;
+    }
+  }
+
+  [[nodiscard]] NodeId pop(Rng& rng) {
+    HEDRA_ASSERT(count_ > 0);
+    --count_;
+    switch (policy_) {
+      case Policy::kBreadthFirst: {
+        const NodeId v = fifo_.front();
+        fifo_.pop_front();
+        return v;
+      }
+      case Policy::kDepthFirst: {
+        const NodeId v = lifo_.back();
+        lifo_.pop_back();
+        return v;
+      }
+      case Policy::kCriticalPathFirst: {
+        const NodeId v = cp_.top().node;
+        cp_.pop();
+        return v;
+      }
+      case Policy::kIndexOrder: {
+        const NodeId v = by_index_.top();
+        by_index_.pop();
+        return v;
+      }
+      case Policy::kRandom: {
+        const std::size_t pick = rng.index(pool_.size());
+        const NodeId v = pool_[pick];
+        pool_[pick] = pool_.back();
+        pool_.pop_back();
+        return v;
+      }
+    }
+    throw InternalError("unreachable policy");
+  }
+
+ private:
+  Policy policy_;
+  const std::vector<Time>* down_;  ///< kCriticalPathFirst only
+  std::size_t count_ = 0;
+  std::deque<NodeId> fifo_;
+  std::vector<NodeId> lifo_;
+  std::priority_queue<CpEntry, std::vector<CpEntry>, CpAfter> cp_;
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> by_index_;
+  std::vector<NodeId> pool_;
+};
+
 class Simulation {
  public:
   /// `actual` gives per-node execution times; nullptr means "run at WCET".
-  Simulation(const Dag& dag, const SimConfig& config,
+  Simulation(const FlatDag& flat, const SimConfig& config,
              const std::vector<Time>* actual)
-      : dag_(dag),
+      : flat_(flat),
         config_(config),
         actual_(actual),
-        trace_(&dag, config.cores),
+        trace_(&flat.source(), config.cores),
         rng_(config.seed),
-        cp_info_(dag),
-        ready_dev_(dag.max_device()),
-        dev_busy_(dag.max_device(), false) {
+        down_(config.policy == Policy::kCriticalPathFirst
+                  ? graph::down_lengths(flat)
+                  : std::vector<Time>{}),
+        ready_host_(config.policy, &down_),
+        ready_dev_(flat.max_device()),
+        dev_busy_(flat.max_device(), false) {
     HEDRA_REQUIRE(config_.cores >= 1, "simulation requires at least one core");
     if (actual_ != nullptr) {
-      HEDRA_REQUIRE(actual_->size() == dag_.num_nodes(),
+      HEDRA_REQUIRE(actual_->size() == flat_.num_nodes(),
                     "actual-times vector size mismatch");
-      for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
-        HEDRA_REQUIRE((*actual_)[v] >= 0 && (*actual_)[v] <= dag_.wcet(v),
+      for (NodeId v = 0; v < flat_.num_nodes(); ++v) {
+        HEDRA_REQUIRE((*actual_)[v] >= 0 && (*actual_)[v] <= flat_.wcet(v),
                       "actual execution time outside [0, WCET]");
       }
     }
   }
 
   ScheduleTrace run() {
-    const std::size_t n = dag_.num_nodes();
+    const std::size_t n = flat_.num_nodes();
+    trace_.reserve(n);
     remaining_preds_.resize(n);
     for (NodeId v = 0; v < n; ++v) {
-      remaining_preds_[v] = dag_.in_degree(v);
+      remaining_preds_[v] = static_cast<std::uint32_t>(flat_.in_degree(v));
     }
     for (int core = config_.cores - 1; core >= 0; --core) {
       free_cores_.push(core);
     }
 
-    // Sources are ready at t = 0.
-    std::deque<NodeId> newly;
+    // Sources are ready at t = 0.  `queue_` is the FIFO of newly ready
+    // nodes, consumed from `queue_head_` (a plain vector + head index, so
+    // the per-event churn allocates nothing in steady state).
+    queue_.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      if (remaining_preds_[v] == 0) newly.push_back(v);
+      if (remaining_preds_[v] == 0) queue_.push_back(v);
     }
-    absorb_ready(newly, /*time=*/0);
+    absorb_ready(/*time=*/0);
 
     Time now = 0;
+    std::vector<NodeId> finished;
     while (completed_ < n) {
       dispatch(now);
-      HEDRA_REQUIRE(!running_.empty(),
+      HEDRA_REQUIRE(!events_.empty(),
                     "simulation stalled: cyclic or disconnected graph");
       // Advance to the next completion and retire everything finishing then.
-      Time next = running_.front().finish;
-      for (const auto& r : running_) next = std::min(next, r.finish);
-      std::deque<NodeId> finished;
-      for (auto it = running_.begin(); it != running_.end();) {
-        if (it->finish == next) {
-          if (it->unit >= 0) free_cores_.push(it->unit);
-          else dev_busy_[device_of_unit(it->unit) - 1] = false;
-          finished.push_back(it->node);
-          it = running_.erase(it);
-        } else {
-          ++it;
-        }
+      const Time next = events_.top().finish;
+      finished.clear();
+      while (!events_.empty() && events_.top().finish == next) {
+        const Event e = events_.top();
+        events_.pop();
+        if (e.unit >= 0) free_cores_.push(e.unit);
+        else dev_busy_[device_of_unit(e.unit) - 1] = false;
+        finished.push_back(e.node);
       }
       std::sort(finished.begin(), finished.end());
-      std::deque<NodeId> ready_next;
-      for (const NodeId v : finished) retire(v, ready_next);
-      absorb_ready(ready_next, next);
+      queue_.clear();
+      queue_head_ = 0;
+      for (const NodeId v : finished) retire(v);
+      absorb_ready(next);
       now = next;
     }
 
-    std::vector<Time> durations(dag_.num_nodes());
-    for (NodeId v = 0; v < dag_.num_nodes(); ++v) durations[v] = duration(v);
-    const auto issues = trace_.validate_with_durations(durations);
-    HEDRA_ASSERT(issues.empty());
+    if (config_.validate) {
+      g_validation_runs.fetch_add(1, std::memory_order_relaxed);
+      std::vector<Time> durations(n);
+      for (NodeId v = 0; v < n; ++v) durations[v] = duration(v);
+      const auto issues = trace_.validate_with_durations(durations);
+      HEDRA_ASSERT(issues.empty());
+    }
     return std::move(trace_);
   }
 
  private:
   /// How long node v actually executes in this run.
   [[nodiscard]] Time duration(NodeId v) const {
-    return actual_ != nullptr ? (*actual_)[v] : dag_.wcet(v);
+    return actual_ != nullptr ? (*actual_)[v] : flat_.wcet(v);
   }
-  /// Marks v complete and collects successors that became ready.
-  void retire(NodeId v, std::deque<NodeId>& ready_out) {
+  /// Marks v complete and appends successors that became ready to `queue_`.
+  void retire(NodeId v) {
     ++completed_;
-    for (const NodeId w : dag_.successors(v)) {
-      if (--remaining_preds_[w] == 0) ready_out.push_back(w);
+    for (const NodeId w : flat_.successors(v)) {
+      if (--remaining_preds_[w] == 0) queue_.push_back(w);
     }
   }
 
-  /// Files newly ready nodes into the ready queues.  Zero-WCET nodes
-  /// complete instantly (occupying no unit) and cascade.
-  void absorb_ready(std::deque<NodeId>& newly, Time time) {
-    while (!newly.empty()) {
-      const NodeId v = newly.front();
-      newly.pop_front();
-      if (dag_.wcet(v) == 0) {
+  /// Files the queued newly ready nodes into the ready structures, FIFO.
+  /// Zero-WCET nodes complete instantly (occupying no unit) and cascade.
+  void absorb_ready(Time time) {
+    while (queue_head_ < queue_.size()) {
+      const NodeId v = queue_[queue_head_++];
+      if (flat_.wcet(v) == 0) {
         trace_.add(Interval{v, kInstantUnit, time, time});
-        retire(v, newly);
+        retire(v);
         continue;
       }
-      if (const graph::DeviceId device = dag_.device(v);
+      if (const graph::DeviceId device = flat_.device(v);
           device != graph::kHostDevice) {
         ready_dev_[device - 1].push_back(v);
       } else {
-        ready_host_.push_back(ReadyEntry{next_seq_++, v});
+        ready_host_.push(v);
       }
     }
   }
@@ -164,82 +280,52 @@ class Simulation {
       start(v, accelerator_unit(static_cast<graph::DeviceId>(d + 1)), time);
     }
     while (!free_cores_.empty() && !ready_host_.empty()) {
-      const std::size_t pick = pick_index();
-      const NodeId v = ready_host_[pick].node;
-      ready_host_[pick] = ready_host_.back();
-      ready_host_.pop_back();
+      const NodeId v = ready_host_.pop(rng_);
       const int core = free_cores_.top();
       free_cores_.pop();
       start(v, core, time);
     }
   }
 
-  std::size_t pick_index() {
-    HEDRA_ASSERT(!ready_host_.empty());
-    const auto by = [&](auto&& better) {
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < ready_host_.size(); ++i) {
-        if (better(ready_host_[i], ready_host_[best])) best = i;
-      }
-      return best;
-    };
-    switch (config_.policy) {
-      case Policy::kBreadthFirst:
-        return by([](const ReadyEntry& a, const ReadyEntry& b) {
-          return a.seq < b.seq;
-        });
-      case Policy::kDepthFirst:
-        return by([](const ReadyEntry& a, const ReadyEntry& b) {
-          return a.seq > b.seq;
-        });
-      case Policy::kCriticalPathFirst:
-        return by([this](const ReadyEntry& a, const ReadyEntry& b) {
-          const Time da = cp_info_.down(a.node);
-          const Time db = cp_info_.down(b.node);
-          return da != db ? da > db : a.node < b.node;
-        });
-      case Policy::kIndexOrder:
-        return by([](const ReadyEntry& a, const ReadyEntry& b) {
-          return a.node < b.node;
-        });
-      case Policy::kRandom:
-        return rng_.index(ready_host_.size());
-    }
-    throw InternalError("unreachable policy");
-  }
-
   void start(NodeId v, int unit, Time time) {
     const Time finish = time + duration(v);
     trace_.add(Interval{v, unit, time, finish});
-    running_.push_back(Running{finish, v, unit});
+    events_.push(Event{finish, v, unit});
   }
 
-  const Dag& dag_;
+  const FlatDag& flat_;
   SimConfig config_;
   const std::vector<Time>* actual_;
   ScheduleTrace trace_;
   Rng rng_;
-  graph::CriticalPathInfo cp_info_;
+  std::vector<Time> down_;  ///< down(v), kCriticalPathFirst only
 
-  std::vector<std::size_t> remaining_preds_;
-  std::vector<ReadyEntry> ready_host_;
+  std::vector<std::uint32_t> remaining_preds_;
+  std::vector<NodeId> queue_;   ///< newly ready FIFO (consumed from head)
+  std::size_t queue_head_ = 0;
+  ReadyHost ready_host_;
   /// One FIFO ready queue and one busy flag per accelerator device; index
   /// d−1 holds device d (a single device reproduces the historical
   /// accelerator queue exactly).
   std::vector<std::deque<NodeId>> ready_dev_;
   std::vector<bool> dev_busy_;
-  std::vector<Running> running_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   std::priority_queue<int, std::vector<int>, std::greater<>> free_cores_;
-  std::uint64_t next_seq_ = 0;
   std::size_t completed_ = 0;
 };
 
 }  // namespace
 
+ScheduleTrace simulate(const FlatDag& flat, const SimConfig& config) {
+  HEDRA_REQUIRE(flat.num_nodes() > 0, "cannot simulate an empty graph");
+  Simulation sim(flat, config, nullptr);
+  return sim.run();
+}
+
 ScheduleTrace simulate(const Dag& dag, const SimConfig& config) {
   HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
-  HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot simulate a cyclic graph");
-  Simulation sim(dag, config, nullptr);
+  const FlatDag flat(dag);  // throws on cyclic input
+  Simulation sim(flat, config, nullptr);
   return sim.run();
 }
 
@@ -247,11 +333,22 @@ Time simulated_makespan(const Dag& dag, const SimConfig& config) {
   return simulate(dag, config).makespan();
 }
 
+Time simulated_makespan(const FlatDag& flat, const SimConfig& config) {
+  return simulate(flat, config).makespan();
+}
+
+ScheduleTrace simulate_with_times(const FlatDag& flat, const SimConfig& config,
+                                  const std::vector<Time>& actual_times) {
+  HEDRA_REQUIRE(flat.num_nodes() > 0, "cannot simulate an empty graph");
+  Simulation sim(flat, config, &actual_times);
+  return sim.run();
+}
+
 ScheduleTrace simulate_with_times(const Dag& dag, const SimConfig& config,
                                   const std::vector<Time>& actual_times) {
   HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
-  HEDRA_REQUIRE(graph::is_acyclic(dag), "cannot simulate a cyclic graph");
-  Simulation sim(dag, config, &actual_times);
+  const FlatDag flat(dag);  // throws on cyclic input
+  Simulation sim(flat, config, &actual_times);
   return sim.run();
 }
 

@@ -21,13 +21,25 @@
 ///    unit — they are pure synchronisation points;
 ///  - the scheduler is work-conserving: a free unit never idles while a
 ///    compatible node is ready.
+///
+/// Implementation (rewritten for the Monte-Carlo hot path): the simulation
+/// runs over a graph::FlatDag CSR snapshot, completions live in a binary
+/// min-heap keyed on finish time (the historical ready/running lists were
+/// rescanned linearly on every event), and the host ready set is held in a
+/// policy-indexed structure — FIFO deque, LIFO stack, or a priority heap —
+/// so every pick is O(log ready) instead of an O(ready) scan.  All of this
+/// is behaviour-preserving: traces are bit-identical to the historical
+/// simulator for every policy (pinned by the golden-trace regression suite).
 
 #include <cstdint>
 
+#include "graph/flat_dag.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 
 namespace hedra::sim {
+
+using graph::FlatDag;
 
 /// Ready-queue ordering for host cores.
 enum class Policy : std::uint8_t {
@@ -49,15 +61,34 @@ struct SimConfig {
   int cores = 2;                  ///< m
   Policy policy = Policy::kBreadthFirst;
   std::uint64_t seed = 1;         ///< used by Policy::kRandom only
+  /// Re-validate the produced trace against the DAG (precedence, unit
+  /// capacity, placement).  Defaults on — any violation is a hedra bug and
+  /// throws — but costs O(n log n + E) per run, so the Monte-Carlo sweep
+  /// call sites (fig10, the ablation bench, B&B heuristic seeding) switch
+  /// it off; the property/golden tests keep it on.
+  bool validate = true;
 };
 
+/// Number of trace validations simulations have performed in this process —
+/// a test hook so the `validate` flag's honouring is observable.
+[[nodiscard]] std::uint64_t validation_runs() noexcept;
+
 /// Simulates one complete execution of the DAG (every node at its WCET) and
-/// returns the validated trace.  Throws if the DAG is cyclic or the trace
-/// fails its own validation (which would be a hedra bug).
+/// returns the trace, validated when `config.validate` is set.  Throws if
+/// the DAG is cyclic or the trace fails validation (which would be a hedra
+/// bug).
 [[nodiscard]] ScheduleTrace simulate(const Dag& dag, const SimConfig& config);
+
+/// Same simulation over a prebuilt CSR snapshot — the sweep entry point: a
+/// 5-policy × 4-m sweep snapshots the DAG once and reuses it for all 20
+/// runs.
+[[nodiscard]] ScheduleTrace simulate(const FlatDag& flat,
+                                     const SimConfig& config);
 
 /// Convenience: makespan of simulate().
 [[nodiscard]] Time simulated_makespan(const Dag& dag, const SimConfig& config);
+[[nodiscard]] Time simulated_makespan(const FlatDag& flat,
+                                      const SimConfig& config);
 
 /// Simulates with *actual* execution times (one per node, each in
 /// [0, WCET]).  WCETs are upper bounds; real executions finish early, and
@@ -68,6 +99,9 @@ struct SimConfig {
 /// as well.  Throws if any actual time is negative or exceeds the WCET.
 [[nodiscard]] ScheduleTrace simulate_with_times(
     const Dag& dag, const SimConfig& config,
+    const std::vector<Time>& actual_times);
+[[nodiscard]] ScheduleTrace simulate_with_times(
+    const FlatDag& flat, const SimConfig& config,
     const std::vector<Time>& actual_times);
 
 /// Draws actual times uniformly from [ceil(scale_min·WCET), WCET] per node

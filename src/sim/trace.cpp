@@ -56,6 +56,15 @@ Time ScheduleTrace::host_idle_time() const noexcept {
   return makespan() * cores_ - busy;
 }
 
+std::string ScheduleTrace::to_text() const {
+  std::ostringstream os;
+  for (const auto& iv : intervals_) {
+    os << iv.node << ' ' << iv.unit << ' ' << iv.start << ' ' << iv.finish
+       << '\n';
+  }
+  return os.str();
+}
+
 std::vector<std::string> ScheduleTrace::validate() const {
   std::vector<Time> durations(dag_->num_nodes());
   for (NodeId v = 0; v < dag_->num_nodes(); ++v) {

@@ -55,6 +55,10 @@ class ScheduleTrace {
 
   void add(const Interval& interval);
 
+  /// Pre-sizes the interval storage (the simulator knows it will add
+  /// exactly one interval per node).
+  void reserve(std::size_t intervals) { intervals_.reserve(intervals); }
+
   [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
     return intervals_;
   }
@@ -97,6 +101,12 @@ class ScheduleTrace {
   /// actual execution times below the WCET).
   [[nodiscard]] std::vector<std::string> validate_with_durations(
       const std::vector<Time>& expected_durations) const;
+
+  /// Canonical text serialisation: one `node unit start finish` line per
+  /// interval, in insertion (scheduling-decision) order.  Two traces are
+  /// byte-identical iff the simulator made the identical decisions, which is
+  /// what the golden-trace regression suite pins across refactors.
+  [[nodiscard]] std::string to_text() const;
 
  private:
   const Dag* dag_;

@@ -39,6 +39,23 @@ class DynamicBitset {
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
+  // -- Unchecked variants for hot inner loops (the B&B solver flips and
+  //    tests membership bits millions of times per second over indices that
+  //    are node ids of the same graph, so the range check is pure
+  //    overhead).  Callers own the bounds proof.
+
+  void set_unchecked(std::size_t i) noexcept {
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset_unchecked(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  [[nodiscard]] bool test_unchecked(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const noexcept;
 

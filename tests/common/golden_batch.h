@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file golden_batch.h
+/// Pinned Monte-Carlo instances shared by the golden regression tests.
+///
+/// The simulator and the exact solver are performance-critical and have been
+/// rewritten over flat CSR snapshots; these helpers define the frozen
+/// instance batches whose behaviour is pinned by committed golden files
+/// (tests/golden/).  The goldens were generated from the pre-refactor
+/// implementations, so byte-identical output proves the rewrites preserved
+/// every scheduling decision and every optimal makespan.
+///
+/// Regenerating (only when behaviour is *intentionally* changed): compile a
+/// small main that writes golden_trace_text(K) to tests/golden/traces_k<K>.txt
+/// for K in {1, 2, 3} and golden_bnb_text() to tests/golden/bnb_results.txt.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exact/bnb.h"
+#include "exp/experiment.h"
+#include "sim/scheduler.h"
+
+namespace hedra::goldens {
+
+/// A small pinned batch of K-device DAGs (K = `devices`).
+inline std::vector<graph::Dag> golden_sim_batch(int devices) {
+  exp::BatchConfig config;
+  config.params.max_depth = 4;
+  config.params.n_par = 6;
+  config.params.min_nodes = 30;
+  config.params.max_nodes = 60;
+  config.params.num_devices = devices;
+  config.params.offloads_per_device = 1;
+  config.coff_ratio = 0.25;
+  config.count = 4;
+  config.seed = 0xBEEF00ULL + static_cast<std::uint64_t>(devices);
+  return exp::generate_batch(config);
+}
+
+/// Every pinned DAG simulated under every ready-queue policy and m ∈ {2, 8},
+/// serialised with ScheduleTrace::to_text under a per-run header line.
+inline std::string golden_trace_text(int devices) {
+  std::ostringstream os;
+  const auto batch = golden_sim_batch(devices);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const auto policy : sim::all_policies()) {
+      for (const int m : {2, 8}) {
+        sim::SimConfig config;
+        config.cores = m;
+        config.policy = policy;
+        const auto trace = sim::simulate(batch[i], config);
+        os << "# K=" << devices << " dag=" << i
+           << " policy=" << sim::to_string(policy) << " m=" << m << '\n'
+           << trace.to_text();
+      }
+    }
+  }
+  return os.str();
+}
+
+/// The pinned single-accelerator batches the exact solver's results are
+/// frozen on: the fig7 size classes, solved with a pure node budget (no
+/// wall-clock dependence) generous enough that every instance closes.
+struct GoldenBnbCase {
+  int m;
+  int min_nodes;
+  int max_nodes;
+  std::uint64_t seed;
+};
+
+inline const std::vector<GoldenBnbCase>& golden_bnb_cases() {
+  static const std::vector<GoldenBnbCase> kCases{
+      {2, 3, 20, 0xB0B0001ULL},
+      {8, 20, 40, 0xB0B0002ULL},
+      {3, 10, 30, 0xB0B0003ULL},
+      {4, 15, 35, 0xB0B0004ULL},
+  };
+  return kCases;
+}
+
+inline std::vector<graph::Dag> golden_bnb_batch(const GoldenBnbCase& c) {
+  exp::BatchConfig config;
+  config.params = gen::HierarchicalParams::small_tasks();
+  config.params.min_nodes = c.min_nodes;
+  config.params.max_nodes = c.max_nodes;
+  config.coff_ratio = 0.3;
+  config.count = 10;
+  config.seed = c.seed;
+  return exp::generate_batch(config);
+}
+
+/// Node-budgeted so the outcome is machine-independent; the budget is far
+/// above what these sizes need, so every instance is proven optimal.
+inline exact::BnbConfig golden_bnb_config() {
+  exact::BnbConfig config;
+  config.max_nodes = 5'000'000;
+  config.time_limit_sec = 300.0;
+  return config;
+}
+
+/// One line per instance: `m dag makespan proven root_lb heuristic_ub`.
+/// nodes_explored is deliberately excluded — it is allowed to change when
+/// the search is reorganised; the results are not.
+inline std::string golden_bnb_text() {
+  std::ostringstream os;
+  for (const auto& c : golden_bnb_cases()) {
+    const auto batch = golden_bnb_batch(c);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto result =
+          exact::min_makespan(batch[i], c.m, golden_bnb_config());
+      os << c.m << ' ' << i << ' ' << result.makespan << ' '
+         << (result.proven_optimal ? 1 : 0) << ' ' << result.root_lower_bound
+         << ' ' << result.heuristic_upper_bound << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hedra::goldens

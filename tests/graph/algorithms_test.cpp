@@ -6,6 +6,7 @@
 
 #include "common/fixtures.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace hedra::graph {
 namespace {
@@ -109,6 +110,35 @@ TEST(TransitiveReductionTest, RemovesOnlyRedundantEdges) {
     for (NodeId w = 0; w < dag.num_nodes(); ++w) {
       if (u == w) continue;
       EXPECT_EQ(reachable(dag, u, w), reachable(reduced, u, w));
+    }
+  }
+}
+
+TEST(TransitiveReductionTest, RandomDenseGraphs) {
+  // Regression for the sorted-lookup rewrite (the historical linear
+  // std::find made reduction O(E·R)): dense random id-ordered DAGs carry
+  // hundreds of redundant edges; reduction must drop exactly the
+  // transitive ones and preserve reachability.
+  Rng rng(0xA1507);
+  for (int round = 0; round < 5; ++round) {
+    Dag dag;
+    const int n = 40;
+    for (int v = 0; v < n; ++v) dag.add_node(1 + (v % 7));
+    for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+      for (NodeId w = u + 1; w < static_cast<NodeId>(n); ++w) {
+        if (rng.bernoulli(0.15)) dag.add_edge(u, w);
+      }
+    }
+    const std::size_t redundant = transitive_edges(dag).size();
+    const Dag reduced = transitive_reduction(dag);
+    EXPECT_EQ(reduced.num_edges(), dag.num_edges() - redundant);
+    EXPECT_TRUE(is_transitively_reduced(reduced));
+    for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+      for (NodeId w = 0; w < dag.num_nodes(); ++w) {
+        if (u == w) continue;
+        ASSERT_EQ(reachable(dag, u, w), reachable(reduced, u, w))
+            << "round " << round << ": " << u << " -> " << w;
+      }
     }
   }
 }

@@ -1,0 +1,65 @@
+/// Golden-trace regression: the simulator's every scheduling decision is
+/// frozen.  The goldens under tests/golden/ were serialised from the
+/// pre-refactor linear-scan simulator; the event-heap + policy-indexed
+/// rewrite must reproduce them byte-for-byte for K ∈ {1, 2, 3} devices ×
+/// all five ready-queue policies × m ∈ {2, 8}.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/golden_batch.h"
+
+namespace hedra {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(HEDRA_TEST_DATA_DIR) + "/golden/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenTraceTest, TracesMatchCommittedGoldens) {
+  const int devices = GetParam();
+  const std::string expected =
+      read_golden("traces_k" + std::to_string(devices) + ".txt");
+  EXPECT_EQ(goldens::golden_trace_text(devices), expected)
+      << "simulator behaviour drifted for K=" << devices
+      << "; if the change is intentional, regenerate tests/golden/ (see "
+         "tests/common/golden_batch.h)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, GoldenTraceTest, ::testing::Values(1, 2, 3));
+
+TEST(GoldenTraceTest, ToTextRoundsTripsIntervalOrder) {
+  const auto batch = goldens::golden_sim_batch(1);
+  sim::SimConfig config;
+  config.cores = 2;
+  const auto trace = sim::simulate(batch[0], config);
+  const std::string text = trace.to_text();
+  // One line per node, in scheduling-decision order.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            batch[0].num_nodes());
+  std::istringstream in(text);
+  graph::NodeId node;
+  int unit;
+  graph::Time start, finish;
+  in >> node >> unit >> start >> finish;
+  const auto& first = trace.intervals().front();
+  EXPECT_EQ(node, first.node);
+  EXPECT_EQ(unit, first.unit);
+  EXPECT_EQ(start, first.start);
+  EXPECT_EQ(finish, first.finish);
+}
+
+}  // namespace
+}  // namespace hedra
