@@ -26,6 +26,7 @@
 #include "exact/bnb.h"
 #include "exp/experiment.h"
 #include "exp/fig10.h"
+#include "exp/fig11.h"
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
 #include "sim/scheduler.h"
@@ -147,6 +148,22 @@ int main(int argc, char** argv) {
       const double ms =
           best_ms(reps, [&] { (void)hedra::exp::run_fig10(config); });
       record("fig10_sweep", "ms", ms);
+    }
+
+    // -- End-to-end: the fig11 unit-multiplicity sweep (PR 4), same batch
+    //    evaluated under n_d ∈ {1, 2, 3} units per class.
+    {
+      hedra::exp::Fig11Config config;
+      config.devices = 2;
+      config.units = {1, 2, 3};
+      config.ratios = {0.10, 0.30};
+      config.cores = {2, 8};
+      config.dags_per_point = q ? 2 : 6;
+      config.seed = 9;
+      config.jobs = 1;
+      const double ms =
+          best_ms(reps, [&] { (void)hedra::exp::run_fig11(config); });
+      record("fig11_sweep", "ms", ms);
     }
 
     // -- Simulation, per ready-queue policy (m = 8, K = 2 DAGs).

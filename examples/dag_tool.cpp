@@ -7,15 +7,18 @@
 ///   dag_tool --file graph.dag --m 4
 ///   dag_tool --file graph.dag --m 8 --dot out.dot --transformed out.dag
 ///   dag_tool --file multi.dag --platform 4:gpu,dsp
+///   dag_tool --file multi.dag --platform "4:gpu*2,dsp"
 ///
 /// `--platform m[:name1,name2,...]` switches to the heterogeneous Platform
-/// model (m host cores + one named single-unit accelerator class per
-/// device): the graph may place any number of nodes on any listed device
-/// (`offload` = device 1, `offload:2` = device 2, ...), and the report
-/// shows the K-device chain bound R_plat with its per-device term-by-term
-/// derivation.  When the graph also fits the paper's model (exactly one
-/// offload node on device 1), Theorem 1 and its derivation are printed
-/// alongside for comparison.
+/// model (m host cores + K named accelerator classes; a `*units` suffix
+/// gives a class several execution units, e.g. `4:gpu*2,dsp` = a 2-unit
+/// GPU and a single-unit DSP): the graph may place any number of nodes on
+/// any listed device (`offload` = device 1, `offload:2` = device 2, ...),
+/// and the report shows the K-device chain bound R_plat with its
+/// per-device term-by-term derivation (vol_d/n_d terms and the weighted
+/// chain when some n_d > 1).  When the graph also fits the paper's model
+/// (exactly one offload node on a single-unit device 1), Theorem 1 and its
+/// derivation are printed alongside for comparison.
 ///
 /// Example input file:
 ///   node v1 1
@@ -66,7 +69,8 @@ int run_platform_report(const hedra::graph::Dag& dag,
 
   // When the task also fits the paper's single-accelerator model, show
   // Theorem 1 next to the chain bound.
-  if (platform.num_devices() == 1 && dag.offload_nodes().size() == 1 &&
+  if (platform.num_devices() == 1 && !platform.has_multi_units() &&
+      dag.offload_nodes().size() == 1 &&
       graph::is_valid(dag, graph::heterogeneous_rules())) {
     std::cout << "\n";
     const auto het = analysis::analyze_heterogeneous(dag, platform.cores);
@@ -85,7 +89,8 @@ int main(int argc, char** argv) {
       "m", 4, "host cores (ignored with --platform, whose spec carries m)");
   const auto* platform_opt = parser.add_string(
       "platform", "",
-      "platform spec m[:dev1,dev2,...]; enables the multi-device report");
+      "platform spec m[:dev1,dev2,...], each device optionally dev*units "
+      "(e.g. 4:gpu*2,dsp); enables the multi-device report");
   const auto* dot_out = parser.add_string(
       "dot", "", "write DOT here (of G'; of the input graph with --platform)");
   const auto* trans_out = parser.add_string(

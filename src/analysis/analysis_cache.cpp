@@ -124,6 +124,38 @@ Frac AnalysisCache::r_platform(int m) {
                                  q.max_host_path, m);
 }
 
+Frac AnalysisCache::r_platform(int m, std::span<const int> device_units) {
+  const bool single_unit =
+      std::all_of(device_units.begin(), device_units.end(),
+                  [](int units) { return units == 1; });
+  if (single_unit) return r_platform(m);
+
+  const PlatformQuantities& q = platform_quantities();
+  const ChainWeighting weighting{m, device_units};
+  Frac device_term;
+  for (const auto& [device, volume] : q.device_volumes) {
+    const int units = weighting.units_of(device);
+    HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
+    device_term += Frac(volume, units);
+  }
+  return Frac(q.vol_host, m) + device_term +
+         analysis::max_host_path(flat(), weighting);
+}
+
+Frac AnalysisCache::r_platform(const model::Platform& platform) {
+  platform.validate();
+  {
+    const auto issues = model::check_supports(platform, *dag_);
+    HEDRA_REQUIRE(issues.empty(),
+                  "platform does not support the DAG: " + issues.front());
+  }
+  std::vector<int> units(static_cast<std::size_t>(platform.num_devices()));
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    units[i] = platform.units_of(static_cast<graph::DeviceId>(i + 1));
+  }
+  return r_platform(platform.cores, units);
+}
+
 HetAnalysis AnalysisCache::assemble(int m) {
   const TheoremQuantities& q = quantities();
   HetAnalysis out;

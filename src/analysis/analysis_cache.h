@@ -18,6 +18,7 @@
 /// inside each worker task.
 
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "graph/critical_path.h"
 #include "graph/dag.h"
 #include "graph/flat_dag.h"
+#include "model/platform.h"
 #include "util/fraction.h"
 
 namespace hedra::analysis {
@@ -101,6 +103,17 @@ class AnalysisCache {
   [[nodiscard]] Scenario scenario(int m);
   [[nodiscard]] Frac r_het(int m);       ///< Theorem 1 on τ'
   [[nodiscard]] Frac r_platform(int m);  ///< K-device chain bound on τ
+
+  /// The multiplicity generalisation: n_d execution units per accelerator
+  /// class (`device_units[d−1]`; devices beyond the span have one unit).
+  /// All-ones spans delegate to the cached single-unit arithmetic above;
+  /// otherwise the per-device volumes come from the cached
+  /// PlatformQuantities and only the weighted chain walk (which depends on
+  /// m and the unit vector) runs per call, over the CSR snapshot.
+  [[nodiscard]] Frac r_platform(int m, std::span<const int> device_units);
+
+  /// Same bound from a full Platform (must support the DAG's device ids).
+  [[nodiscard]] Frac r_platform(const model::Platform& platform);
 
   /// Assembles the full HetAnalysis record (identical field-for-field to
   /// analyze_heterogeneous, which delegates here).  On an lvalue cache the

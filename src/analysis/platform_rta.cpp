@@ -54,6 +54,44 @@ graph::Time max_host_path(const graph::FlatDag& flat) {
   return max_weighted;
 }
 
+namespace {
+
+/// Shared DP of the generalised walk; `Graph` is Dag or FlatDag (identical
+/// accessor vocabulary).  Exact rational arithmetic so the all-units-1
+/// reduction to max_host_path·(m−1)/m is an equality, not an approximation.
+template <typename Graph>
+Frac weighted_chain_walk(const Graph& graph,
+                         std::span<const graph::NodeId> order,
+                         const ChainWeighting& weighting) {
+  HEDRA_REQUIRE(weighting.m >= 1, "core count m must be >= 1");
+  std::vector<Frac> best(graph.num_nodes());
+  Frac max_weighted;
+  for (const auto v : order) {
+    Frac incoming;
+    for (const auto p : graph.predecessors(v)) {
+      incoming = frac_max(incoming, best[p]);
+    }
+    const graph::DeviceId device = graph.device(v);
+    const int units =
+        device == graph::kHostDevice ? weighting.m : weighting.units_of(device);
+    best[v] = incoming + Frac(graph.wcet(v) * (units - 1), units);
+    max_weighted = frac_max(max_weighted, best[v]);
+  }
+  return max_weighted;
+}
+
+}  // namespace
+
+Frac max_host_path(const graph::Dag& dag, const ChainWeighting& weighting) {
+  const auto order = graph::topological_order(dag);
+  return weighted_chain_walk(dag, order, weighting);
+}
+
+Frac max_host_path(const graph::FlatDag& flat,
+                   const ChainWeighting& weighting) {
+  return weighted_chain_walk(flat, flat.topological_order(), weighting);
+}
+
 PlatformAnalysis analyze_platform(const graph::Dag& dag,
                                   const model::Platform& platform) {
   platform.validate();
@@ -69,6 +107,7 @@ PlatformAnalysis analyze_platform(const graph::Dag& dag,
   out.m = platform.cores;
   out.vol_host = dag.volume_on(graph::kHostDevice);
   out.max_host_path = max_host_path(dag);
+  std::vector<int> units(platform.num_devices(), 1);
   for (int d = 1; d <= platform.num_devices(); ++d) {
     const auto device = static_cast<graph::DeviceId>(d);
     DeviceTerm term;
@@ -76,17 +115,31 @@ PlatformAnalysis analyze_platform(const graph::Dag& dag,
     term.name = platform.device_name(device);
     term.volume = dag.volume_on(device);
     term.node_count = dag.nodes_on(device).size();
+    term.units = platform.units_of(device);
+    term.term = Frac(term.volume, term.units);
+    units[d - 1] = term.units;
     out.devices.push_back(std::move(term));
   }
 
   const int m = out.m;
-  graph::Time device_volume_sum = 0;
-  for (const auto& term : out.devices) device_volume_sum += term.volume;
   out.host_term = Frac(out.vol_host, m);
-  out.device_term = Frac(device_volume_sum);
-  out.path_term = Frac(out.max_host_path * (m - 1), m);
-  out.bound = evaluate_platform_bound(out.vol_host, device_volume_sum,
-                                      out.max_host_path, m);
+  if (platform.has_multi_units()) {
+    Frac device_term;
+    for (const auto& term : out.devices) device_term += term.term;
+    out.device_term = device_term;
+    out.path_term = max_host_path(dag, ChainWeighting{m, units});
+    out.bound = out.host_term + out.device_term + out.path_term;
+  } else {
+    // The pre-multiplicity formula, kept on its own integer-walk path so
+    // single-unit platforms produce bit-identical analyses (and explain()
+    // output) to the historical implementation.
+    graph::Time device_volume_sum = 0;
+    for (const auto& term : out.devices) device_volume_sum += term.volume;
+    out.device_term = Frac(device_volume_sum);
+    out.path_term = Frac(out.max_host_path * (m - 1), m);
+    out.bound = evaluate_platform_bound(out.vol_host, device_volume_sum,
+                                        out.max_host_path, m);
+  }
   return out;
 }
 
@@ -101,10 +154,15 @@ Frac rta_platform(const graph::Dag& dag, int m) {
 std::string explain(const PlatformAnalysis& analysis) {
   std::ostringstream os;
   const int m = analysis.m;
+  const bool multi = analysis.platform.has_multi_units();
   os << "platform response-time bound (" << analysis.platform.describe()
-     << ")\n"
-     << "  R_plat = vol_host/m + sum_d vol_d + max_host_path*(m-1)/m\n"
-     << "  host:      vol_host = " << analysis.vol_host << " over m = " << m
+     << ")\n";
+  if (multi) {
+    os << "  R_plat = vol_host/m + sum_d vol_d/n_d + max weighted chain\n";
+  } else {
+    os << "  R_plat = vol_host/m + sum_d vol_d + max_host_path*(m-1)/m\n";
+  }
+  os << "  host:      vol_host = " << analysis.vol_host << " over m = " << m
      << " cores -> " << analysis.host_term << "\n";
   if (analysis.devices.empty()) {
     os << "  devices:   (none; chain form of the Graham bound)\n";
@@ -112,12 +170,22 @@ std::string explain(const PlatformAnalysis& analysis) {
   for (const auto& term : analysis.devices) {
     os << "  device d" << term.device << " (" << term.name
        << "): vol = " << term.volume << " across " << term.node_count
-       << " node" << (term.node_count == 1 ? "" : "s") << " -> +"
-       << term.volume << "\n";
+       << " node" << (term.node_count == 1 ? "" : "s");
+    if (multi) {
+      os << " on " << term.units << " unit" << (term.units == 1 ? "" : "s")
+         << " -> +" << term.term << "\n";
+    } else {
+      os << " -> +" << term.volume << "\n";
+    }
   }
-  os << "  chain:     max host path = " << analysis.max_host_path << " * (m-1)/m"
-     << " -> " << analysis.path_term << "\n"
-     << "  bound:     R_plat = " << analysis.host_term << " + "
+  if (multi) {
+    os << "  chain:     max path of C_v*(units-1)/units weights"
+       << " (host units = m) -> " << analysis.path_term << "\n";
+  } else {
+    os << "  chain:     max host path = " << analysis.max_host_path
+       << " * (m-1)/m" << " -> " << analysis.path_term << "\n";
+  }
+  os << "  bound:     R_plat = " << analysis.host_term << " + "
      << analysis.device_term << " + " << analysis.path_term << " = "
      << analysis.bound << " (= " << analysis.bound.to_double() << ")\n";
   return os.str();

@@ -4,7 +4,7 @@
 /// EXTENSION (the DAC'18 paper names multiple accelerators as future work,
 /// §7): a sound response-time bound for DAGs whose nodes are spread over a
 /// heterogeneous Platform — m identical host cores plus K named accelerator
-/// device classes, one execution unit each (model/platform.h).
+/// device classes with n_d execution units each (model/platform.h).
 ///
 /// Derivation (K+1-resource Graham argument, generalising the two-resource
 /// argument of analysis/multi_offload.h).  Fix any work-conserving schedule
@@ -13,23 +13,30 @@
 /// executing, either
 ///   (a) it is a host node, so all m host cores are busy with host work not
 ///       in C, or
-///   (b) it is placed on accelerator device d, so unit d is busy with
-///       device-d work not in C.
-/// Summing the three disjoint kinds of time (chain execution, host-saturated
+///   (b) it is placed on accelerator device d, so all n_d units of d are
+///       busy with device-d work not in C.
+/// Summing the disjoint kinds of time (chain execution, host-saturated
 /// waiting, device-saturated waiting) and bounding each gives
 ///
-///   R <= len(C) + (vol_host − host(C))/m + Σ_d (vol_d − dev_d(C))
-///     <= vol_host/m + Σ_d vol_d + max_P Σ_{v∈P, host} C_v·(m−1)/m ,
+///   R <= len(C) + (vol_host − host(C))/m + Σ_d (vol_d − dev_d(C))/n_d
+///     <= vol_host/m + Σ_d vol_d/n_d
+///        + max_P [ Σ_{v∈P, host} C_v·(m−1)/m
+///                + Σ_d Σ_{v∈P, dev d} C_v·(n_d−1)/n_d ] ,
 ///
 /// where the maximum ranges over all source-to-sink paths P — a weighted
-/// longest-path computation in which accelerator nodes contribute weight 0.
-/// With K = 1 this is *exactly* rta_multi_offload (a regression test pins
-/// the equality on generated batches), and with K = 0 it reduces to the
-/// chain form of the classic Graham bound, vol/m + max_P Σ C_v·(m−1)/m.
+/// longest-path computation in which every node contributes its WCET scaled
+/// by its own resource's (units−1)/units factor.  With n_d = 1 everywhere
+/// the device weights vanish and the path term factors into
+/// max_host_path·(m−1)/m, reproducing the pre-multiplicity bound *exactly*
+/// (a regression test pins the rational equality); with K = 1, n_1 = 1 this
+/// is rta_multi_offload, and with K = 0 the chain form of the classic
+/// Graham bound.
 ///
-/// The bound is monotone in each per-device volume and surfaces its
-/// derivation term-by-term (PlatformAnalysis + explain) so tooling can show
-/// *why* a task misses or meets its deadline on a given platform.
+/// The bound is monotone in each per-device volume, non-increasing in every
+/// n_d (each path value has derivative (chain_d − vol_d)/n_d² <= 0), and
+/// surfaces its derivation term-by-term (PlatformAnalysis + explain) so
+/// tooling can show *why* a task misses or meets its deadline on a given
+/// platform.
 
 #include <span>
 #include <string>
@@ -48,6 +55,8 @@ struct DeviceTerm {
   std::string name;            ///< platform name of the device
   graph::Time volume = 0;      ///< vol_d, total WCET placed on the device
   std::size_t node_count = 0;  ///< number of nodes placed on the device
+  int units = 1;               ///< n_d, execution units of the class
+  Frac term;                   ///< vol_d / n_d
 };
 
 /// Term-by-term decomposition of the K-device chain bound.
@@ -59,9 +68,25 @@ struct PlatformAnalysis {
   std::vector<DeviceTerm> devices;  ///< one entry per platform device
 
   Frac host_term;    ///< vol_host / m
-  Frac device_term;  ///< Σ_d vol_d
-  Frac path_term;    ///< max_host_path · (m−1) / m
+  Frac device_term;  ///< Σ_d vol_d / n_d
+  /// Weighted-chain term: max_host_path·(m−1)/m on a single-unit platform,
+  /// the full mixed-weight walk when some n_d > 1.
+  Frac path_term;
   Frac bound;        ///< R_plat = host_term + device_term + path_term
+};
+
+/// Per-node weighting of the generalised chain walk: host nodes weigh
+/// C_v·(m−1)/m, nodes on device d weigh C_v·(n_d−1)/n_d.  `units` is
+/// indexed d−1; devices beyond the span have one unit (weight zero), so an
+/// empty span recovers the host-only walk scaled by (m−1)/m.
+struct ChainWeighting {
+  int m = 1;
+  std::span<const int> units;
+
+  [[nodiscard]] int units_of(graph::DeviceId device) const noexcept {
+    const std::size_t index = static_cast<std::size_t>(device) - 1;
+    return index < units.size() ? units[index] : 1;
+  }
 };
 
 /// Computes the K-device chain bound with its full derivation.  Requires a
@@ -74,13 +99,15 @@ struct PlatformAnalysis {
 [[nodiscard]] Frac rta_platform(const graph::Dag& dag,
                                 const model::Platform& platform);
 
-/// Convenience: infers the smallest supporting platform (one unit per device
-/// id present in the DAG) and evaluates the bound on m host cores.
+/// Convenience: infers the smallest supporting platform (one single-unit
+/// class per device id present in the DAG) and evaluates the bound on m
+/// host cores.
 [[nodiscard]] Frac rta_platform(const graph::Dag& dag, int m);
 
-/// Evaluates the chain bound from pre-measured quantities — the single
-/// place the formula lives; analyze_platform and AnalysisCache::r_platform
-/// both delegate here.  `device_volume_sum` is Σ_d vol_d.
+/// Evaluates the single-unit chain bound from pre-measured quantities — the
+/// single place the n_d = 1 formula lives; analyze_platform and
+/// AnalysisCache::r_platform both delegate here.  `device_volume_sum` is
+/// Σ_d vol_d.
 [[nodiscard]] Frac evaluate_platform_bound(graph::Time vol_host,
                                            graph::Time device_volume_sum,
                                            graph::Time max_host_path, int m);
@@ -97,6 +124,15 @@ struct PlatformAnalysis {
 /// Overload over a CSR snapshot, using its cached topological order — the
 /// AnalysisCache hot path (one contiguous pass, no adjacency indirection).
 [[nodiscard]] graph::Time max_host_path(const graph::FlatDag& flat);
+
+/// The generalised weighted chain walk of the multiplicity bound:
+/// max_P Σ_{v∈P} C_v·(r_v−1)/r_v with r_v the unit count of v's resource
+/// (m for host nodes, n_d for device-d nodes).  Exact rationals throughout;
+/// with all n_d = 1 this equals max_host_path·(m−1)/m exactly.
+[[nodiscard]] Frac max_host_path(const graph::Dag& dag,
+                                 const ChainWeighting& weighting);
+[[nodiscard]] Frac max_host_path(const graph::FlatDag& flat,
+                                 const ChainWeighting& weighting);
 
 /// Human-readable, term-by-term derivation of the bound (the multi-device
 /// counterpart of rta_heterogeneous's explain).  Meant for tooling output

@@ -5,7 +5,9 @@
 /// accelerator) if its response-time upper bound does not exceed its
 /// relative deadline D (§3.1).
 
+#include "analysis/platform_rta.h"
 #include "analysis/rta_heterogeneous.h"
+#include "model/platform.h"
 #include "model/task.h"
 
 namespace hedra::analysis {
@@ -15,6 +17,7 @@ enum class AnalysisKind {
   kHomogeneous,    ///< Eq. 1 on the original DAG (baseline, [19])
   kHeterogeneous,  ///< Theorem 1 on the transformed DAG (this paper)
   kBest,           ///< min of the two (both are sound)
+  kPlatform,       ///< K-device chain bound R_plat (analysis/platform_rta.h)
 };
 
 [[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
@@ -28,13 +31,26 @@ struct SchedulabilityReport {
   /// Scenario of Theorem 1; meaningful for kHeterogeneous/kBest when the
   /// heterogeneous bound was evaluated.
   Scenario scenario = Scenario::kS1;
+  /// kPlatform only: the accelerator class with the largest volume term
+  /// vol_d/n_d (0 when no device term dominates any work, i.e. K = 0 or no
+  /// offloaded volume), and that term's value — the placement knob to turn
+  /// first when the task misses its deadline.
+  graph::DeviceId dominating_device = 0;
+  Frac dominating_device_term;
 };
 
 /// Verifies R(τ) <= D using the requested analysis.  For kHomogeneous the
 /// offload node is treated as a host node, exactly as the paper's baseline
-/// does.  Throws if the DAG violates the heterogeneous model preconditions
-/// and a heterogeneous analysis is requested.
+/// does; kPlatform infers the smallest supporting single-unit platform
+/// (model::platform_for).  Throws if the DAG violates the heterogeneous
+/// model preconditions and a heterogeneous analysis is requested.
 [[nodiscard]] SchedulabilityReport check_schedulability(
     const model::DagTask& task, int m, AnalysisKind kind = AnalysisKind::kBest);
+
+/// Platform-aware test: R_plat(τ, platform) <= D, with the dominating
+/// device term reported.  The platform (cores + named multi-unit device
+/// classes) must support every placement in the task's DAG.
+[[nodiscard]] SchedulabilityReport check_schedulability(
+    const model::DagTask& task, const model::Platform& platform);
 
 }  // namespace hedra::analysis

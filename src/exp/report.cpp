@@ -145,6 +145,50 @@ std::string render_fig10(const Fig10Result& result) {
   return os.str();
 }
 
+std::string render_fig11(const Fig11Result& result) {
+  const auto abbreviate = [](const std::string& name) {
+    std::string out;
+    bool take = true;
+    for (const char c : name) {
+      if (take && c != '-') out.push_back(static_cast<char>(std::toupper(c)));
+      take = c == '-';
+    }
+    return out;
+  };
+  std::vector<std::string> header{"n_d", "C_off/vol", "m", "mean R_plat",
+                                  "R_plat(n=1)"};
+  for (const auto& name : result.policy_names) {
+    header.push_back("sim " + abbreviate(name));
+  }
+  header.emplace_back("worst/bound");
+  TextTable table(header);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells{
+        std::to_string(row.units), ratio_str(row.ratio), std::to_string(row.m),
+        format_double(row.mean_bound, 1),
+        format_double(row.mean_bound_single, 1)};
+    for (const double makespan : row.mean_makespan) {
+      cells.push_back(format_double(makespan, 1));
+    }
+    cells.push_back(format_double(row.max_sim_over_bound, 3));
+    table.add_row(cells);
+  }
+  std::ostringstream os;
+  os << "K = " << result.devices
+     << " accelerator class(es), n_d units each\n";
+  os << table.render();
+  os << "\nSoundness & tightening per (n_d, m) — every work-conserving "
+        "policy must stay below R_plat(n_d):\n";
+  for (const auto& s : result.summaries) {
+    os << "  n_d=" << s.units << " m=" << s.m << ": worst sim/bound "
+       << format_double(s.max_sim_over_bound, 3) << ", mean slack "
+       << format_double(s.mean_slack_pct, 1) << "%, bound gain vs n_d=1 "
+       << format_double(s.mean_bound_gain_pct, 1) << "%, violations "
+       << s.violations << (s.violations == 0 ? "" : "  <-- UNSOUND") << "\n";
+  }
+  return os.str();
+}
+
 void write_fig6_csv(const Fig6Result& result, const std::string& path) {
   auto out = open_out(path);
   CsvWriter csv(out);
@@ -198,6 +242,32 @@ void write_fig10_csv(const Fig10Result& result, const std::string& path) {
     std::vector<std::string> cells{
         std::to_string(row.devices), format_double(row.ratio, 4),
         std::to_string(row.m), format_double(row.mean_bound, 6)};
+    for (const double makespan : row.mean_makespan) {
+      cells.push_back(format_double(makespan, 6));
+    }
+    cells.push_back(format_double(row.max_sim_over_bound, 6));
+    cells.push_back(std::to_string(row.violations));
+    csv.row(cells);
+  }
+}
+
+void write_fig11_csv(const Fig11Result& result, const std::string& path) {
+  auto out = open_out(path);
+  CsvWriter csv(out);
+  std::vector<std::string> header{"devices", "units",      "coff_ratio",
+                                  "m",       "mean_bound", "mean_bound_single"};
+  for (const auto& name : result.policy_names) {
+    header.push_back("mean_sim_" + name);
+  }
+  header.emplace_back("max_sim_over_bound");
+  header.emplace_back("violations");
+  csv.row(header);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells{
+        std::to_string(result.devices),     std::to_string(row.units),
+        format_double(row.ratio, 4),        std::to_string(row.m),
+        format_double(row.mean_bound, 6),
+        format_double(row.mean_bound_single, 6)};
     for (const double makespan : row.mean_makespan) {
       cells.push_back(format_double(makespan, 6));
     }

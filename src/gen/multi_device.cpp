@@ -41,14 +41,23 @@ std::vector<NodeId> select_offload_nodes(Dag& dag, int num_devices,
   return chosen;
 }
 
-Time set_offload_ratio_multi(Dag& dag, double ratio,
-                             const std::vector<double>& mix) {
+OffloadSplit set_offload_ratio_multi(Dag& dag, double ratio,
+                                     const std::vector<double>& mix) {
   HEDRA_REQUIRE(ratio > 0.0 && ratio < 1.0,
                 "offload ratio must lie strictly inside (0, 1)");
   const auto devices = dag.device_ids();
   HEDRA_REQUIRE(!devices.empty(), "no offload nodes selected");
   HEDRA_REQUIRE(mix.empty() || mix.size() == devices.size(),
                 "device mix must have one weight per device present");
+  // A zero weight would make weight_sum == 0 possible (division by zero →
+  // llround(NaN) is undefined behaviour), and even with a positive sum it
+  // silently starves its device to the 1-tick-per-node floor; reject the
+  // whole class of degenerate weights up front.
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    HEDRA_REQUIRE(std::isfinite(mix[i]) && mix[i] > 0.0,
+                  "device mix weight " + std::to_string(i) +
+                      " must be finite and strictly positive");
+  }
   const Time vol_host = dag.volume_on(graph::kHostDevice);
   HEDRA_REQUIRE(vol_host > 0, "host workload must be positive");
 
@@ -59,13 +68,14 @@ Time set_offload_ratio_multi(Dag& dag, double ratio,
     weight_sum += mix.empty() ? 1.0 : mix[i];
   }
 
-  Time assigned_total = 0;
+  OffloadSplit split;
   for (std::size_t i = 0; i < devices.size(); ++i) {
     const double weight = mix.empty() ? 1.0 : mix[i];
     const double budget = total * weight / weight_sum;
     const auto nodes = dag.nodes_on(devices[i]);
     // Cumulative rounding spreads the budget across the device's nodes
     // without drift; every node keeps a WCET of at least 1.
+    Time device_total = 0;
     for (std::size_t j = 0; j < nodes.size(); ++j) {
       const auto cum = [&](std::size_t k) {
         return std::llround(budget * static_cast<double>(k) /
@@ -73,10 +83,12 @@ Time set_offload_ratio_multi(Dag& dag, double ratio,
       };
       const Time wcet = std::max<Time>(1, cum(j + 1) - cum(j));
       dag.set_wcet(nodes[j], wcet);
-      assigned_total += wcet;
+      device_total += wcet;
     }
+    split.per_device.emplace_back(devices[i], device_total);
+    split.total += device_total;
   }
-  return assigned_total;
+  return split;
 }
 
 double device_ratio(const Dag& dag, DeviceId device) {

@@ -13,6 +13,7 @@
 /// functions drive the fig10 multi-device sweep and the platform-bound
 /// property tests.
 
+#include <utility>
 #include <vector>
 
 #include "gen/params.h"
@@ -31,13 +32,27 @@ std::vector<graph::NodeId> select_offload_nodes(graph::Dag& dag,
                                                 int num_devices,
                                                 int per_device, Rng& rng);
 
+/// Per-device outcome of set_offload_ratio_multi, so the cumulative-rounding
+/// split is verifiable by callers and tests: `total` is the realised
+/// offloaded volume and `per_device` holds one (device id, vol_d) entry per
+/// device present, ascending by id.  Invariant (regression-tested):
+/// Σ_d vol_d == total.
+struct OffloadSplit {
+  graph::Time total = 0;
+  std::vector<std::pair<graph::DeviceId, graph::Time>> per_device;
+};
+
 /// Sets the WCETs of the offloaded nodes so the total offloaded volume is
 /// ≈ `ratio` of the final vol(G) (ratio strictly inside (0, 1)), split
 /// across devices proportionally to `mix` (empty = even split; otherwise
-/// one positive weight per device present) and evenly across each device's
-/// nodes (every node keeps WCET >= 1).  Returns the total offloaded volume.
-graph::Time set_offload_ratio_multi(graph::Dag& dag, double ratio,
-                                    const std::vector<double>& mix = {});
+/// one strictly positive, finite weight per device present — zero,
+/// negative, NaN and infinite weights are rejected, since a zero-weight
+/// sum would previously divide by zero and a near-zero weight silently
+/// starved its device down to the 1-tick floor) and evenly across each
+/// device's nodes (every node keeps WCET >= 1).  Returns the realised
+/// total plus its per-device breakdown.
+OffloadSplit set_offload_ratio_multi(graph::Dag& dag, double ratio,
+                                     const std::vector<double>& mix = {});
 
 /// The realised per-device ratio vol_d / vol(G).
 [[nodiscard]] double device_ratio(const graph::Dag& dag,

@@ -45,6 +45,13 @@ void HierarchicalParams::validate() const {
   for (const double share : device_mix) {
     HEDRA_REQUIRE(share > 0.0, "device_mix shares must be positive");
   }
+  HEDRA_REQUIRE(
+      device_units.empty() ||
+          device_units.size() == static_cast<std::size_t>(num_devices),
+      "device_units must be empty or have one entry per device");
+  for (const int units : device_units) {
+    HEDRA_REQUIRE(units >= 1, "device_units entries must be >= 1");
+  }
 }
 
 void LayeredParams::validate() const {

@@ -41,6 +41,13 @@ struct HierarchicalParams {
   /// Relative share of the offloaded volume each device receives (size
   /// num_devices, positive entries, need not sum to 1); empty = even split.
   std::vector<double> device_mix;
+  /// Execution units per accelerator class (size num_devices, entries
+  /// >= 1); empty = one unit each (the paper's platform).  Generation
+  /// itself ignores this — placement and volumes are unit-agnostic — but
+  /// the experiment configs carry it here so a batch spec fully describes
+  /// the platform the analysis/simulation sweep should provision
+  /// (model::Platform, sim::SimConfig::device_units).
+  std::vector<int> device_units;
 
   /// §5.1 "Small tasks": n <= 100, n_par = 6, maxdepth = 3 (longest path 7).
   /// Used for the ILP comparison.

@@ -7,10 +7,37 @@
 
 namespace hedra::model {
 
+namespace {
+
+/// All parse errors carry the full offending spec so a bad entry in a
+/// config file or CLI flag can be found verbatim.
+[[noreturn]] void parse_fail(const std::string& text,
+                             const std::string& reason) {
+  throw Error("malformed platform spec '" + text + "': " + reason);
+}
+
+}  // namespace
+
 const std::string& Platform::device_name(graph::DeviceId device) const {
   HEDRA_REQUIRE(device >= 1 && device <= device_names.size(),
                 "platform has no device id " + std::to_string(device));
   return device_names[device - 1];
+}
+
+int Platform::units_of(graph::DeviceId device) const {
+  HEDRA_REQUIRE(device >= 1 && device <= device_names.size(),
+                "platform has no device id " + std::to_string(device));
+  // Entries beyond device_units mean one unit, the same convention
+  // ScheduleTrace::units_of and ChainWeighting::units_of use — a Platform
+  // is aggregate-constructible pure data, so a shorter-than-names vector
+  // can be observed before validate() runs.
+  const std::size_t index = static_cast<std::size_t>(device) - 1;
+  return index < device_units.size() ? device_units[index] : 1;
+}
+
+bool Platform::has_multi_units() const noexcept {
+  return std::any_of(device_units.begin(), device_units.end(),
+                     [](int units) { return units > 1; });
 }
 
 Platform Platform::homogeneous(int cores) {
@@ -28,13 +55,15 @@ Platform Platform::single_accelerator(int cores, std::string name) {
   return platform;
 }
 
-Platform Platform::symmetric(int cores, int num_devices) {
+Platform Platform::symmetric(int cores, int num_devices, int units) {
   HEDRA_REQUIRE(num_devices >= 0, "device count must be non-negative");
+  HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
   Platform platform;
   platform.cores = cores;
   for (int d = 1; d <= num_devices; ++d) {
     platform.device_names.push_back("acc" + std::to_string(d));
   }
+  if (units > 1) platform.device_units.assign(num_devices, units);
   platform.validate();
   return platform;
 }
@@ -42,16 +71,46 @@ Platform Platform::symmetric(int cores, int num_devices) {
 Platform Platform::parse(const std::string& text) {
   Platform platform;
   const auto colon = text.find(':');
-  const std::string cores_text = text.substr(0, colon);
-  HEDRA_REQUIRE(!trim(cores_text).empty(),
-                "platform spec '" + text + "' is missing the core count");
-  platform.cores = static_cast<int>(parse_int(trim(cores_text)));
+  const std::string cores_text(trim(text.substr(0, colon)));
+  if (cores_text.empty()) parse_fail(text, "missing the core count");
+  try {
+    platform.cores = static_cast<int>(parse_int(cores_text));
+  } catch (const Error&) {
+    parse_fail(text, "core count '" + cores_text + "' is not an integer");
+  }
   if (colon != std::string::npos) {
-    for (auto& name : split(text.substr(colon + 1), ',')) {
-      platform.device_names.emplace_back(trim(name));
+    const std::string device_list = text.substr(colon + 1);
+    if (trim(device_list).empty()) {
+      parse_fail(text, "':' must be followed by at least one device name");
+    }
+    for (const auto& entry : split(device_list, ',')) {
+      const std::string item(trim(entry));
+      if (item.empty()) parse_fail(text, "empty device entry");
+      const auto star = item.find('*');
+      std::string name(trim(item.substr(0, star)));
+      int units = 1;
+      if (star != std::string::npos) {
+        const std::string units_text(trim(item.substr(star + 1)));
+        try {
+          units = static_cast<int>(parse_int(units_text));
+        } catch (const Error&) {
+          parse_fail(text, "unit count '" + units_text + "' of device '" +
+                               name + "' is not an integer");
+        }
+        if (units < 1) {
+          parse_fail(text, "device '" + name + "' needs >= 1 unit, got " +
+                               std::to_string(units));
+        }
+      }
+      platform.device_names.push_back(std::move(name));
+      platform.device_units.push_back(units);
     }
   }
-  platform.validate();
+  try {
+    platform.validate();
+  } catch (const Error& e) {
+    parse_fail(text, e.what());
+  }
   return platform;
 }
 
@@ -60,6 +119,9 @@ std::string Platform::spec() const {
   os << cores;
   for (std::size_t i = 0; i < device_names.size(); ++i) {
     os << (i == 0 ? ':' : ',') << device_names[i];
+    const int units =
+        units_of(static_cast<graph::DeviceId>(i + 1));
+    if (units > 1) os << '*' << units;
   }
   return os.str();
 }
@@ -74,7 +136,10 @@ std::string Platform::describe() const {
   os << " + accelerator" << (device_names.size() == 1 ? " " : "s ");
   for (std::size_t i = 0; i < device_names.size(); ++i) {
     if (i > 0) os << ", ";
-    os << device_names[i] << "(d" << i + 1 << ")";
+    os << device_names[i] << "(d" << i + 1;
+    const int units = units_of(static_cast<graph::DeviceId>(i + 1));
+    if (units > 1) os << " x" << units;
+    os << ")";
   }
   return os.str();
 }
@@ -83,10 +148,28 @@ void Platform::validate() const {
   HEDRA_REQUIRE(cores >= 1, "platform needs at least one host core");
   for (const auto& name : device_names) {
     HEDRA_REQUIRE(!name.empty(), "accelerator device names must be non-empty");
+    HEDRA_REQUIRE(name.find_first_of(":,* \t") == std::string::npos,
+                  "accelerator device name '" + name +
+                      "' contains a spec metacharacter");
     HEDRA_REQUIRE(std::count(device_names.begin(), device_names.end(), name) ==
                       1,
                   "duplicate accelerator device name '" + name + "'");
   }
+  HEDRA_REQUIRE(device_units.empty() ||
+                    device_units.size() == device_names.size(),
+                "device_units must be empty or hold one entry per device");
+  for (const int units : device_units) {
+    HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
+  }
+}
+
+bool operator==(const Platform& a, const Platform& b) {
+  if (a.cores != b.cores || a.device_names != b.device_names) return false;
+  for (std::size_t i = 0; i < a.device_names.size(); ++i) {
+    const auto device = static_cast<graph::DeviceId>(i + 1);
+    if (a.units_of(device) != b.units_of(device)) return false;
+  }
+  return true;
 }
 
 std::vector<std::string> check_supports(const Platform& platform,

@@ -6,15 +6,17 @@
 /// The paper's system model (§2) fixes the platform implicitly: m identical
 /// host cores plus ONE accelerator device.  The multi-device extension makes
 /// the platform explicit — m identical host cores plus K *named* accelerator
-/// device classes (GPU, FPGA, DSP, ...), each providing a single execution
-/// unit, exactly as the paper's accelerator does.  Device ids follow the
-/// graph convention: device 0 is the host pool and device d ∈ [1, K] is the
-/// d-th accelerator class (see graph::DeviceId).
+/// device classes (GPU, FPGA, DSP, ...).  Each class d provides n_d >= 1
+/// identical execution units (the paper's accelerator is the special case
+/// n_d = 1, which every API here defaults to).  Device ids follow the graph
+/// convention: device 0 is the host pool and device d ∈ [1, K] is the d-th
+/// accelerator class (see graph::DeviceId).
 ///
 /// A Platform is pure data; compatibility with a concrete DAG (every node
 /// placed on an existing device) is checked by check_supports / supports.
-/// Per-device multiplicity (> 1 unit per accelerator class) is future work —
-/// the analysis bound and the simulator both assume one unit per class.
+/// The spec syntax is "m:name1,name2,..." with an optional "*units" suffix
+/// per class — "4:gpu*2,dsp" is 4 host cores, a 2-unit GPU class and a
+/// single-unit DSP — so every pre-multiplicity spec round-trips unchanged.
 
 #include <string>
 #include <vector>
@@ -23,10 +25,15 @@
 
 namespace hedra::model {
 
-/// m identical host cores + K named single-unit accelerator device classes.
+/// m identical host cores + K named accelerator device classes with n_d
+/// execution units each.
 struct Platform {
   int cores = 2;                          ///< m
   std::vector<std::string> device_names;  ///< index i names device id i + 1
+  /// Execution units per device class, aligned with device_names.  An empty
+  /// vector — the pre-multiplicity representation — means one unit per
+  /// class; validate() also accepts exactly one entry per class.
+  std::vector<int> device_units;
 
   /// Number of accelerator device classes, K.
   [[nodiscard]] int num_devices() const noexcept {
@@ -36,30 +43,51 @@ struct Platform {
   /// Name of accelerator device d ∈ [1, K]; throws on out-of-range ids.
   [[nodiscard]] const std::string& device_name(graph::DeviceId device) const;
 
+  /// Execution units n_d of accelerator device d ∈ [1, K]; throws on
+  /// out-of-range ids.  Entries missing from device_units — including the
+  /// whole empty vector — count as 1.
+  [[nodiscard]] int units_of(graph::DeviceId device) const;
+
+  /// True iff some device class has more than one execution unit.
+  [[nodiscard]] bool has_multi_units() const noexcept;
+
   /// Host-only platform (the homogeneous baseline).
   [[nodiscard]] static Platform homogeneous(int cores);
 
-  /// The paper's platform: m cores + one accelerator.
+  /// The paper's platform: m cores + one single-unit accelerator.
   [[nodiscard]] static Platform single_accelerator(int cores,
                                                    std::string name = "acc");
 
-  /// m cores + K accelerators named "acc1".."accK".
-  [[nodiscard]] static Platform symmetric(int cores, int num_devices);
+  /// m cores + K accelerators named "acc1".."accK", `units` execution units
+  /// each (default 1, the pre-multiplicity shape).
+  [[nodiscard]] static Platform symmetric(int cores, int num_devices,
+                                          int units = 1);
 
-  /// Parses "m" or "m:name1,name2,..." (e.g. "4:gpu,dsp" = 4 host cores,
-  /// device 1 "gpu", device 2 "dsp").  Throws hedra::Error on malformed
-  /// specs.  Inverse of spec().
+  /// Parses "m" or "m:name1,name2,..." where every name may carry a
+  /// "*units" multiplicity suffix (e.g. "4:gpu*2,dsp" = 4 host cores, a
+  /// 2-unit "gpu" class and a 1-unit "dsp" class).  Throws hedra::Error —
+  /// always naming the offending spec — on malformed input: missing or
+  /// non-numeric core count, empty or duplicate device names, names
+  /// containing spec metacharacters, and missing or non-positive unit
+  /// counts.  Inverse of spec().
   [[nodiscard]] static Platform parse(const std::string& text);
 
-  /// Machine-readable "m:name1,name2,..." (just "m" when K = 0).
+  /// Machine-readable "m:name1,name2*units,..." (just "m" when K = 0;
+  /// "*units" only where n_d > 1, so single-unit platforms round-trip to
+  /// the historical syntax).
   [[nodiscard]] std::string spec() const;
 
-  /// Human-readable, e.g. "4 host cores + accelerators gpu(d1), dsp(d2)".
+  /// Human-readable, e.g. "4 host cores + accelerators gpu(d1 x2), dsp(d2)".
   [[nodiscard]] std::string describe() const;
 
-  /// Throws hedra::Error if cores < 1 or any device name is empty or
-  /// duplicated.
+  /// Throws hedra::Error if cores < 1, any device name is empty, duplicated
+  /// or contains spec metacharacters (':', ',', '*', whitespace), or
+  /// device_units is neither empty nor one positive entry per class.
   void validate() const;
+
+  /// Same platform shape (units compared via units_of, so an empty
+  /// device_units equals an explicit all-ones vector).
+  friend bool operator==(const Platform& a, const Platform& b);
 };
 
 /// Human-readable placement violations of `dag` on `platform` (nodes placed
@@ -70,8 +98,8 @@ struct Platform {
 /// True iff every node of `dag` is placed on a device `platform` provides.
 [[nodiscard]] bool supports(const Platform& platform, const graph::Dag& dag);
 
-/// Smallest platform accommodating `dag`: m host cores plus one device class
-/// per accelerator id in [1, max_device], named "acc<d>".
+/// Smallest platform accommodating `dag`: m host cores plus one single-unit
+/// device class per accelerator id in [1, max_device], named "acc<d>".
 [[nodiscard]] Platform platform_for(const graph::Dag& dag, int cores);
 
 }  // namespace hedra::model

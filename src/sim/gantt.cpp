@@ -42,12 +42,17 @@ std::string render_gantt(const ScheduleTrace& trace, const Dag& dag,
   for (int core = 0; core < trace.cores(); ++core) {
     render_unit(core, "C" + std::to_string(core));
   }
-  // One row per accelerator device; a device-free DAG still shows the
-  // paper's single (idle) accelerator row.
+  // One row per accelerator unit — the trace knows each device's unit
+  // count, so the chart can never drop a multi-unit interval.  A
+  // device-free DAG still shows the paper's single (idle) accelerator row.
   const int num_devices = std::max<int>(1, dag.max_device());
   for (int d = 1; d <= num_devices; ++d) {
-    render_unit(accelerator_unit(static_cast<graph::DeviceId>(d)),
-                d == 1 ? "ACC" : "ACC" + std::to_string(d));
+    const auto device = static_cast<graph::DeviceId>(d);
+    const std::string base = d == 1 ? "ACC" : "ACC" + std::to_string(d);
+    for (int u = 0; u < trace.units_of(device); ++u) {
+      render_unit(accelerator_unit(device, u),
+                  u == 0 ? base : base + "." + std::to_string(u));
+    }
   }
   os << "     t=0 .. " << span << "  (1 char = " << scale << " tick"
      << (scale == 1 ? "" : "s") << ")\n";

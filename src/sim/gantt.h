@@ -17,8 +17,10 @@ struct GanttOptions {
   bool show_instants = true;  ///< list zero-WCET completions below the chart
 };
 
-/// Renders one row per execution unit (C0..Cm-1 and ACC), one time axis, and
-/// optionally the instants at which sync nodes completed.
+/// Renders one row per execution unit (C0..Cm-1 and one per accelerator
+/// unit — the trace's own units_of() drives the row count, so multi-unit
+/// devices render "ACC", "ACC.1", ...), one time axis, and optionally the
+/// instants at which sync nodes completed.
 [[nodiscard]] std::string render_gantt(const ScheduleTrace& trace,
                                        const Dag& dag,
                                        const GanttOptions& options = {});

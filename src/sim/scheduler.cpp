@@ -44,6 +44,17 @@ const char* to_string(Policy policy) noexcept {
 
 namespace {
 
+/// Unit counts per accelerator device: entry d−1 of `configured` if
+/// present, 1 otherwise (the paper's single-unit platform).
+std::vector<int> units_for(graph::DeviceId max_device,
+                           const std::vector<int>& configured) {
+  std::vector<int> units(max_device, 1);
+  for (std::size_t d = 0; d < units.size() && d < configured.size(); ++d) {
+    units[d] = configured[d];
+  }
+  return units;
+}
+
 /// One pending completion; the event heap pops the earliest finish (node id
 /// tie-break keeps the pop order fully specified, though retirement batches
 /// all events of the minimum finish time, so ties never change behaviour).
@@ -165,15 +176,23 @@ class Simulation {
       : flat_(flat),
         config_(config),
         actual_(actual),
-        trace_(&flat.source(), config.cores),
+        trace_(&flat.source(), config.cores,
+               units_for(flat.max_device(), config.device_units)),
         rng_(config.seed),
         down_(config.policy == Policy::kCriticalPathFirst
                   ? graph::down_lengths(flat)
                   : std::vector<Time>{}),
         ready_host_(config.policy, &down_),
         ready_dev_(flat.max_device()),
-        dev_busy_(flat.max_device(), false) {
+        dev_free_(flat.max_device()) {
     HEDRA_REQUIRE(config_.cores >= 1, "simulation requires at least one core");
+    for (std::size_t d = 0; d < dev_free_.size(); ++d) {
+      // Smallest free unit index on top, matching the host free-core heap.
+      for (int u = trace_.units_of(static_cast<graph::DeviceId>(d + 1)) - 1;
+           u >= 0; --u) {
+        dev_free_[d].push(u);
+      }
+    }
     if (actual_ != nullptr) {
       HEDRA_REQUIRE(actual_->size() == flat_.num_nodes(),
                     "actual-times vector size mismatch");
@@ -216,8 +235,12 @@ class Simulation {
       while (!events_.empty() && events_.top().finish == next) {
         const Event e = events_.top();
         events_.pop();
-        if (e.unit >= 0) free_cores_.push(e.unit);
-        else dev_busy_[device_of_unit(e.unit) - 1] = false;
+        if (e.unit >= 0) {
+          free_cores_.push(e.unit);
+        } else {
+          const auto [device, index] = decode_accelerator_unit(e.unit);
+          dev_free_[device - 1].push(index);
+        }
         finished.push_back(e.node);
       }
       std::sort(finished.begin(), finished.end());
@@ -252,18 +275,19 @@ class Simulation {
   }
 
   /// Files the queued newly ready nodes into the ready structures, FIFO.
-  /// Zero-WCET nodes complete instantly (occupying no unit) and cascade.
+  /// Zero-WCET host-side nodes complete instantly (occupying no unit) and
+  /// cascade; zero-WCET nodes placed on an accelerator go through their
+  /// device's queue like any offload, so device serialisation applies (they
+  /// still execute for zero time once a unit frees up).
   void absorb_ready(Time time) {
     while (queue_head_ < queue_.size()) {
       const NodeId v = queue_[queue_head_++];
-      if (flat_.wcet(v) == 0) {
+      const graph::DeviceId device = flat_.device(v);
+      if (device != graph::kHostDevice) {
+        ready_dev_[device - 1].push_back(v);
+      } else if (flat_.wcet(v) == 0) {
         trace_.add(Interval{v, kInstantUnit, time, time});
         retire(v);
-        continue;
-      }
-      if (const graph::DeviceId device = flat_.device(v);
-          device != graph::kHostDevice) {
-        ready_dev_[device - 1].push_back(v);
       } else {
         ready_host_.push(v);
       }
@@ -273,11 +297,14 @@ class Simulation {
   /// Work-conserving assignment of ready nodes to free units at `time`.
   void dispatch(Time time) {
     for (std::size_t d = 0; d < ready_dev_.size(); ++d) {
-      if (dev_busy_[d] || ready_dev_[d].empty()) continue;
-      const NodeId v = ready_dev_[d].front();  // FIFO per device unit
-      ready_dev_[d].pop_front();
-      dev_busy_[d] = true;
-      start(v, accelerator_unit(static_cast<graph::DeviceId>(d + 1)), time);
+      while (!dev_free_[d].empty() && !ready_dev_[d].empty()) {
+        const NodeId v = ready_dev_[d].front();  // FIFO per device
+        ready_dev_[d].pop_front();
+        const int unit = dev_free_[d].top();  // smallest free unit first
+        dev_free_[d].pop();
+        start(v, accelerator_unit(static_cast<graph::DeviceId>(d + 1), unit),
+              time);
+      }
     }
     while (!free_cores_.empty() && !ready_host_.empty()) {
       const NodeId v = ready_host_.pop(rng_);
@@ -304,11 +331,12 @@ class Simulation {
   std::vector<NodeId> queue_;   ///< newly ready FIFO (consumed from head)
   std::size_t queue_head_ = 0;
   ReadyHost ready_host_;
-  /// One FIFO ready queue and one busy flag per accelerator device; index
-  /// d−1 holds device d (a single device reproduces the historical
-  /// accelerator queue exactly).
+  /// One FIFO ready queue and one free-unit min-heap per accelerator
+  /// device; index d−1 holds device d (a single-unit device reproduces the
+  /// historical queue + busy flag exactly).
   std::vector<std::deque<NodeId>> ready_dev_;
-  std::vector<bool> dev_busy_;
+  std::vector<std::priority_queue<int, std::vector<int>, std::greater<>>>
+      dev_free_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   std::priority_queue<int, std::vector<int>, std::greater<>> free_cores_;
   std::size_t completed_ = 0;

@@ -3,8 +3,9 @@
 /// \file scheduler.h
 /// Deterministic discrete-event simulation of a work-conserving scheduler on
 /// m identical host cores plus the accelerator devices the DAG names (§5.2
-/// simulates the paper's single accelerator; one execution unit is
-/// provisioned per device id in [1, dag.max_device()]).
+/// simulates the paper's single accelerator; SimConfig::device_units
+/// provisions n_d execution units per device id in [1, dag.max_device()],
+/// one each by default).
 ///
 /// The paper's Figure 6 simulates "the work-conserving breadth-first
 /// scheduler implemented in GOMP": ready tasks enter a FIFO queue in the
@@ -15,10 +16,15 @@
 ///
 /// Semantics:
 ///  - host nodes execute non-preemptively on any free host core;
-///  - offloaded nodes execute on their own device's single unit, FIFO per
-///    device if several are ready (devices never steal each other's work);
-///  - zero-WCET nodes (v_sync, dummies) complete instantly, occupying no
-///    unit — they are pure synchronisation points;
+///  - offloaded nodes execute on one of their own device's n_d units
+///    (SimConfig::device_units; default 1 per device, the paper's
+///    platform), FIFO per device if several are ready and smallest free
+///    unit index first — devices never steal each other's work;
+///  - zero-WCET host-side nodes (v_sync, dummies) complete instantly,
+///    occupying no unit — they are pure synchronisation points.  Zero-WCET
+///    nodes PLACED ON AN ACCELERATOR are real device work: they queue for a
+///    unit like any offload (historically they retired instantly, silently
+///    bypassing device serialisation — a regression test pins the fix);
 ///  - the scheduler is work-conserving: a free unit never idles while a
 ///    compatible node is ready.
 ///
@@ -61,6 +67,12 @@ struct SimConfig {
   int cores = 2;                  ///< m
   Policy policy = Policy::kBreadthFirst;
   std::uint64_t seed = 1;         ///< used by Policy::kRandom only
+  /// Execution units per accelerator device: index d−1 holds n_d for device
+  /// d.  Devices beyond the vector — including the default empty vector —
+  /// get one unit each, the paper's platform.  Free units of a device are
+  /// assigned smallest-index-first, so single-unit runs are byte-identical
+  /// to the historical busy-flag simulator (golden-pinned).
+  std::vector<int> device_units;
   /// Re-validate the produced trace against the DAG (precedence, unit
   /// capacity, placement).  Defaults on — any violation is a hedra bug and
   /// throws — but costs O(n log n + E) per run, so the Monte-Carlo sweep

@@ -6,10 +6,14 @@
 
 namespace hedra::sim {
 
-ScheduleTrace::ScheduleTrace(const Dag* dag, int cores)
-    : dag_(dag), cores_(cores) {
+ScheduleTrace::ScheduleTrace(const Dag* dag, int cores,
+                             std::vector<int> device_units)
+    : dag_(dag), cores_(cores), device_units_(std::move(device_units)) {
   HEDRA_REQUIRE(dag_ != nullptr, "trace requires a DAG");
   HEDRA_REQUIRE(cores_ >= 1, "trace requires at least one core");
+  for (const int units : device_units_) {
+    HEDRA_REQUIRE(units >= 1, "every accelerator device needs >= 1 unit");
+  }
 }
 
 void ScheduleTrace::add(const Interval& interval) {
@@ -91,12 +95,17 @@ std::vector<std::string> ScheduleTrace::validate_with_durations(
           std::to_string(expected_durations[iv.node]));
     }
     const auto kind = dag_->kind(iv.node);
-    if (kind == graph::NodeKind::kOffload &&
-        iv.unit != accelerator_unit(dag_->device(iv.node))) {
-      say("offload node " + dag_->label(iv.node) +
-          " ran off its device (device " +
-          std::to_string(dag_->device(iv.node)) + ", unit " +
-          std::to_string(iv.unit) + ")");
+    if (kind == graph::NodeKind::kOffload) {
+      const graph::DeviceId device = dag_->device(iv.node);
+      const bool on_device = is_accelerator_unit(iv.unit) &&
+                             device_of_unit(iv.unit) == device &&
+                             unit_index_of(iv.unit) < units_of(device);
+      if (!on_device) {
+        say("offload node " + dag_->label(iv.node) +
+            " ran off its device (device " + std::to_string(device) +
+            " with " + std::to_string(units_of(device)) + " unit(s), unit " +
+            std::to_string(iv.unit) + ")");
+      }
     }
     if (kind == graph::NodeKind::kHost && dag_->wcet(iv.node) > 0 &&
         !(iv.unit >= 0 && iv.unit < cores_)) {

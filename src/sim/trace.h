@@ -7,6 +7,7 @@
 /// simulated schedule used in the experiments is provably well-formed.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/dag.h"
@@ -17,27 +18,58 @@ using graph::Dag;
 using graph::NodeId;
 using graph::Time;
 
-/// Execution units: host cores are 0..m-1; accelerator devices map to odd
-/// negative units (device d -> unit −(2d−1), so device 1 keeps the
-/// historical −1).
+/// Execution units: host cores are 0..m-1; accelerator units map to
+/// negative ids.  Unit 0 of device d keeps the historical odd negative
+/// −(2d−1) (so single-unit traces are byte-identical to the pre-multiplicity
+/// goldens), and the extra units u >= 1 of multi-unit devices map to the
+/// even negatives below kInstantUnit through a Cantor pairing of (d−1, u−1)
+/// — closed-form, injective, and independent of the platform shape.
 inline constexpr int kAcceleratorUnit = -1;
-/// Zero-WCET nodes (v_sync, dummies) complete instantly on no unit.
+/// Zero-WCET host-side nodes (v_sync, dummies) complete instantly on no
+/// unit.  Zero-WCET nodes placed on an accelerator do NOT use this: they
+/// queue for (and instantly release) one of their device's units, so device
+/// serialisation applies to them like any other offloaded work.
 inline constexpr int kInstantUnit = -2;
 
-/// Unit of accelerator device d >= 1: −1, −3, −5, ...  (even negatives stay
-/// reserved; −2 is kInstantUnit).
-[[nodiscard]] constexpr int accelerator_unit(graph::DeviceId device) noexcept {
-  return -(2 * static_cast<int>(device) - 1);
+/// Unit u >= 0 of accelerator device d >= 1.  u = 0 gives −1, −3, −5, ...;
+/// u >= 1 gives −4, −6, −8, ... via the Cantor pairing (−2 stays reserved
+/// for kInstantUnit).
+[[nodiscard]] constexpr int accelerator_unit(graph::DeviceId device,
+                                             int unit = 0) noexcept {
+  if (unit == 0) return -(2 * static_cast<int>(device) - 1);
+  const long long a = static_cast<long long>(device) - 1;
+  const long long b = static_cast<long long>(unit) - 1;
+  return static_cast<int>(-2 * ((a + b) * (a + b + 1) / 2 + b + 2));
 }
 
-/// True iff `unit` is some accelerator device's unit.
+/// True iff `unit` is some accelerator device's unit (every negative id
+/// except kInstantUnit).
 [[nodiscard]] constexpr bool is_accelerator_unit(int unit) noexcept {
-  return unit < 0 && (-unit) % 2 == 1;
+  return unit < 0 && unit != kInstantUnit;
 }
 
-/// Inverse of accelerator_unit; only meaningful when is_accelerator_unit.
+/// Full inverse of accelerator_unit: (device, unit index within the
+/// device); only meaningful when is_accelerator_unit.
+[[nodiscard]] constexpr std::pair<graph::DeviceId, int> decode_accelerator_unit(
+    int unit) noexcept {
+  if ((-unit) % 2 == 1) {
+    return {static_cast<graph::DeviceId>((1 - unit) / 2), 0};
+  }
+  const long long c = (-unit) / 2 - 2;  // Cantor code of (d−1, u−1)
+  long long w = 0;
+  while ((w + 1) * (w + 2) / 2 <= c) ++w;
+  const long long b = c - w * (w + 1) / 2;
+  return {static_cast<graph::DeviceId>(w - b + 1), static_cast<int>(b) + 1};
+}
+
+/// The device component of decode_accelerator_unit.
 [[nodiscard]] constexpr graph::DeviceId device_of_unit(int unit) noexcept {
-  return static_cast<graph::DeviceId>((1 - unit) / 2);
+  return decode_accelerator_unit(unit).first;
+}
+
+/// The unit-index component of decode_accelerator_unit.
+[[nodiscard]] constexpr int unit_index_of(int unit) noexcept {
+  return decode_accelerator_unit(unit).second;
 }
 
 /// One contiguous execution of a node (the model is non-preemptive).
@@ -48,10 +80,13 @@ struct Interval {
   Time finish = 0;
 };
 
-/// A complete schedule of one DAG instance.
+/// A complete schedule of one DAG instance.  `device_units` gives the
+/// number of execution units per accelerator device (index d−1 holds device
+/// d); missing entries — including the default empty vector — mean one unit,
+/// the paper's platform.
 class ScheduleTrace {
  public:
-  ScheduleTrace(const Dag* dag, int cores);
+  ScheduleTrace(const Dag* dag, int cores, std::vector<int> device_units = {});
 
   void add(const Interval& interval);
 
@@ -63,6 +98,13 @@ class ScheduleTrace {
     return intervals_;
   }
   [[nodiscard]] int cores() const noexcept { return cores_; }
+
+  /// Execution units of accelerator device d (1 when the trace was recorded
+  /// on a single-unit platform).
+  [[nodiscard]] int units_of(graph::DeviceId device) const noexcept {
+    const std::size_t index = static_cast<std::size_t>(device) - 1;
+    return index < device_units_.size() ? device_units_[index] : 1;
+  }
 
   /// Latest finish time over all intervals (0 if empty).
   [[nodiscard]] Time makespan() const noexcept;
@@ -91,8 +133,9 @@ class ScheduleTrace {
   ///  - every node appears exactly once, with duration == its WCET;
   ///  - starts respect precedence (start >= max finish over predecessors);
   ///  - per-unit executions do not overlap;
-  ///  - offload nodes run on their own device's accelerator unit, host
-  ///    nodes on host cores, zero-WCET nodes anywhere.
+  ///  - offload nodes run on one of their own device's units (unit index
+  ///    below the device's unit count), host nodes on host cores, zero-WCET
+  ///    host-side nodes anywhere.
   /// Returns human-readable violations; empty means valid.
   [[nodiscard]] std::vector<std::string> validate() const;
 
@@ -111,6 +154,7 @@ class ScheduleTrace {
  private:
   const Dag* dag_;
   int cores_;
+  std::vector<int> device_units_;  ///< index d−1 = units of device d
   std::vector<Interval> intervals_;
 };
 

@@ -140,6 +140,128 @@ TEST(PlatformRtaTest, MoreCoresNeverLoosensTheBound) {
   }
 }
 
+/// TENTPOLE HAND-CHECK: the multiplicity bound on the two-device example.
+/// With gpu getting 2 units, vol_gpu/n = 3, the gpu node's chain weight is
+/// 6·(2−1)/2 = 3, and for m >= 2 the all-host chain (17·(m−1)/m) still
+/// dominates the weighted walk, so R_plat = 17/m + 8 + 17(m−1)/m = 25.
+TEST(PlatformRtaTest, HandCheckedMultiUnitExample) {
+  const auto ex = testing::multi_device_example();
+  const auto analysis =
+      analysis::analyze_platform(ex.dag, Platform::parse("4:gpu*2,dsp"));
+  ASSERT_EQ(analysis.devices.size(), 2u);
+  EXPECT_EQ(analysis.devices[0].units, 2);
+  EXPECT_EQ(analysis.devices[0].term, Frac(3));
+  EXPECT_EQ(analysis.devices[1].units, 1);
+  EXPECT_EQ(analysis.devices[1].term, Frac(5));
+  EXPECT_EQ(analysis.device_term, Frac(8));
+  EXPECT_EQ(analysis.path_term, Frac(17 * 3, 4));
+  EXPECT_EQ(analysis.bound, Frac(25));
+  for (const int m : {2, 8, 16}) {
+    EXPECT_EQ(analysis::rta_platform(ex.dag,
+                                     Platform::parse(std::to_string(m) +
+                                                     ":gpu*2,dsp")),
+              Frac(25))
+        << "m=" << m;
+  }
+  // m = 1: host weights vanish, the gpu node's own weight (3) is the chain.
+  EXPECT_EQ(analysis::rta_platform(ex.dag, Platform::parse("1:gpu*2,dsp")),
+            Frac(28));
+  // Both classes doubled: device term 3 + 5/2, dsp chain weight 5/2.
+  EXPECT_EQ(analysis::rta_platform(ex.dag, Platform::parse("4:gpu*2,dsp*2")),
+            Frac(45, 2));
+}
+
+/// TENTPOLE REGRESSION PIN: on any all-single-unit platform the
+/// generalised walk and bound reduce to the pre-multiplicity arithmetic
+/// EXACTLY (rational equality on generated batches), and the Dag / FlatDag
+/// weighting overloads agree with each other.
+TEST(PlatformRtaTest, SingleUnitWeightingReproducesTheLegacyBoundExactly) {
+  Rng master(1234);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 120;
+  params.num_devices = 3;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 15; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.35, rng);
+    const graph::FlatDag flat(dag);
+    const std::vector<int> ones(3, 1);
+    analysis::AnalysisCache cache(dag);
+    for (const int m : {1, 2, 4, 8, 16}) {
+      const analysis::ChainWeighting weighting{m, ones};
+      const Frac walk = analysis::max_host_path(dag, weighting);
+      EXPECT_EQ(walk, Frac(analysis::max_host_path(dag) * (m - 1), m))
+          << "i=" << i << " m=" << m;
+      EXPECT_EQ(walk, analysis::max_host_path(flat, weighting));
+      EXPECT_EQ(cache.r_platform(m, ones), cache.r_platform(m));
+      EXPECT_EQ(cache.r_platform(m, ones),
+                analysis::rta_platform(dag, Platform::symmetric(m, 3, 1)));
+    }
+  }
+}
+
+TEST(PlatformRtaTest, CacheServesTheSameMultiUnitBoundAsTheDirectApi) {
+  Rng master(4321);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 100;
+  params.num_devices = 2;
+  params.offloads_per_device = 3;
+  for (int i = 0; i < 10; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.4, rng);
+    analysis::AnalysisCache cache(dag);
+    for (const int units : {2, 3, 5}) {
+      const Platform platform = Platform::symmetric(4, 2, units);
+      const std::vector<int> vec(2, units);
+      EXPECT_EQ(cache.r_platform(4, vec),
+                analysis::rta_platform(dag, platform))
+          << "i=" << i << " units=" << units;
+      EXPECT_EQ(cache.r_platform(platform),
+                analysis::rta_platform(dag, platform));
+    }
+  }
+}
+
+/// Each path value of the generalised walk has derivative
+/// (chain_d − vol_d)/n_d² <= 0 in n_d, so the bound never grows when a
+/// device class gains units.
+TEST(PlatformRtaTest, MoreUnitsNeverLoosenTheBound) {
+  Rng master(55);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 100;
+  params.num_devices = 3;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 8; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.45, rng);
+    analysis::AnalysisCache cache(dag);
+    for (const int m : {2, 8}) {
+      Frac previous = cache.r_platform(m);
+      for (const int units : {2, 3, 4, 6}) {
+        const std::vector<int> vec(3, units);
+        const Frac bound = cache.r_platform(m, vec);
+        EXPECT_LE(bound, previous) << "i=" << i << " m=" << m
+                                   << " units=" << units;
+        previous = bound;
+      }
+    }
+  }
+}
+
+TEST(PlatformRtaTest, ExplainShowsUnitCountsOnMultiUnitPlatforms) {
+  const auto ex = testing::multi_device_example();
+  const auto analysis =
+      analysis::analyze_platform(ex.dag, Platform::parse("4:gpu*2,dsp"));
+  const std::string text = analysis::explain(analysis);
+  EXPECT_NE(text.find("vol_d/n_d"), std::string::npos);
+  EXPECT_NE(text.find("on 2 units"), std::string::npos);
+  EXPECT_NE(text.find("gpu(d1 x2)"), std::string::npos);
+  EXPECT_NE(text.find("= 25"), std::string::npos);
+}
+
 TEST(PlatformRtaTest, ExplainShowsEveryDeviceTerm) {
   const auto ex = testing::multi_device_example();
   const auto analysis =

@@ -60,6 +60,36 @@ inline std::string golden_trace_text(int devices) {
   return os.str();
 }
 
+/// The multiplicity goldens (PR 4): the first two DAGs of the K ∈ {2, 3}
+/// pinned batches simulated with n_d ∈ {2, 3} units on every device, under
+/// every ready-queue policy and m ∈ {2, 8}.  Pins the free-unit assignment
+/// (FIFO per device, smallest free unit index first) and the extended
+/// even-negative unit-id encoding of sim/trace.h.
+inline std::string golden_units_trace_text() {
+  std::ostringstream os;
+  for (const int devices : {2, 3}) {
+    const auto batch = golden_sim_batch(devices);
+    for (std::size_t i = 0; i < 2 && i < batch.size(); ++i) {
+      for (const int units : {2, 3}) {
+        for (const auto policy : sim::all_policies()) {
+          for (const int m : {2, 8}) {
+            sim::SimConfig config;
+            config.cores = m;
+            config.policy = policy;
+            config.device_units.assign(static_cast<std::size_t>(devices),
+                                       units);
+            const auto trace = sim::simulate(batch[i], config);
+            os << "# K=" << devices << " dag=" << i << " units=" << units
+               << " policy=" << sim::to_string(policy) << " m=" << m << '\n'
+               << trace.to_text();
+          }
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
 /// The pinned single-accelerator batches the exact solver's results are
 /// frozen on: the fig7 size classes, solved with a pure node budget (no
 /// wall-clock dependence) generous enough that every instance closes.

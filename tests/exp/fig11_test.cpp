@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/fig11.h"
+#include "exp/report.h"
+
+/// Scaled-down fig11 runs: structure of the result, soundness of every
+/// (units, ratio, m) cell, the bound-tightening shape the multiplicity
+/// generalisation predicts, and bit-identical `--jobs N` output.
+
+namespace hedra::exp {
+namespace {
+
+Fig11Config small_config() {
+  Fig11Config config;
+  config.devices = 2;
+  config.units = {1, 2, 3};
+  config.ratios = {0.15, 0.35};
+  config.cores = {2, 8};
+  config.dags_per_point = 5;
+  config.params.min_nodes = 30;
+  config.params.max_nodes = 80;
+  return config;
+}
+
+TEST(Fig11HarnessTest, ProducesAllCellsAndSummaries) {
+  const Fig11Result result = run_fig11(small_config());
+  // units × ratios × cores cells, units × cores summaries.
+  EXPECT_EQ(result.devices, 2);
+  EXPECT_EQ(result.rows.size(), 12u);
+  EXPECT_EQ(result.summaries.size(), 6u);
+  EXPECT_EQ(result.policy_names.size(), 5u);
+  for (const auto& row : result.rows) {
+    EXPECT_GT(row.mean_bound, 0.0);
+    EXPECT_GT(row.mean_bound_single, 0.0);
+    ASSERT_EQ(row.mean_makespan.size(), result.policy_names.size());
+    for (const double makespan : row.mean_makespan) {
+      EXPECT_GT(makespan, 0.0);
+      EXPECT_LE(makespan, row.mean_bound + 1e-9);
+    }
+  }
+}
+
+TEST(Fig11HarnessTest, EveryPolicyStaysBelowTheBoundOnEveryUnitCount) {
+  const Fig11Result result = run_fig11(small_config());
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.violations, 0) << "units=" << row.units
+                                 << " ratio=" << row.ratio << " m=" << row.m;
+    EXPECT_LE(row.max_sim_over_bound, 1.0);
+    EXPECT_GT(row.max_sim_over_bound, 0.0);
+  }
+  for (const auto& summary : result.summaries) {
+    EXPECT_EQ(summary.violations, 0);
+  }
+}
+
+TEST(Fig11HarnessTest, MoreUnitsTightenTheBoundAndNeverSlowTheSim) {
+  // Same batch across unit counts: the bound is monotonically
+  // non-increasing in n_d (units = 1 rows must equal the single-unit
+  // reference exactly), and the bound gain reported per summary is
+  // non-negative.
+  const Fig11Result result = run_fig11(small_config());
+  for (const auto& row : result.rows) {
+    EXPECT_LE(row.mean_bound, row.mean_bound_single + 1e-9);
+    if (row.units == 1) {
+      EXPECT_DOUBLE_EQ(row.mean_bound, row.mean_bound_single);
+    }
+  }
+  for (const auto& summary : result.summaries) {
+    EXPECT_GE(summary.mean_bound_gain_pct, -1e-9);
+    if (summary.units == 1) {
+      EXPECT_NEAR(summary.mean_bound_gain_pct, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fig11HarnessTest, ParallelRunsAreBitIdenticalToSerial) {
+  Fig11Config serial = small_config();
+  serial.jobs = 1;
+  Fig11Config parallel = small_config();
+  parallel.jobs = 4;
+  const Fig11Result a = run_fig11(serial);
+  const Fig11Result b = run_fig11(parallel);
+  EXPECT_EQ(render_fig11(a), render_fig11(b));
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].mean_bound, b.rows[i].mean_bound);
+    EXPECT_EQ(a.rows[i].mean_makespan, b.rows[i].mean_makespan);
+    EXPECT_EQ(a.rows[i].max_sim_over_bound, b.rows[i].max_sim_over_bound);
+  }
+}
+
+TEST(Fig11HarnessTest, RendersAndExportsCsv) {
+  const Fig11Result result = run_fig11(small_config());
+  const std::string text = render_fig11(result);
+  EXPECT_NE(text.find("R_plat"), std::string::npos);
+  EXPECT_NE(text.find("n_d"), std::string::npos);
+  EXPECT_NE(text.find("worst/bound"), std::string::npos);
+  EXPECT_NE(text.find("violations 0"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/f11.csv";
+  write_fig11_csv(result, path);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hedra::exp

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "gen/hierarchical.h"
@@ -51,18 +52,70 @@ TEST(MultiDeviceGenTest, EvenSplitHitsTheTargetTotalRatio) {
   graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
   (void)gen::select_offload_nodes(dag, 2, 2, rng);
   for (const double ratio : {0.05, 0.2, 0.4, 0.6}) {
-    const graph::Time total = gen::set_offload_ratio_multi(dag, ratio);
+    const gen::OffloadSplit split = gen::set_offload_ratio_multi(dag, ratio);
     graph::Time device_sum = 0;
     for (const auto device : dag.device_ids()) {
       device_sum += dag.volume_on(device);
     }
-    EXPECT_EQ(total, device_sum);
+    EXPECT_EQ(split.total, device_sum);
     const double realised =
-        static_cast<double>(total) / static_cast<double>(dag.volume());
+        static_cast<double>(split.total) / static_cast<double>(dag.volume());
     EXPECT_NEAR(realised, ratio, 0.02) << "target " << ratio;
     // Even mix: device shares are balanced within rounding.
     EXPECT_NEAR(gen::device_ratio(dag, 1), gen::device_ratio(dag, 2), 0.02);
   }
+}
+
+/// SATELLITE REGRESSION: the returned per-device breakdown makes the
+/// cumulative-rounding split verifiable — every entry matches the graph's
+/// realised per-device volume and the budget invariant Σ_d vol_d == total
+/// holds for even and skewed mixes alike.
+TEST(MultiDeviceGenTest, BreakdownMatchesRealisedVolumesAndSumsToTotal) {
+  for (const std::uint64_t seed : {8u, 9u, 10u}) {
+    Rng rng(seed);
+    graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+    (void)gen::select_offload_nodes(dag, 3, 2, rng);
+    const std::vector<double> mix{5.0, 1.0, 0.001};
+    const gen::OffloadSplit split = gen::set_offload_ratio_multi(dag, 0.35, mix);
+    ASSERT_EQ(split.per_device.size(), 3u);
+    graph::Time sum = 0;
+    for (const auto& [device, volume] : split.per_device) {
+      EXPECT_EQ(volume, dag.volume_on(device)) << "device " << device;
+      // The documented floor: every node keeps WCET >= 1, so a device with
+      // k offload nodes realises at least k ticks even at near-zero weight.
+      EXPECT_GE(volume, static_cast<graph::Time>(dag.nodes_on(device).size()))
+          << "device " << device;
+      sum += volume;
+    }
+    EXPECT_EQ(sum, split.total);
+  }
+}
+
+/// SATELLITE REGRESSION: a zero-weight mix previously divided by zero
+/// (weight_sum == 0 → llround(NaN), undefined behaviour) and silently
+/// starved devices; degenerate weights are now rejected up front.
+TEST(MultiDeviceGenTest, RejectsZeroNegativeAndNonFiniteMixWeights) {
+  Rng rng(11);
+  graph::Dag dag = gen::generate_hierarchical(test_params(), rng);
+  (void)gen::select_offload_nodes(dag, 2, 1, rng);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {0.0, 0.0}), Error)
+      << "all-zero weights divide by zero";
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {0.0, 1.0}), Error)
+      << "a zero weight starves its device";
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {-1.0, 2.0}),
+               Error);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(
+                   dag, 0.3,
+                   {std::numeric_limits<double>::quiet_NaN(), 1.0}),
+               Error);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(
+                   dag, 0.3,
+                   {std::numeric_limits<double>::infinity(), 1.0}),
+               Error);
+  // Tiny but positive weights stay legal and keep the per-node floor.
+  const gen::OffloadSplit split =
+      gen::set_offload_ratio_multi(dag, 0.3, {1e-9, 1.0});
+  EXPECT_GE(split.per_device[0].second, 1);
 }
 
 TEST(MultiDeviceGenTest, MixWeightsSkewTheDeviceShares) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/analysis_cache.h"
 #include "analysis/multi_offload.h"
 #include "analysis/platform_rta.h"
 #include "analysis/rta_heterogeneous.h"
@@ -150,6 +151,51 @@ TEST_P(SoundnessSweep, PlatformBoundDominatesEveryPolicyOnEveryDevice) {
         EXPECT_LE(Frac(early), bound)
             << "early completion, K=" << num_devices << " m=" << m
             << " policy=" << sim::to_string(policy);
+      }
+    }
+  }
+}
+
+TEST_P(SoundnessSweep, MultiUnitPlatformBoundDominatesEveryPolicy) {
+  // ACCEPTANCE CRITERION (PR 4): the generalised bound R_plat(n_d) —
+  // vol_d/n_d device terms plus the mixed (units−1)/units weighted chain —
+  // must dominate every work-conserving execution on a platform with n_d
+  // units per class, for units ∈ {2, 3}, K ∈ {1, 2, 3}, every ready-queue
+  // policy, and the anomaly-prone early-completion runs of
+  // simulate_with_times.
+  Rng master(GetParam() + 7000);
+  gen::HierarchicalParams params = medium_params();
+  for (const int num_devices : {1, 2, 3}) {
+    params.num_devices = num_devices;
+    params.offloads_per_device = 2;
+    for (const int units : {2, 3}) {
+      for (int i = 0; i < 3; ++i) {
+        Rng rng = master.fork();
+        const double ratio = 0.05 + 0.5 * rng.uniform_real();
+        const graph::Dag dag = gen::generate_multi_device(params, ratio, rng);
+        const int m = static_cast<int>(rng.uniform_int(1, 16));
+        const std::vector<int> device_units(
+            static_cast<std::size_t>(num_devices), units);
+        analysis::AnalysisCache cache(dag);
+        const Frac bound = cache.r_platform(m, device_units);
+        // The multiplicity bound never exceeds the single-unit bound, and
+        // both dominate every simulated schedule on the multi-unit platform.
+        EXPECT_LE(bound, cache.r_platform(m));
+        for (const auto policy : sim::all_policies()) {
+          sim::SimConfig config;
+          config.cores = m;
+          config.policy = policy;
+          config.device_units = device_units;
+          EXPECT_LE(Frac(sim::simulated_makespan(dag, config)), bound)
+              << "K=" << num_devices << " units=" << units << " m=" << m
+              << " policy=" << sim::to_string(policy);
+          const auto actual = sim::random_actual_times(dag, 0.3, rng);
+          const graph::Time early =
+              sim::simulate_with_times(dag, config, actual).makespan();
+          EXPECT_LE(Frac(early), bound)
+              << "early completion, K=" << num_devices << " units=" << units
+              << " m=" << m << " policy=" << sim::to_string(policy);
+        }
       }
     }
   }

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/fixtures.h"
 #include "model/platform.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace hedra {
 namespace {
@@ -43,12 +47,84 @@ TEST(PlatformTest, ParseRoundTripsThroughSpec) {
   EXPECT_EQ(platform.device_name(2), "dsp");
 }
 
+TEST(PlatformTest, ParseReadsUnitMultiplicities) {
+  const Platform platform = Platform::parse("4:gpu*2,dsp,fpga*3");
+  EXPECT_EQ(platform.cores, 4);
+  EXPECT_EQ(platform.num_devices(), 3);
+  EXPECT_EQ(platform.units_of(1), 2);
+  EXPECT_EQ(platform.units_of(2), 1);
+  EXPECT_EQ(platform.units_of(3), 3);
+  EXPECT_TRUE(platform.has_multi_units());
+  EXPECT_EQ(platform.spec(), "4:gpu*2,dsp,fpga*3");
+  EXPECT_NE(platform.describe().find("gpu(d1 x2)"), std::string::npos);
+  EXPECT_NE(platform.describe().find("dsp(d2)"), std::string::npos);
+
+  // Whitespace around every token is tolerated, explicit *1 normalises away.
+  const Platform spaced = Platform::parse(" 4 : gpu * 2 , dsp * 1 ");
+  EXPECT_EQ(spaced.spec(), "4:gpu*2,dsp");
+  EXPECT_FALSE(Platform::parse("2:gpu*1").has_multi_units());
+}
+
 TEST(PlatformTest, ParseRejectsMalformedSpecs) {
   EXPECT_THROW((void)Platform::parse(""), Error);
   EXPECT_THROW((void)Platform::parse("x"), Error);
   EXPECT_THROW((void)Platform::parse("0:gpu"), Error);
+  EXPECT_THROW((void)Platform::parse("4:"), Error);         // no device list
   EXPECT_THROW((void)Platform::parse("4:gpu,"), Error);     // empty name
   EXPECT_THROW((void)Platform::parse("4:gpu,gpu"), Error);  // duplicate
+  EXPECT_THROW((void)Platform::parse("   "), Error);        // whitespace only
+  EXPECT_THROW((void)Platform::parse("4.5:gpu"), Error);    // non-integer m
+  EXPECT_THROW((void)Platform::parse("four:gpu"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu*"), Error);     // missing units
+  EXPECT_THROW((void)Platform::parse("4:gpu*0"), Error);    // < 1 unit
+  EXPECT_THROW((void)Platform::parse("4:gpu*-2"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu*x"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu*2*3"), Error);
+  EXPECT_THROW((void)Platform::parse("4:*2"), Error);       // units, no name
+}
+
+TEST(PlatformTest, ParseErrorsNameTheOffendingSpec) {
+  for (const std::string bad : {"4:", "four:gpu", "4:gpu*0", "4:gpu,gpu"}) {
+    try {
+      (void)Platform::parse(bad);
+      FAIL() << "spec '" << bad << "' should not parse";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + bad + "'"),
+                std::string::npos)
+          << "message should quote the spec: " << e.what();
+    }
+  }
+}
+
+/// SATELLITE PROPERTY TEST: spec() and parse() are mutual inverses over
+/// randomized platforms (core counts, device counts, names, unit
+/// multiplicities), with the empty-device_units representation normalising
+/// to the explicit all-ones one.
+TEST(PlatformTest, RandomizedPlatformsRoundTripThroughSpec) {
+  const std::vector<std::string> pool{"gpu",  "dsp",  "fpga", "npu",
+                                      "tpu",  "vpu",  "dla",  "isp"};
+  Rng rng(0x51A7F0);
+  for (int i = 0; i < 200; ++i) {
+    Platform platform;
+    platform.cores = static_cast<int>(rng.uniform_int(1, 64));
+    const int devices = static_cast<int>(rng.uniform_int(0, 8));
+    std::vector<std::string> names(pool.begin(), pool.end());
+    rng.shuffle(names);
+    const bool explicit_units = rng.bernoulli(0.7);
+    for (int d = 0; d < devices; ++d) {
+      platform.device_names.push_back(names[d]);
+      if (explicit_units) {
+        platform.device_units.push_back(
+            static_cast<int>(rng.uniform_int(1, 6)));
+      }
+    }
+    platform.validate();
+
+    const Platform reparsed = Platform::parse(platform.spec());
+    EXPECT_EQ(reparsed, platform) << "spec: " << platform.spec();
+    EXPECT_EQ(reparsed.spec(), platform.spec());
+    EXPECT_EQ(reparsed.describe(), platform.describe());
+  }
 }
 
 TEST(PlatformTest, ValidateRejectsBadShapes) {

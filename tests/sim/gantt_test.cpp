@@ -86,6 +86,29 @@ TEST(GanttTest, EmptyScheduleRenders) {
   EXPECT_NE(chart.find("empty"), std::string::npos);
 }
 
+TEST(GanttTest, MultiUnitDevicesRenderOneRowPerUnit) {
+  // The trace's own unit counts drive the rows — no options needed — so a
+  // second concurrent interval on device 1 can never be silently dropped.
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto a1 = dag.add_node_on(3, 1, "a1");
+  const auto a2 = dag.add_node_on(4, 1, "a2");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {a1, a2}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  SimConfig config;
+  config.cores = 1;
+  config.device_units = {2};
+  const auto trace = simulate(dag, config);
+  const std::string chart = render_gantt(trace, dag);
+  EXPECT_NE(chart.find("ACC |"), std::string::npos);
+  EXPECT_NE(chart.find("ACC.1 |"), std::string::npos);
+  EXPECT_NE(chart.find("a1"), std::string::npos);
+  EXPECT_NE(chart.find("a2"), std::string::npos);
+}
+
 TEST(GanttTest, TinyWidthRejected) {
   const auto ex = testing::paper_example();
   const auto trace = paper_trace(2);

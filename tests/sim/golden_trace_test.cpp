@@ -39,6 +39,17 @@ TEST_P(GoldenTraceTest, TracesMatchCommittedGoldens) {
 
 INSTANTIATE_TEST_SUITE_P(Devices, GoldenTraceTest, ::testing::Values(1, 2, 3));
 
+TEST(GoldenTraceTest, MultiUnitTracesMatchCommittedGoldens) {
+  // n_d ∈ {2, 3} units per device over the K ∈ {2, 3} pinned batches: the
+  // per-device free-unit assignment and the extended unit-id encoding are
+  // frozen the same way the single-unit scheduling decisions are.
+  const std::string expected = read_golden("traces_units.txt");
+  EXPECT_EQ(goldens::golden_units_trace_text(), expected)
+      << "multi-unit simulator behaviour drifted; if the change is "
+         "intentional, regenerate tests/golden/traces_units.txt (see "
+         "tests/common/golden_batch.h)";
+}
+
 TEST(GoldenTraceTest, ToTextRoundsTripsIntervalOrder) {
   const auto batch = goldens::golden_sim_batch(1);
   sim::SimConfig config;

@@ -204,6 +204,141 @@ TEST(SchedulerTest, PerDeviceQueuesAreFifo) {
   EXPECT_EQ(trace.busy_time(accelerator_unit(2)), 8);
 }
 
+TEST(SchedulerTest, MultiUnitDeviceRunsItsQueueInParallel) {
+  // Same shape as PerDeviceQueuesAreFifo, but device 1 gets two units: its
+  // queue stops serialising.  Unit 0 keeps the historical odd-negative id;
+  // the second concurrent node lands on the first extra (even) unit id.
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto a1 = dag.add_node_on(3, 1, "a1");
+  const auto a2 = dag.add_node_on(4, 1, "a2");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {a1, a2}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  SimConfig config = cfg(2);
+  config.device_units = {2};
+  const ScheduleTrace trace = simulate(dag, config);
+  EXPECT_EQ(trace.start_of(a1), 1);
+  EXPECT_EQ(trace.start_of(a2), 1);
+  EXPECT_EQ(trace.interval_of(a1).unit, accelerator_unit(1, 0));
+  EXPECT_EQ(trace.interval_of(a2).unit, accelerator_unit(1, 1));
+  EXPECT_EQ(trace.makespan(), 6);  // 1 + max(3, 4) + 1 instead of 1 + 7 + 1
+  EXPECT_EQ(trace.units_of(1), 2);
+
+  // More units than ready work changes nothing beyond the makespan floor.
+  config.device_units = {5};
+  EXPECT_EQ(simulate(dag, config).makespan(), 6);
+}
+
+TEST(SchedulerTest, UnitsBeyondTheVectorDefaultToOne) {
+  // device_units shorter than max_device: device 2 falls back to one unit.
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto b1 = dag.add_node_on(3, 2, "b1");
+  const auto b2 = dag.add_node_on(3, 2, "b2");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {b1, b2}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  SimConfig config = cfg(2);
+  config.device_units = {4};  // only device 1 configured
+  EXPECT_EQ(simulate(dag, config).makespan(), 8);  // 1 + 3 + 3 + 1
+}
+
+TEST(SchedulerTest, FreeUnitsAreReusedSmallestIndexFirst) {
+  // Three nodes, two units: the third node takes whichever unit frees
+  // first, and after both are free again the smaller index wins.
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto a1 = dag.add_node_on(2, 1, "a1");
+  const auto a2 = dag.add_node_on(5, 1, "a2");
+  const auto a3 = dag.add_node_on(2, 1, "a3");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {a1, a2, a3}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  SimConfig config = cfg(2);
+  config.device_units = {2};
+  const ScheduleTrace trace = simulate(dag, config);
+  // a1 -> unit 0 [1,3), a2 -> unit 1 [1,6), a3 -> unit 0 again [3,5).
+  EXPECT_EQ(trace.interval_of(a1).unit, accelerator_unit(1, 0));
+  EXPECT_EQ(trace.interval_of(a2).unit, accelerator_unit(1, 1));
+  EXPECT_EQ(trace.interval_of(a3).unit, accelerator_unit(1, 0));
+  EXPECT_EQ(trace.start_of(a3), 3);
+  EXPECT_EQ(trace.makespan(), 7);
+}
+
+/// SATELLITE REGRESSION (pre-PR bug): zero-WCET nodes placed on an
+/// accelerator retired instantly via kInstantUnit inside absorb_ready,
+/// silently bypassing device serialisation (and failing trace validation
+/// had it been on).  They now queue for their device's unit like any other
+/// offload: behind a busy unit they wait, and their interval lands on the
+/// device, not on kInstantUnit.
+TEST(SchedulerTest, ZeroWcetDeviceNodesRespectDeviceSerialisation) {
+  graph::Dag dag;
+  const auto src = dag.add_node(1);
+  const auto busy = dag.add_node_on(5, 1, "busy");
+  const auto zero = dag.add_node_on(0, 1, "zero");
+  const auto snk = dag.add_node(1);
+  for (const auto v : {busy, zero}) {
+    dag.add_edge(src, v);
+    dag.add_edge(v, snk);
+  }
+  const ScheduleTrace trace = simulate(dag, cfg(2));  // validation on
+  // `busy` holds the single unit over [1, 6); `zero` must wait for it.
+  EXPECT_EQ(trace.start_of(zero), 6);
+  EXPECT_EQ(trace.finish_of(zero), 6);
+  EXPECT_EQ(trace.interval_of(zero).unit, accelerator_unit(1));
+  EXPECT_EQ(trace.makespan(), 7);
+
+  // With a second unit the zero-WCET node no longer waits — but it still
+  // occupies a real device unit for its zero-length interval.
+  SimConfig config = cfg(2);
+  config.device_units = {2};
+  const ScheduleTrace wide = simulate(dag, config);
+  EXPECT_EQ(wide.start_of(zero), 1);
+  EXPECT_EQ(wide.interval_of(zero).unit, accelerator_unit(1, 1));
+  EXPECT_EQ(wide.makespan(), 7);
+
+  // Host-side zero-WCET nodes keep the historical instant-sync semantics.
+  graph::Dag host;
+  const auto h1 = host.add_node(2);
+  const auto h0 = host.add_node(0, graph::NodeKind::kHost, "h0");
+  host.add_edge(h1, h0);
+  const ScheduleTrace host_trace = simulate(host, cfg(1));
+  EXPECT_EQ(host_trace.interval_of(h0).unit, kInstantUnit);
+}
+
+TEST(SchedulerTest, RejectsNonPositiveUnitCounts) {
+  const auto ex = testing::multi_device_example();
+  SimConfig config = cfg(2);
+  config.device_units = {0, 1};
+  EXPECT_THROW((void)simulate(ex.dag, config), Error);
+  config.device_units = {-3};
+  EXPECT_THROW((void)simulate(ex.dag, config), Error);
+}
+
+TEST(SchedulerTest, MultiUnitTracesValidateUnderEveryPolicyAndEarlyTimes) {
+  const auto ex = testing::multi_device_example();
+  Rng rng(99);
+  for (const auto policy : all_policies()) {
+    for (const int units : {2, 3}) {
+      SimConfig config = cfg(2, policy);
+      config.device_units = {units, units};
+      const ScheduleTrace trace = simulate(ex.dag, config);  // validates
+      EXPECT_GT(trace.makespan(), 0);
+      const auto actual = random_actual_times(ex.dag, 0.4, rng);
+      const ScheduleTrace early =
+          simulate_with_times(ex.dag, config, actual);
+      EXPECT_LE(early.makespan(), trace.makespan() + ex.dag.volume());
+    }
+  }
+}
+
 TEST(SchedulerTest, MultiDeviceTraceValidatesUnderEveryPolicy) {
   const auto ex = testing::multi_device_example();
   for (const auto policy : all_policies()) {

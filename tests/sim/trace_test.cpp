@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/fixtures.h"
 #include "util/error.h"
 
@@ -141,6 +143,66 @@ TEST(TraceTest, ConstructionRequiresDagAndCores) {
   const auto dag = testing::chain(1, 1);
   EXPECT_THROW(ScheduleTrace(nullptr, 2), Error);
   EXPECT_THROW(ScheduleTrace(&dag, 0), Error);
+  EXPECT_THROW(ScheduleTrace(&dag, 2, {0}), Error);  // units must be >= 1
+}
+
+TEST(TraceTest, UnitEncodingRoundTripsAndStaysInjective) {
+  // Unit 0 keeps the historical odd negatives; extra units live on the even
+  // negatives below kInstantUnit.  The encoding must be injective across
+  // every (device, unit) pair and invert exactly.
+  std::set<int> seen;
+  for (graph::DeviceId d = 1; d <= 12; ++d) {
+    for (int u = 0; u < 8; ++u) {
+      const int unit = accelerator_unit(d, u);
+      EXPECT_LT(unit, 0);
+      EXPECT_NE(unit, kInstantUnit);
+      EXPECT_TRUE(is_accelerator_unit(unit));
+      EXPECT_EQ(device_of_unit(unit), d) << "d=" << d << " u=" << u;
+      EXPECT_EQ(unit_index_of(unit), u) << "d=" << d << " u=" << u;
+      EXPECT_TRUE(seen.insert(unit).second)
+          << "collision at d=" << d << " u=" << u;
+    }
+  }
+  // The historical single-unit ids are unchanged.
+  EXPECT_EQ(accelerator_unit(1), -1);
+  EXPECT_EQ(accelerator_unit(1, 0), kAcceleratorUnit);
+  EXPECT_EQ(accelerator_unit(2), -3);
+  EXPECT_EQ(accelerator_unit(3), -5);
+  EXPECT_FALSE(is_accelerator_unit(kInstantUnit));
+  EXPECT_FALSE(is_accelerator_unit(0));
+  EXPECT_FALSE(is_accelerator_unit(7));
+}
+
+TEST(TraceTest, ValidateChecksUnitIndexAgainstDeviceUnitCount) {
+  const auto ex = testing::paper_example();
+  // One unit on device 1: an interval on unit index 1 is out of range.
+  ScheduleTrace narrow(&ex.dag, 2);
+  narrow.add(Interval{ex.voff, accelerator_unit(1, 1), 0, 4});
+  bool found = false;
+  for (const auto& issue : narrow.validate()) {
+    if (issue.find("off its device") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(narrow.units_of(1), 1);
+
+  // Two units: the same interval is a legal placement.
+  ScheduleTrace wide(&ex.dag, 2, {2});
+  EXPECT_EQ(wide.units_of(1), 2);
+  wide.add(Interval{ex.voff, accelerator_unit(1, 1), 0, 4});
+  bool misplaced = false;
+  for (const auto& issue : wide.validate()) {
+    if (issue.find("off its device") != std::string::npos) misplaced = true;
+  }
+  EXPECT_FALSE(misplaced);
+
+  // A unit of the WRONG device is still rejected even if its index fits.
+  ScheduleTrace other(&ex.dag, 2, {2});
+  other.add(Interval{ex.voff, accelerator_unit(2, 0), 0, 4});
+  bool wrong_device = false;
+  for (const auto& issue : other.validate()) {
+    if (issue.find("off its device") != std::string::npos) wrong_device = true;
+  }
+  EXPECT_TRUE(wrong_device);
 }
 
 }  // namespace
