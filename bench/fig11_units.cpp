@@ -15,6 +15,7 @@
 #include "exp/fig11.h"
 #include "exp/report.h"
 #include "util/cli.h"
+#include "util/strings.h"
 
 int main(int argc, char** argv) {
   hedra::ArgParser parser("fig11_units",
@@ -25,6 +26,11 @@ int main(int argc, char** argv) {
       parser.add_int("devices", 2, "K accelerator device classes");
   const auto* max_units = parser.add_int(
       "max-units", 3, "sweep n_d = 1..max units per accelerator class");
+  const auto* unit_vectors = parser.add_string(
+      "unit-vectors", "",
+      "sweep explicit per-class unit vectors instead of the symmetric "
+      "1..max-units grid, e.g. '2,1;3,1' (one comma-separated vector per "
+      "';'-separated entry, one entry value per device class)");
   const auto* per_device =
       parser.add_int("per-device", 2, "offload nodes per device");
   const auto* min_nodes = parser.add_int("min-nodes", 100, "minimum DAG size");
@@ -47,13 +53,25 @@ int main(int argc, char** argv) {
     for (int n = 1; n <= static_cast<int>(*max_units); ++n) {
       config.units.push_back(n);
     }
+    if (!unit_vectors->empty()) {
+      for (const auto& entry : hedra::split(*unit_vectors, ';')) {
+        std::vector<int> vec;
+        for (const auto& value : hedra::split(hedra::trim(entry), ',')) {
+          vec.push_back(static_cast<int>(hedra::parse_int(hedra::trim(value))));
+        }
+        config.unit_vectors.push_back(std::move(vec));
+      }
+    }
 
     std::cout << "== Figure 11: per-device multiplicity n_d vs the "
                  "generalised platform bound ==\n"
-              << "K = " << *devices << ", n_d in [1, " << *max_units << "], "
-              << *per_device << " offload(s)/device, n in [" << *min_nodes
-              << ", " << *max_nodes << "], " << *dags << " DAGs/point, seed "
-              << *seed << "\n\n";
+              << "K = " << *devices << ", "
+              << (unit_vectors->empty()
+                      ? "n_d in [1, " + std::to_string(*max_units) + "]"
+                      : "unit vectors " + *unit_vectors)
+              << ", " << *per_device << " offload(s)/device, n in ["
+              << *min_nodes << ", " << *max_nodes << "], " << *dags
+              << " DAGs/point, seed " << *seed << "\n\n";
     const auto result = hedra::exp::run_fig11(config);
     std::cout << hedra::exp::render_fig11(result);
     if (!csv->empty()) {

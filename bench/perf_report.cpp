@@ -27,6 +27,7 @@
 #include "exp/experiment.h"
 #include "exp/fig10.h"
 #include "exp/fig11.h"
+#include "exp/fig12.h"
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
 #include "sim/scheduler.h"
@@ -164,6 +165,58 @@ int main(int argc, char** argv) {
       const double ms =
           best_ms(reps, [&] { (void)hedra::exp::run_fig11(config); });
       record("fig11_sweep", "ms", ms);
+    }
+
+    // -- End-to-end: the fig12 taskset admission + shared-device
+    //    simulation sweep (PR 5), single-threaded.
+    {
+      hedra::exp::Fig12Config config;
+      config.utilizations = {0.25, 0.75};
+      config.devices = {1, 2};
+      config.units = {1, 2};
+      config.cores = {4};
+      config.num_tasks = 3;
+      config.tasksets_per_point = q ? 2 : 6;
+      config.jobs_per_task = 2;
+      config.seed = 13;
+      config.jobs = 1;
+      const double ms =
+          best_ms(reps, [&] { (void)hedra::exp::run_fig12(config); });
+      record("fig12_sweep", "ms", ms);
+    }
+
+    // -- Batched anomaly runs: simulate_with_times over ONE cached CSR
+    //    snapshot per DAG (the shape the property/anomaly sweeps use since
+    //    they stopped re-snapshotting per call).
+    {
+      const auto batch =
+          make_batch(q ? 2 : 8, /*devices=*/2, 0.25, 17, 60, 120);
+      // Actual times are drawn ONCE, outside the timed body, so every
+      // repetition measures identical work (min-over-reps stays a valid
+      // regression reference).
+      hedra::Rng rng(17);
+      std::vector<std::vector<hedra::graph::Time>> actuals;
+      actuals.reserve(batch.size());
+      for (const Dag& dag : batch) {
+        actuals.push_back(hedra::sim::random_actual_times(dag, 0.3, rng));
+      }
+      const double ms = best_ms(reps, [&] {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          hedra::analysis::AnalysisCache cache(batch[i]);
+          for (const auto policy : hedra::sim::all_policies()) {
+            hedra::sim::SimConfig config;
+            config.cores = 8;
+            config.policy = policy;
+            config.validate = false;
+            (void)hedra::sim::simulate_with_times(cache.flat(), config,
+                                                  actuals[i]);
+          }
+        }
+      });
+      record("sim_with_times_batch", "us_per_sim",
+             1000.0 * ms /
+                 static_cast<double>(batch.size() *
+                                     hedra::sim::all_policies().size()));
     }
 
     // -- Simulation, per ready-queue policy (m = 8, K = 2 DAGs).

@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
   const auto* platform_opt = parser.add_string(
       "platform", "",
       "platform spec m[:dev1,dev2,...], each device optionally dev*units "
-      "(e.g. 4:gpu*2,dsp); enables the multi-device report");
+      "and/or dev@speedup (e.g. 4:gpu*2@3.0,dsp@1.5); enables the "
+      "multi-device report");
   const auto* dot_out = parser.add_string(
       "dot", "", "write DOT here (of G'; of the input graph with --platform)");
   const auto* trans_out = parser.add_string(

@@ -4,6 +4,12 @@ hedra-perf-report-v1).  CI runs `perf_report --quick --out <file>` and then
 this script, so the benchmark harness can't silently rot.
 
 Usage: validate_perf_report.py <report.json> [--expect-benchmarks N]
+                               [--require-kernel NAME]...
+
+--require-kernel fails the validation unless a benchmark with that exact
+name is present — CI uses it to pin the kernels a PR promises (e.g. the
+fig12_sweep taskset kernel) in both the quick run and the committed
+baseline.
 """
 
 import json
@@ -26,6 +32,11 @@ def main() -> None:
     expected = None
     if "--expect-benchmarks" in sys.argv:
         expected = int(sys.argv[sys.argv.index("--expect-benchmarks") + 1])
+    required = [
+        sys.argv[i + 1]
+        for i, arg in enumerate(sys.argv)
+        if arg == "--require-kernel"
+    ]
 
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
@@ -62,6 +73,9 @@ def main() -> None:
                 fail(f"benchmark {bench['name']!r} counter {key!r} not numeric")
     if expected is not None and len(benchmarks) != expected:
         fail(f"expected {expected} benchmarks, found {len(benchmarks)}")
+    for kernel in required:
+        if kernel not in names:
+            fail(f"required kernel {kernel!r} is missing")
 
     print(f"validate_perf_report: OK ({len(benchmarks)} benchmarks)")
 

@@ -131,12 +131,34 @@ Frac AnalysisCache::r_platform(int m, std::span<const int> device_units) {
   if (single_unit) return r_platform(m);
 
   const PlatformQuantities& q = platform_quantities();
-  const ChainWeighting weighting{m, device_units};
+  const ChainWeighting weighting{m, device_units, {}};
   Frac device_term;
   for (const auto& [device, volume] : q.device_volumes) {
     const int units = weighting.units_of(device);
     HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
     device_term += Frac(volume, units);
+  }
+  return Frac(q.vol_host, m) + device_term +
+         analysis::max_host_path(flat(), weighting);
+}
+
+Frac AnalysisCache::r_platform(int m, std::span<const int> device_units,
+                               std::span<const Frac> device_speedup) {
+  const bool unit_speed =
+      std::all_of(device_speedup.begin(), device_speedup.end(),
+                  [](const Frac& s) { return s == Frac(1); });
+  if (unit_speed) return r_platform(m, device_units);
+
+  const PlatformQuantities& q = platform_quantities();
+  const ChainWeighting weighting{m, device_units, device_speedup};
+  Frac device_term;
+  for (const auto& [device, volume] : q.device_volumes) {
+    const int units = weighting.units_of(device);
+    HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
+    const Frac speedup = weighting.speedup_of(device);
+    HEDRA_REQUIRE(speedup > Frac(0),
+                  "every device speedup must be strictly positive");
+    device_term += Frac(volume, units) / speedup;
   }
   return Frac(q.vol_host, m) + device_term +
          analysis::max_host_path(flat(), weighting);
@@ -150,10 +172,13 @@ Frac AnalysisCache::r_platform(const model::Platform& platform) {
                   "platform does not support the DAG: " + issues.front());
   }
   std::vector<int> units(static_cast<std::size_t>(platform.num_devices()));
+  std::vector<Frac> speedups(units.size(), Frac(1));
   for (std::size_t i = 0; i < units.size(); ++i) {
-    units[i] = platform.units_of(static_cast<graph::DeviceId>(i + 1));
+    const auto device = static_cast<graph::DeviceId>(i + 1);
+    units[i] = platform.units_of(device);
+    speedups[i] = platform.speedup_of(device);
   }
-  return r_platform(platform.cores, units);
+  return r_platform(platform.cores, units, speedups);
 }
 
 HetAnalysis AnalysisCache::assemble(int m) {

@@ -112,7 +112,17 @@ class AnalysisCache {
   /// m and the unit vector) runs per call, over the CSR snapshot.
   [[nodiscard]] Frac r_platform(int m, std::span<const int> device_units);
 
-  /// Same bound from a full Platform (must support the DAG's device ids).
+  /// Heterogeneous WCET scaling on top of the multiplicity bound: device d
+  /// runs nominal WCETs at speedup s_d (`device_speedup[d−1]`; devices
+  /// beyond the span run at unit speed), so its device term is
+  /// vol_d/(n_d·s_d) and its chain weights scale by 1/s_d.  An all-ones
+  /// speedup span delegates to the unscaled overloads above (exact rational
+  /// equality).
+  [[nodiscard]] Frac r_platform(int m, std::span<const int> device_units,
+                                std::span<const Frac> device_speedup);
+
+  /// Same bound from a full Platform (must support the DAG's device ids;
+  /// honours device_units and device_speedup).
   [[nodiscard]] Frac r_platform(const model::Platform& platform);
 
   /// Assembles the full HetAnalysis record (identical field-for-field to

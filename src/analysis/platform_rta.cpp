@@ -64,6 +64,7 @@ Frac weighted_chain_walk(const Graph& graph,
                          std::span<const graph::NodeId> order,
                          const ChainWeighting& weighting) {
   HEDRA_REQUIRE(weighting.m >= 1, "core count m must be >= 1");
+  const bool scaled = !weighting.speedup.empty();
   std::vector<Frac> best(graph.num_nodes());
   Frac max_weighted;
   for (const auto v : order) {
@@ -74,7 +75,12 @@ Frac weighted_chain_walk(const Graph& graph,
     const graph::DeviceId device = graph.device(v);
     const int units =
         device == graph::kHostDevice ? weighting.m : weighting.units_of(device);
-    best[v] = incoming + Frac(graph.wcet(v) * (units - 1), units);
+    Frac weight(graph.wcet(v) * (units - 1), units);
+    if (scaled && device != graph::kHostDevice) {
+      // Effective execution time on a sped-up class is C_v/s_d.
+      weight /= weighting.speedup_of(device);
+    }
+    best[v] = incoming + weight;
     max_weighted = frac_max(max_weighted, best[v]);
   }
   return max_weighted;
@@ -108,6 +114,7 @@ PlatformAnalysis analyze_platform(const graph::Dag& dag,
   out.vol_host = dag.volume_on(graph::kHostDevice);
   out.max_host_path = max_host_path(dag);
   std::vector<int> units(platform.num_devices(), 1);
+  std::vector<Frac> speedups(platform.num_devices(), Frac(1));
   for (int d = 1; d <= platform.num_devices(); ++d) {
     const auto device = static_cast<graph::DeviceId>(d);
     DeviceTerm term;
@@ -116,18 +123,22 @@ PlatformAnalysis analyze_platform(const graph::Dag& dag,
     term.volume = dag.volume_on(device);
     term.node_count = dag.nodes_on(device).size();
     term.units = platform.units_of(device);
-    term.term = Frac(term.volume, term.units);
+    term.speedup = platform.speedup_of(device);
+    term.term = Frac(term.volume, term.units) / term.speedup;
     units[d - 1] = term.units;
+    speedups[d - 1] = term.speedup;
     out.devices.push_back(std::move(term));
   }
 
   const int m = out.m;
   out.host_term = Frac(out.vol_host, m);
-  if (platform.has_multi_units()) {
+  if (platform.has_multi_units() || platform.has_speedups()) {
     Frac device_term;
     for (const auto& term : out.devices) device_term += term.term;
     out.device_term = device_term;
-    out.path_term = max_host_path(dag, ChainWeighting{m, units});
+    ChainWeighting weighting{m, units, {}};
+    if (platform.has_speedups()) weighting.speedup = speedups;
+    out.path_term = max_host_path(dag, weighting);
     out.bound = out.host_term + out.device_term + out.path_term;
   } else {
     // The pre-multiplicity formula, kept on its own integer-walk path so
@@ -154,11 +165,14 @@ Frac rta_platform(const graph::Dag& dag, int m) {
 std::string explain(const PlatformAnalysis& analysis) {
   std::ostringstream os;
   const int m = analysis.m;
-  const bool multi = analysis.platform.has_multi_units();
+  const bool multi = analysis.platform.has_multi_units() ||
+                     analysis.platform.has_speedups();
   os << "platform response-time bound (" << analysis.platform.describe()
      << ")\n";
   if (multi) {
-    os << "  R_plat = vol_host/m + sum_d vol_d/n_d + max weighted chain\n";
+    os << "  R_plat = vol_host/m + sum_d vol_d/"
+       << (analysis.platform.has_speedups() ? "(n_d*s_d)" : "n_d")
+       << " + max weighted chain\n";
   } else {
     os << "  R_plat = vol_host/m + sum_d vol_d + max_host_path*(m-1)/m\n";
   }
@@ -172,8 +186,9 @@ std::string explain(const PlatformAnalysis& analysis) {
        << "): vol = " << term.volume << " across " << term.node_count
        << " node" << (term.node_count == 1 ? "" : "s");
     if (multi) {
-      os << " on " << term.units << " unit" << (term.units == 1 ? "" : "s")
-         << " -> +" << term.term << "\n";
+      os << " on " << term.units << " unit" << (term.units == 1 ? "" : "s");
+      if (term.speedup != Frac(1)) os << " at " << term.speedup << "x speed";
+      os << " -> +" << term.term << "\n";
     } else {
       os << " -> +" << term.volume << "\n";
     }

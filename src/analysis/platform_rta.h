@@ -37,6 +37,14 @@
 /// surfaces its derivation term-by-term (PlatformAnalysis + explain) so
 /// tooling can show *why* a task misses or meets its deadline on a given
 /// platform.
+///
+/// Heterogeneous WCET scaling: when the platform carries per-device
+/// speedups s_d (model::Platform::device_speedup), node WCETs are read as
+/// *nominal* times and device d executes C_v in C_v/s_d ticks.  Every
+/// device-d occurrence in the bound scales accordingly — the device term
+/// becomes vol_d/(n_d·s_d) and the chain weight (C_v/s_d)·(n_d−1)/n_d —
+/// while host terms are untouched.  All speedups at 1 reduce to the
+/// unscaled bound with exact rational equality.
 
 #include <span>
 #include <string>
@@ -53,10 +61,11 @@ namespace hedra::analysis {
 struct DeviceTerm {
   graph::DeviceId device = 0;  ///< device id (>= 1)
   std::string name;            ///< platform name of the device
-  graph::Time volume = 0;      ///< vol_d, total WCET placed on the device
+  graph::Time volume = 0;      ///< vol_d, total nominal WCET on the device
   std::size_t node_count = 0;  ///< number of nodes placed on the device
   int units = 1;               ///< n_d, execution units of the class
-  Frac term;                   ///< vol_d / n_d
+  Frac speedup = Frac(1);      ///< s_d, WCET scaling of the class
+  Frac term;                   ///< vol_d / (n_d · s_d)
 };
 
 /// Term-by-term decomposition of the K-device chain bound.
@@ -76,16 +85,24 @@ struct PlatformAnalysis {
 };
 
 /// Per-node weighting of the generalised chain walk: host nodes weigh
-/// C_v·(m−1)/m, nodes on device d weigh C_v·(n_d−1)/n_d.  `units` is
-/// indexed d−1; devices beyond the span have one unit (weight zero), so an
-/// empty span recovers the host-only walk scaled by (m−1)/m.
+/// C_v·(m−1)/m, nodes on device d weigh (C_v/s_d)·(n_d−1)/n_d — the
+/// *effective* execution time on a class with WCET speedup s_d.  `units`
+/// and `speedup` are indexed d−1; devices beyond either span default to one
+/// unit / unit speed, so an empty-span weighting recovers the host-only
+/// walk scaled by (m−1)/m.
 struct ChainWeighting {
   int m = 1;
   std::span<const int> units;
+  std::span<const Frac> speedup;
 
   [[nodiscard]] int units_of(graph::DeviceId device) const noexcept {
     const std::size_t index = static_cast<std::size_t>(device) - 1;
     return index < units.size() ? units[index] : 1;
+  }
+
+  [[nodiscard]] Frac speedup_of(graph::DeviceId device) const noexcept {
+    const std::size_t index = static_cast<std::size_t>(device) - 1;
+    return index < speedup.size() ? speedup[index] : Frac(1);
   }
 };
 

@@ -30,10 +30,34 @@ struct Fig11Sample {
 
 Fig11Result run_fig11(const Fig11Config& config) {
   HEDRA_REQUIRE(config.devices >= 1, "fig11 needs at least one device class");
-  HEDRA_REQUIRE(!config.units.empty(), "fig11 needs at least one unit count");
-  for (const int units : config.units) {
-    HEDRA_REQUIRE(units >= 1, "unit counts must be >= 1");
+  // The swept axis: explicit per-class unit vectors, or the symmetric
+  // expansion of `units` (the historical grid, byte-identical output).
+  std::vector<std::vector<int>> swept;
+  if (!config.unit_vectors.empty()) {
+    for (const auto& vec : config.unit_vectors) {
+      HEDRA_REQUIRE(vec.size() == static_cast<std::size_t>(config.devices),
+                    "every unit vector needs one entry per device class");
+      for (const int units : vec) {
+        HEDRA_REQUIRE(units >= 1, "unit counts must be >= 1");
+      }
+      swept.push_back(vec);
+    }
+  } else {
+    HEDRA_REQUIRE(!config.units.empty(),
+                  "fig11 needs at least one unit count");
+    for (const int units : config.units) {
+      HEDRA_REQUIRE(units >= 1, "unit counts must be >= 1");
+      swept.emplace_back(static_cast<std::size_t>(config.devices), units);
+    }
   }
+  // -1 labels a genuinely asymmetric vector; all-equal vectors keep the
+  // symmetric integer so historical rows are unchanged field-for-field.
+  const auto units_label = [](const std::vector<int>& vec) {
+    const bool symmetric =
+        std::all_of(vec.begin(), vec.end(),
+                    [&vec](int units) { return units == vec.front(); });
+    return symmetric ? vec.front() : -1;
+  };
   Runner runner(config.jobs);
 
   GridSpec spec;
@@ -54,13 +78,11 @@ Fig11Result run_fig11(const Fig11Config& config) {
 
   const auto cells = runner.sweep(
       points,
-      [&config](analysis::AnalysisCache& cache, int m) {
+      [&config, &swept](analysis::AnalysisCache& cache, int m) {
         Fig11Sample sample;
         sample.bound_single = cache.r_platform(m).to_double();
-        sample.per_units.reserve(config.units.size());
-        for (const int n : config.units) {
-          const std::vector<int> device_units(
-              static_cast<std::size_t>(config.devices), n);
+        sample.per_units.reserve(swept.size());
+        for (const std::vector<int>& device_units : swept) {
           const Frac bound = cache.r_platform(m, device_units);
           UnitsSample us;
           us.bound = bound.to_double();
@@ -84,14 +106,15 @@ Fig11Result run_fig11(const Fig11Config& config) {
         }
         return sample;
       },
-      [&config](const SweepPoint& point, int m,
-                const std::vector<Fig11Sample>& samples) {
+      [&swept, &units_label](const SweepPoint& point, int m,
+                             const std::vector<Fig11Sample>& samples) {
         // One row per swept unit count for this (ratio, m) cell.
         std::vector<Fig11Row> rows;
         const std::size_t num_policies = sim::all_policies().size();
-        for (std::size_t ui = 0; ui < config.units.size(); ++ui) {
+        for (std::size_t ui = 0; ui < swept.size(); ++ui) {
           Fig11Row row;
-          row.units = config.units[ui];
+          row.units = units_label(swept[ui]);
+          row.unit_vector = swept[ui];
           row.ratio = point.ratio;
           row.m = m;
           row.mean_makespan.assign(num_policies, 0.0);
@@ -123,14 +146,15 @@ Fig11Result run_fig11(const Fig11Config& config) {
     result.rows.insert(result.rows.end(), cell.begin(), cell.end());
   }
 
-  for (const int units : config.units) {
+  for (const std::vector<int>& vec : swept) {
     for (const int m : config.cores) {
       Fig11Summary summary;
-      summary.units = units;
+      summary.units = units_label(vec);
+      summary.unit_vector = vec;
       summary.m = m;
       std::vector<double> slacks, gains;
       for (const auto& row : result.rows) {
-        if (row.units != units || row.m != m) continue;
+        if (row.unit_vector != vec || row.m != m) continue;
         summary.max_sim_over_bound =
             std::max(summary.max_sim_over_bound, row.max_sim_over_bound);
         summary.violations += row.violations;

@@ -32,6 +32,13 @@ namespace hedra::exp {
 struct Fig11Config {
   int devices = 2;                   ///< K accelerator classes (fixed)
   std::vector<int> units = {1, 2, 3};  ///< n_d values swept (symmetric)
+  /// ASYMMETRIC sweep: when non-empty, these explicit per-class unit
+  /// vectors (each of size `devices`, entries >= 1) replace the symmetric
+  /// expansion of `units` — e.g. {{2, 1}, {3, 1}} gives one multi-unit
+  /// class and one serial class per row, the configuration the analysis
+  /// and simulator always accepted but the grid could not express.  Empty
+  /// (the default) keeps the symmetric sweep byte-identical.
+  std::vector<std::vector<int>> unit_vectors;
   std::vector<double> ratios = {0.10, 0.20, 0.30, 0.40};
   std::vector<int> cores = paper_core_counts();
   gen::HierarchicalParams params =
@@ -46,7 +53,11 @@ struct Fig11Config {
 
 /// One (units, ratio, m) cell.
 struct Fig11Row {
-  int units = 0;       ///< n_d applied to every device class
+  /// n_d applied to every device class; -1 for an asymmetric unit vector
+  /// (see unit_vector).
+  int units = 0;
+  /// The per-class unit vector of this row (all-equal for symmetric rows).
+  std::vector<int> unit_vector;
   double ratio = 0.0;
   int m = 0;
   double mean_bound = 0.0;         ///< mean R_plat(n_d) over the batch
@@ -61,7 +72,8 @@ struct Fig11Row {
 
 /// Per-(units, m) shape summary.
 struct Fig11Summary {
-  int units = 0;
+  int units = 0;                 ///< -1 for an asymmetric unit vector
+  std::vector<int> unit_vector;  ///< per-class units of this summary
   int m = 0;
   double max_sim_over_bound = 0.0;  ///< over the whole ratio grid
   double mean_slack_pct = 0.0;      ///< mean of the cells' mean slack

@@ -145,6 +145,18 @@ std::string render_fig10(const Fig10Result& result) {
   return os.str();
 }
 
+/// "2" for symmetric unit counts, "2-1" for an asymmetric vector (the '-'
+/// keeps CSV cells delimiter-free).
+static std::string units_str(int units, const std::vector<int>& unit_vector) {
+  if (units >= 0 || unit_vector.empty()) return std::to_string(units);
+  std::string out;
+  for (std::size_t i = 0; i < unit_vector.size(); ++i) {
+    if (i > 0) out += '-';
+    out += std::to_string(unit_vector[i]);
+  }
+  return out;
+}
+
 std::string render_fig11(const Fig11Result& result) {
   const auto abbreviate = [](const std::string& name) {
     std::string out;
@@ -164,8 +176,8 @@ std::string render_fig11(const Fig11Result& result) {
   TextTable table(header);
   for (const auto& row : result.rows) {
     std::vector<std::string> cells{
-        std::to_string(row.units), ratio_str(row.ratio), std::to_string(row.m),
-        format_double(row.mean_bound, 1),
+        units_str(row.units, row.unit_vector), ratio_str(row.ratio),
+        std::to_string(row.m), format_double(row.mean_bound, 1),
         format_double(row.mean_bound_single, 1)};
     for (const double makespan : row.mean_makespan) {
       cells.push_back(format_double(makespan, 1));
@@ -180,11 +192,43 @@ std::string render_fig11(const Fig11Result& result) {
   os << "\nSoundness & tightening per (n_d, m) — every work-conserving "
         "policy must stay below R_plat(n_d):\n";
   for (const auto& s : result.summaries) {
-    os << "  n_d=" << s.units << " m=" << s.m << ": worst sim/bound "
+    os << "  n_d=" << units_str(s.units, s.unit_vector) << " m=" << s.m
+       << ": worst sim/bound "
        << format_double(s.max_sim_over_bound, 3) << ", mean slack "
        << format_double(s.mean_slack_pct, 1) << "%, bound gain vs n_d=1 "
        << format_double(s.mean_bound_gain_pct, 1) << "%, violations "
        << s.violations << (s.violations == 0 ? "" : "  <-- UNSOUND") << "\n";
+  }
+  return os.str();
+}
+
+std::string render_fig12(const Fig12Result& result) {
+  TextTable table({"K", "n_d", "m", "U", "accepted", "mean cores",
+                   "mean R/D", "worst obs/bound"});
+  for (const auto& row : result.rows) {
+    table.add_row({std::to_string(row.devices), std::to_string(row.units),
+                   std::to_string(row.m), format_double(row.utilization, 2),
+                   std::to_string(row.admitted) + "/" +
+                       std::to_string(row.tasksets),
+                   format_double(row.mean_cores_used, 1),
+                   format_double(row.mean_bound_over_deadline, 3),
+                   format_double(row.max_obs_over_bound, 3)});
+  }
+  std::ostringstream os;
+  os << "Taskset admission under shared-accelerator contention ("
+     << result.policy_name << " simulation)\n";
+  os << table.render();
+  os << "\nCapacity & soundness per (K, n_d, m) — every admitted job must "
+        "stay below its contention bound:\n";
+  for (const auto& s : result.summaries) {
+    os << "  K=" << s.devices << " n_d=" << s.units << " m=" << s.m
+       << ": >=50% acceptance up to U = "
+       << (std::isnan(s.half_acceptance_util)
+               ? std::string("never")
+               : format_double(s.half_acceptance_util, 2))
+       << ", worst obs/bound " << format_double(s.max_obs_over_bound, 3)
+       << ", violations " << s.violations
+       << (s.violations == 0 ? "" : "  <-- UNSOUND") << "\n";
   }
   return os.str();
 }
@@ -264,8 +308,10 @@ void write_fig11_csv(const Fig11Result& result, const std::string& path) {
   csv.row(header);
   for (const auto& row : result.rows) {
     std::vector<std::string> cells{
-        std::to_string(result.devices),     std::to_string(row.units),
-        format_double(row.ratio, 4),        std::to_string(row.m),
+        std::to_string(result.devices),
+        units_str(row.units, row.unit_vector),
+        format_double(row.ratio, 4),
+        std::to_string(row.m),
         format_double(row.mean_bound, 6),
         format_double(row.mean_bound_single, 6)};
     for (const double makespan : row.mean_makespan) {
@@ -273,6 +319,29 @@ void write_fig11_csv(const Fig11Result& result, const std::string& path) {
     }
     cells.push_back(format_double(row.max_sim_over_bound, 6));
     cells.push_back(std::to_string(row.violations));
+    csv.row(cells);
+  }
+}
+
+void write_fig12_csv(const Fig12Result& result, const std::string& path) {
+  auto out = open_out(path);
+  CsvWriter csv(out);
+  csv.row({"devices", "units", "m", "utilization", "tasksets", "admitted",
+           "acceptance", "mean_cores_used", "mean_bound_over_deadline",
+           "max_obs_over_bound", "violations"});
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells{
+        std::to_string(row.devices),
+        std::to_string(row.units),
+        std::to_string(row.m),
+        format_double(row.utilization, 4),
+        std::to_string(row.tasksets),
+        std::to_string(row.admitted),
+        format_double(row.acceptance, 6),
+        format_double(row.mean_cores_used, 6),
+        format_double(row.mean_bound_over_deadline, 6),
+        format_double(row.max_obs_over_bound, 6),
+        std::to_string(row.violations)};
     csv.row(cells);
   }
 }

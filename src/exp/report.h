@@ -8,6 +8,7 @@
 
 #include "exp/fig10.h"
 #include "exp/fig11.h"
+#include "exp/fig12.h"
 #include "exp/fig6.h"
 #include "exp/fig7.h"
 #include "exp/fig8.h"
@@ -21,6 +22,7 @@ namespace hedra::exp {
 [[nodiscard]] std::string render_fig9(const Fig9Result& result);
 [[nodiscard]] std::string render_fig10(const Fig10Result& result);
 [[nodiscard]] std::string render_fig11(const Fig11Result& result);
+[[nodiscard]] std::string render_fig12(const Fig12Result& result);
 
 /// CSV exports (one row per table cell); `path` is created/truncated.
 void write_fig6_csv(const Fig6Result& result, const std::string& path);
@@ -29,5 +31,6 @@ void write_fig8_csv(const Fig8Result& result, const std::string& path);
 void write_fig9_csv(const Fig9Result& result, const std::string& path);
 void write_fig10_csv(const Fig10Result& result, const std::string& path);
 void write_fig11_csv(const Fig11Result& result, const std::string& path);
+void write_fig12_csv(const Fig12Result& result, const std::string& path);
 
 }  // namespace hedra::exp

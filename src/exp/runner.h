@@ -82,6 +82,38 @@ class Runner {
   /// per-slot).
   [[nodiscard]] std::vector<graph::Dag> generate(const BatchConfig& config);
 
+  /// The generic core of sweep(): any point type, any batch item type.
+  /// `make_batch(point) -> std::vector<Item>` runs serially on the calling
+  /// thread (generation owns the RNG fork chain, so it must not race);
+  /// `per_item(item, point) -> Sample` fans out over the pool, every item
+  /// writing only its own slot; `reduce(point, samples) -> Row` runs on the
+  /// calling thread in grid order.  Exactly the determinism contract of
+  /// sweep(), so `--jobs N` output stays bit-identical to `--jobs 1`
+  /// provided per_item is deterministic.  The taskset-level fig12 sweep
+  /// builds on this directly (its batch items are whole task sets, not
+  /// DAGs, and each point carries a single platform).
+  template <typename Point, typename MakeBatch, typename PerItem,
+            typename Reduce>
+  auto sweep_items(const std::vector<Point>& points, MakeBatch&& make_batch,
+                   PerItem&& per_item, Reduce&& reduce) {
+    using Batch = std::invoke_result_t<MakeBatch&, const Point&>;
+    using Item = typename Batch::value_type;
+    using Sample = std::invoke_result_t<PerItem&, Item&, const Point&>;
+    using Row =
+        std::invoke_result_t<Reduce&, const Point&, const std::vector<Sample>&>;
+    std::vector<Row> rows;
+    rows.reserve(points.size());
+    for (const Point& point : points) {
+      Batch batch = make_batch(point);
+      std::vector<Sample> samples(batch.size());
+      pool_.parallel_for_each(batch.size(), [&](std::size_t i) {
+        samples[i] = per_item(batch[i], point);
+      });
+      rows.push_back(reduce(point, samples));
+    }
+    return rows;
+  }
+
   /// Runs the full sweep.  `per_dag(cache, m) -> Sample` is called for every
   /// (DAG, m) pair, all m values of a DAG on the same worker and cache;
   /// `reduce(point, m, samples) -> Row` aggregates each cell on the calling

@@ -42,7 +42,8 @@ std::vector<NodeId> select_offload_nodes(Dag& dag, int num_devices,
 }
 
 OffloadSplit set_offload_ratio_multi(Dag& dag, double ratio,
-                                     const std::vector<double>& mix) {
+                                     const std::vector<double>& mix,
+                                     const std::vector<double>& speedup) {
   HEDRA_REQUIRE(ratio > 0.0 && ratio < 1.0,
                 "offload ratio must lie strictly inside (0, 1)");
   const auto devices = dag.device_ids();
@@ -58,6 +59,13 @@ OffloadSplit set_offload_ratio_multi(Dag& dag, double ratio,
                   "device mix weight " + std::to_string(i) +
                       " must be finite and strictly positive");
   }
+  HEDRA_REQUIRE(speedup.empty() || speedup.size() == devices.size(),
+                "device speedup must have one factor per device present");
+  for (std::size_t i = 0; i < speedup.size(); ++i) {
+    HEDRA_REQUIRE(std::isfinite(speedup[i]) && speedup[i] > 0.0,
+                  "device speedup factor " + std::to_string(i) +
+                      " must be finite and strictly positive");
+  }
   const Time vol_host = dag.volume_on(graph::kHostDevice);
   HEDRA_REQUIRE(vol_host > 0, "host workload must be positive");
 
@@ -71,7 +79,10 @@ OffloadSplit set_offload_ratio_multi(Dag& dag, double ratio,
   OffloadSplit split;
   for (std::size_t i = 0; i < devices.size(); ++i) {
     const double weight = mix.empty() ? 1.0 : mix[i];
-    const double budget = total * weight / weight_sum;
+    // A device with speedup s executes its nominal share in 1/s of the
+    // ticks, so the device-time budget shrinks by the factor.
+    const double budget = total * weight / weight_sum /
+                          (speedup.empty() ? 1.0 : speedup[i]);
     const auto nodes = dag.nodes_on(devices[i]);
     // Cumulative rounding spreads the budget across the device's nodes
     // without drift; every node keeps a WCET of at least 1.
@@ -109,7 +120,8 @@ Dag generate_multi_device(const HierarchicalParams& params, double coff_ratio,
   Dag dag = generate_hierarchical(params, rng);
   (void)select_offload_nodes(dag, params.num_devices,
                              params.offloads_per_device, rng);
-  (void)set_offload_ratio_multi(dag, coff_ratio, params.device_mix);
+  (void)set_offload_ratio_multi(dag, coff_ratio, params.device_mix,
+                                params.device_speedup);
   return dag;
 }
 

@@ -49,10 +49,15 @@ struct OffloadSplit {
 /// negative, NaN and infinite weights are rejected, since a zero-weight
 /// sum would previously divide by zero and a near-zero weight silently
 /// starved its device down to the 1-tick floor) and evenly across each
-/// device's nodes (every node keeps WCET >= 1).  Returns the realised
-/// total plus its per-device breakdown.
+/// device's nodes (every node keeps WCET >= 1).  `speedup` (empty = all
+/// 1.0; otherwise one strictly positive finite factor per device present)
+/// models heterogeneous WCET scaling: device i's tick budget is divided by
+/// speedup[i], so a 2× device realises half the ticks for the same nominal
+/// share — the written WCETs are device-time and feed analysis/simulation
+/// unscaled.  Returns the realised total plus its per-device breakdown.
 OffloadSplit set_offload_ratio_multi(graph::Dag& dag, double ratio,
-                                     const std::vector<double>& mix = {});
+                                     const std::vector<double>& mix = {},
+                                     const std::vector<double>& speedup = {});
 
 /// The realised per-device ratio vol_d / vol(G).
 [[nodiscard]] double device_ratio(const graph::Dag& dag,
@@ -60,8 +65,8 @@ OffloadSplit set_offload_ratio_multi(graph::Dag& dag, double ratio,
 
 /// One-call generator: hierarchical structure (params), then
 /// select_offload_nodes(params.num_devices, params.offloads_per_device),
-/// then set_offload_ratio_multi(coff_ratio, params.device_mix).  Requires
-/// params.num_devices >= 1.
+/// then set_offload_ratio_multi(coff_ratio, params.device_mix,
+/// params.device_speedup).  Requires params.num_devices >= 1.
 [[nodiscard]] graph::Dag generate_multi_device(const HierarchicalParams& params,
                                                double coff_ratio, Rng& rng);
 

@@ -1,5 +1,7 @@
 #include "gen/params.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace hedra::gen {
@@ -51,6 +53,14 @@ void HierarchicalParams::validate() const {
       "device_units must be empty or have one entry per device");
   for (const int units : device_units) {
     HEDRA_REQUIRE(units >= 1, "device_units entries must be >= 1");
+  }
+  HEDRA_REQUIRE(
+      device_speedup.empty() ||
+          device_speedup.size() == static_cast<std::size_t>(num_devices),
+      "device_speedup must be empty or have one entry per device");
+  for (const double speedup : device_speedup) {
+    HEDRA_REQUIRE(std::isfinite(speedup) && speedup > 0.0,
+                  "device_speedup entries must be finite and positive");
   }
 }
 

@@ -48,6 +48,14 @@ struct HierarchicalParams {
   /// the platform the analysis/simulation sweep should provision
   /// (model::Platform, sim::SimConfig::device_units).
   std::vector<int> device_units;
+  /// WCET speedup per accelerator class (size num_devices, strictly
+  /// positive finite entries); empty = every device runs at the host's
+  /// reference speed.  Unlike device_units this DOES affect generation:
+  /// set_offload_ratio_multi divides each device's volume budget by its
+  /// speedup, so a 2× device realises half the ticks for the same nominal
+  /// share of work (heterogeneous WCET scaling; the generated WCETs are
+  /// device-time, ready for analysis and simulation unscaled).
+  std::vector<double> device_speedup;
 
   /// §5.1 "Small tasks": n <= 100, n_par = 6, maxdepth = 3 (longest path 7).
   /// Used for the ILP comparison.

@@ -40,6 +40,19 @@ bool Platform::has_multi_units() const noexcept {
                      [](int units) { return units > 1; });
 }
 
+Frac Platform::speedup_of(graph::DeviceId device) const {
+  HEDRA_REQUIRE(device >= 1 && device <= device_names.size(),
+                "platform has no device id " + std::to_string(device));
+  // Same missing-entries-mean-default convention as units_of.
+  const std::size_t index = static_cast<std::size_t>(device) - 1;
+  return index < device_speedup.size() ? device_speedup[index] : Frac(1);
+}
+
+bool Platform::has_speedups() const noexcept {
+  return std::any_of(device_speedup.begin(), device_speedup.end(),
+                     [](const Frac& s) { return s != Frac(1); });
+}
+
 Platform Platform::homogeneous(int cores) {
   Platform platform;
   platform.cores = cores;
@@ -84,9 +97,31 @@ Platform Platform::parse(const std::string& text) {
       parse_fail(text, "':' must be followed by at least one device name");
     }
     for (const auto& entry : split(device_list, ',')) {
-      const std::string item(trim(entry));
+      std::string item(trim(entry));
       if (item.empty()) parse_fail(text, "empty device entry");
+      // "name[*units][@speedup]" — strip the speedup suffix first so a
+      // "*units" never swallows an "@".
+      Frac speedup(1);
+      const auto at = item.find('@');
       const auto star = item.find('*');
+      if (at != std::string::npos) {
+        if (star != std::string::npos && star > at) {
+          parse_fail(text, "'*units' must precede '@speedup' in '" + item +
+                               "'");
+        }
+        const std::string speedup_text(trim(item.substr(at + 1)));
+        try {
+          speedup = parse_frac(speedup_text);
+        } catch (const Error&) {
+          parse_fail(text, "speedup '" + speedup_text +
+                               "' is not a rational number");
+        }
+        if (speedup <= Frac(0)) {
+          parse_fail(text, "speedup '" + speedup_text +
+                               "' must be strictly positive");
+        }
+        item = std::string(trim(item.substr(0, at)));
+      }
       std::string name(trim(item.substr(0, star)));
       int units = 1;
       if (star != std::string::npos) {
@@ -104,6 +139,7 @@ Platform Platform::parse(const std::string& text) {
       }
       platform.device_names.push_back(std::move(name));
       platform.device_units.push_back(units);
+      platform.device_speedup.push_back(speedup);
     }
   }
   try {
@@ -118,10 +154,12 @@ std::string Platform::spec() const {
   std::ostringstream os;
   os << cores;
   for (std::size_t i = 0; i < device_names.size(); ++i) {
+    const auto device = static_cast<graph::DeviceId>(i + 1);
     os << (i == 0 ? ':' : ',') << device_names[i];
-    const int units =
-        units_of(static_cast<graph::DeviceId>(i + 1));
+    const int units = units_of(device);
     if (units > 1) os << '*' << units;
+    const Frac speedup = speedup_of(device);
+    if (speedup != Frac(1)) os << '@' << frac_spec_string(speedup);
   }
   return os.str();
 }
@@ -136,9 +174,12 @@ std::string Platform::describe() const {
   os << " + accelerator" << (device_names.size() == 1 ? " " : "s ");
   for (std::size_t i = 0; i < device_names.size(); ++i) {
     if (i > 0) os << ", ";
+    const auto device = static_cast<graph::DeviceId>(i + 1);
     os << device_names[i] << "(d" << i + 1;
-    const int units = units_of(static_cast<graph::DeviceId>(i + 1));
+    const int units = units_of(device);
     if (units > 1) os << " x" << units;
+    const Frac speedup = speedup_of(device);
+    if (speedup != Frac(1)) os << " @" << frac_spec_string(speedup) << "x";
     os << ")";
   }
   return os.str();
@@ -148,7 +189,7 @@ void Platform::validate() const {
   HEDRA_REQUIRE(cores >= 1, "platform needs at least one host core");
   for (const auto& name : device_names) {
     HEDRA_REQUIRE(!name.empty(), "accelerator device names must be non-empty");
-    HEDRA_REQUIRE(name.find_first_of(":,* \t") == std::string::npos,
+    HEDRA_REQUIRE(name.find_first_of(":,*@ \t") == std::string::npos,
                   "accelerator device name '" + name +
                       "' contains a spec metacharacter");
     HEDRA_REQUIRE(std::count(device_names.begin(), device_names.end(), name) ==
@@ -161,6 +202,13 @@ void Platform::validate() const {
   for (const int units : device_units) {
     HEDRA_REQUIRE(units >= 1, "every device class needs >= 1 execution unit");
   }
+  HEDRA_REQUIRE(device_speedup.empty() ||
+                    device_speedup.size() == device_names.size(),
+                "device_speedup must be empty or hold one entry per device");
+  for (const Frac& speedup : device_speedup) {
+    HEDRA_REQUIRE(speedup > Frac(0),
+                  "every device speedup must be strictly positive");
+  }
 }
 
 bool operator==(const Platform& a, const Platform& b) {
@@ -168,6 +216,7 @@ bool operator==(const Platform& a, const Platform& b) {
   for (std::size_t i = 0; i < a.device_names.size(); ++i) {
     const auto device = static_cast<graph::DeviceId>(i + 1);
     if (a.units_of(device) != b.units_of(device)) return false;
+    if (a.speedup_of(device) != b.speedup_of(device)) return false;
   }
   return true;
 }

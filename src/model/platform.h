@@ -17,11 +17,16 @@
 /// The spec syntax is "m:name1,name2,..." with an optional "*units" suffix
 /// per class — "4:gpu*2,dsp" is 4 host cores, a 2-unit GPU class and a
 /// single-unit DSP — so every pre-multiplicity spec round-trips unchanged.
+/// Each class may additionally carry a "@speedup" factor ("4:gpu*2@3.0,
+/// dsp@1.5"): device d runs nominal WCETs speedup_d times faster than the
+/// reference device the WCETs were measured on.  The default 1.0 is omitted
+/// on output, so every pre-speedup spec still round-trips byte-identically.
 
 #include <string>
 #include <vector>
 
 #include "graph/dag.h"
+#include "util/fraction.h"
 
 namespace hedra::model {
 
@@ -34,6 +39,13 @@ struct Platform {
   /// vector — the pre-multiplicity representation — means one unit per
   /// class; validate() also accepts exactly one entry per class.
   std::vector<int> device_units;
+  /// WCET scaling per device class, aligned with device_names: device d
+  /// executes a nominal WCET of C in C/speedup_d ticks (heterogeneous WCET
+  /// scaling; GPU-vs-DSP asymmetry).  Empty — the pre-speedup
+  /// representation — means 1 (no scaling) everywhere; validate() also
+  /// accepts exactly one strictly positive entry per class.  Exact
+  /// rationals, so "@1.5" scales by exactly 3/2.
+  std::vector<Frac> device_speedup;
 
   /// Number of accelerator device classes, K.
   [[nodiscard]] int num_devices() const noexcept {
@@ -51,6 +63,14 @@ struct Platform {
   /// True iff some device class has more than one execution unit.
   [[nodiscard]] bool has_multi_units() const noexcept;
 
+  /// WCET speedup of accelerator device d ∈ [1, K]; throws on out-of-range
+  /// ids.  Entries missing from device_speedup — including the whole empty
+  /// vector — count as 1.
+  [[nodiscard]] Frac speedup_of(graph::DeviceId device) const;
+
+  /// True iff some device class has a speedup factor different from 1.
+  [[nodiscard]] bool has_speedups() const noexcept;
+
   /// Host-only platform (the homogeneous baseline).
   [[nodiscard]] static Platform homogeneous(int cores);
 
@@ -64,25 +84,30 @@ struct Platform {
                                           int units = 1);
 
   /// Parses "m" or "m:name1,name2,..." where every name may carry a
-  /// "*units" multiplicity suffix (e.g. "4:gpu*2,dsp" = 4 host cores, a
-  /// 2-unit "gpu" class and a 1-unit "dsp" class).  Throws hedra::Error —
-  /// always naming the offending spec — on malformed input: missing or
-  /// non-numeric core count, empty or duplicate device names, names
-  /// containing spec metacharacters, and missing or non-positive unit
-  /// counts.  Inverse of spec().
+  /// "*units" multiplicity suffix and/or a "@speedup" factor (e.g.
+  /// "4:gpu*2@3.0,dsp@1.5" = 4 host cores, a 2-unit 3×-speed "gpu" class
+  /// and a 1-unit 1.5×-speed "dsp" class; "*units" must precede "@").
+  /// Throws hedra::Error — always naming the offending spec — on malformed
+  /// input: missing or non-numeric core count, empty or duplicate device
+  /// names, names containing spec metacharacters, missing or non-positive
+  /// unit counts, and malformed or non-positive speedups.  Inverse of
+  /// spec().
   [[nodiscard]] static Platform parse(const std::string& text);
 
-  /// Machine-readable "m:name1,name2*units,..." (just "m" when K = 0;
-  /// "*units" only where n_d > 1, so single-unit platforms round-trip to
-  /// the historical syntax).
+  /// Machine-readable "m:name1,name2*units@speedup,..." (just "m" when
+  /// K = 0; "*units" only where n_d > 1 and "@speedup" only where
+  /// speedup ≠ 1, so single-unit unit-speed platforms round-trip to the
+  /// historical syntax).
   [[nodiscard]] std::string spec() const;
 
   /// Human-readable, e.g. "4 host cores + accelerators gpu(d1 x2), dsp(d2)".
   [[nodiscard]] std::string describe() const;
 
   /// Throws hedra::Error if cores < 1, any device name is empty, duplicated
-  /// or contains spec metacharacters (':', ',', '*', whitespace), or
-  /// device_units is neither empty nor one positive entry per class.
+  /// or contains spec metacharacters (':', ',', '*', '@', whitespace),
+  /// device_units is neither empty nor one positive entry per class, or
+  /// device_speedup is neither empty nor one strictly positive entry per
+  /// class.
   void validate() const;
 
   /// Same platform shape (units compared via units_of, so an empty

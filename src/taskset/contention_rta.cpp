@@ -1,0 +1,265 @@
+#include "taskset/contention_rta.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/analysis_cache.h"
+
+namespace hedra::taskset {
+
+namespace {
+
+/// Per-set quantities shared by every fixpoint evaluation: the platform's
+/// unit/speedup vectors and each task's per-device volumes.
+struct SetQuantities {
+  std::vector<int> units;                       ///< n_d, indexed d−1
+  std::vector<Frac> speedups;                   ///< s_d, indexed d−1
+  std::vector<std::vector<graph::Time>> volume; ///< [task][device d−1]
+};
+
+SetQuantities measure(const TaskSet& set) {
+  const Platform& platform = set.platform();
+  SetQuantities q;
+  const auto num_devices = static_cast<std::size_t>(platform.num_devices());
+  q.units.resize(num_devices);
+  q.speedups.resize(num_devices, Frac(1));
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    const auto device = static_cast<graph::DeviceId>(d + 1);
+    q.units[d] = platform.units_of(device);
+    q.speedups[d] = platform.speedup_of(device);
+  }
+  q.volume.resize(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    q.volume[i].resize(num_devices, 0);
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      q.volume[i][d] =
+          set[i].dag().volume_on(static_cast<graph::DeviceId>(d + 1));
+    }
+  }
+  return q;
+}
+
+/// floor((L + D_j)/T_j) + 1 — jobs of τ_j whose execution can overlap a
+/// window of length L, given τ_j meets its deadline.
+Frac carry_in_jobs(const Frac& window, const DagTask& competitor) {
+  return Frac((window + Frac(competitor.deadline())).floor() /
+                  competitor.period() +
+              1);
+}
+
+/// One evaluation of the interference sum at window length `window`.
+/// Returns Σ_d Σ_{j≠i} n_jobs_j·vol_{j,d}/(n_d·s_d) and fills
+/// `per_device` (parallel to q.units) with the per-class totals.
+Frac interference_at(const TaskSet& set, const SetQuantities& q,
+                     std::size_t index, const Frac& window,
+                     std::vector<Frac>* per_device,
+                     std::vector<std::size_t>* dominant) {
+  // n_jobs_j depends only on (window, j) — compute it once per competitor,
+  // not once per (competitor, device): this sits in the innermost loop of
+  // the admission fixpoint.
+  std::vector<Frac> n_jobs(set.size());
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    if (j != index) n_jobs[j] = carry_in_jobs(window, set[j]);
+  }
+  Frac total;
+  for (std::size_t d = 0; d < q.units.size(); ++d) {
+    if (q.volume[index][d] == 0) continue;  // task never touches the class
+    Frac device_total;
+    Frac best;
+    std::size_t best_task = index;
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (j == index || q.volume[j][d] == 0) continue;
+      const Frac contribution =
+          n_jobs[j] * Frac(q.volume[j][d], q.units[d]) / q.speedups[d];
+      device_total += contribution;
+      if (best_task == index || contribution > best) {
+        best = contribution;
+        best_task = j;
+      }
+    }
+    total += device_total;
+    if (per_device != nullptr) (*per_device)[d] = device_total;
+    if (dominant != nullptr) (*dominant)[d] = best_task;
+  }
+  return total;
+}
+
+struct FixpointResult {
+  Frac response;
+  bool converged = false;
+  int iterations = 0;
+  std::vector<Frac> per_device;          ///< interference per class, d−1
+  std::vector<std::size_t> dominant;     ///< dominant competitor per class
+};
+
+/// Iterates R ← seed + I(R) from R = seed until stable or past `deadline`.
+/// The right-hand side is non-decreasing in R, so the sequence is monotone;
+/// a generous iteration cap guards against pathological slow convergence.
+FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
+                        std::size_t index, const Frac& seed,
+                        graph::Time deadline) {
+  constexpr int kMaxIterations = 1000;
+  FixpointResult out;
+  out.per_device.assign(q.units.size(), Frac());
+  out.dominant.assign(q.units.size(), index);
+  Frac response = seed;
+  for (int k = 1; k <= kMaxIterations; ++k) {
+    out.iterations = k;
+    const Frac next =
+        seed + interference_at(set, q, index, response, &out.per_device,
+                               &out.dominant);
+    if (next == response) {
+      out.response = response;
+      out.converged = true;
+      return out;
+    }
+    response = next;
+    if (response > Frac(deadline)) {
+      out.response = response;
+      return out;  // crossed the deadline; diverging
+    }
+  }
+  out.response = response;
+  return out;  // iteration cap: treat as unschedulable
+}
+
+}  // namespace
+
+Frac contention_response(const TaskSet& set, std::size_t index, int cores,
+                         bool* converged) {
+  HEDRA_REQUIRE(index < set.size(), "task index out of range");
+  HEDRA_REQUIRE(cores >= 1, "need at least one dedicated host core");
+  const SetQuantities q = measure(set);
+  analysis::AnalysisCache cache(set[index].dag());
+  const Frac seed = cache.r_platform(cores, q.units, q.speedups);
+  const FixpointResult result =
+      fixpoint(set, q, index, seed, set[index].deadline());
+  if (converged != nullptr) *converged = result.converged;
+  return result.response;
+}
+
+ContentionAnalysis contention_rta(const TaskSet& set) {
+  HEDRA_REQUIRE(!set.empty(), "contention_rta needs a non-empty task set");
+  set.validate();
+  const SetQuantities q = measure(set);
+
+  ContentionAnalysis out;
+  out.schedulable = true;
+  int remaining = set.platform().cores;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    TaskAdmission admission;
+    admission.name = set[i].name();
+    analysis::AnalysisCache cache(set[i].dag());
+    const graph::Time deadline = set[i].deadline();
+
+    FixpointResult best;
+    int assigned = 0;
+    // The seed bound is non-increasing in m_i, so the first feasible core
+    // count is the smallest one; every evaluation reuses the per-DAG cache
+    // (the chain walk is the only per-m work).
+    for (int m = 1; m <= remaining; ++m) {
+      const Frac seed = cache.r_platform(m, q.units, q.speedups);
+      FixpointResult result = fixpoint(set, q, i, seed, deadline);
+      if (result.converged && result.response <= Frac(deadline)) {
+        best = std::move(result);
+        assigned = m;
+        break;
+      }
+      if (m == remaining) best = std::move(result);  // best effort to report
+    }
+
+    admission.cores = assigned > 0 ? assigned : remaining;
+    admission.schedulable = assigned > 0;
+    admission.response = best.response;
+    admission.iterations = best.iterations;
+    // With zero cores left the fixpoint never ran, so there is no
+    // per-device breakdown to report.
+    for (std::size_t d = 0; d < best.per_device.size(); ++d) {
+      if (q.volume[i][d] == 0 && best.per_device[d] == Frac()) continue;
+      DeviceContention contention;
+      contention.device = static_cast<graph::DeviceId>(d + 1);
+      contention.own_volume = q.volume[i][d];
+      contention.interference = best.per_device[d];
+      contention.dominant_competitor = best.dominant[d];
+      admission.devices.push_back(std::move(contention));
+    }
+    if (assigned > 0) {
+      remaining -= assigned;
+      out.cores_used += assigned;
+    } else {
+      out.schedulable = false;
+    }
+    out.tasks.push_back(std::move(admission));
+  }
+  return out;
+}
+
+std::string explain(const ContentionAnalysis& analysis, const TaskSet& set) {
+  HEDRA_REQUIRE(analysis.tasks.size() == set.size(),
+                "analysis does not match the task set");
+  std::ostringstream os;
+  os << "taskset admission ("
+     << set.platform().describe() << "): "
+     << (analysis.schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE") << ", "
+     << analysis.cores_used << "/" << set.platform().cores
+     << " host cores partitioned\n";
+
+  // The tightest task — the first unschedulable one, or the admitted task
+  // with the largest R/D — names the contention edge to relieve first.
+  std::size_t tightest = 0;
+  bool found_failing = false;
+  Frac best_ratio(-1);
+  for (std::size_t i = 0; i < analysis.tasks.size(); ++i) {
+    const TaskAdmission& task = analysis.tasks[i];
+    if (!task.schedulable && !found_failing) {
+      tightest = i;
+      found_failing = true;
+    }
+    if (!found_failing) {
+      const Frac ratio = task.response / Frac(set[i].deadline());
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        tightest = i;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < analysis.tasks.size(); ++i) {
+    const TaskAdmission& task = analysis.tasks[i];
+    os << "  " << task.name << ": ";
+    if (task.cores == 0) {
+      os << "no host cores left -> NOT schedulable\n";
+      continue;
+    }
+    os << task.cores << " core" << (task.cores == 1 ? "" : "s") << ", R = "
+       << task.response << " (= " << task.response.to_double() << ") vs D = "
+       << set[i].deadline() << " -> "
+       << (task.schedulable ? "schedulable" : "NOT schedulable");
+    if (task.iterations > 1) {
+      os << " after " << task.iterations << " contention iterations";
+    }
+    os << "\n";
+  }
+
+  const TaskAdmission& tight = analysis.tasks[tightest];
+  const DeviceContention* dominant = nullptr;
+  for (const DeviceContention& device : tight.devices) {
+    if (device.interference == Frac()) continue;
+    if (dominant == nullptr || device.interference > dominant->interference) {
+      dominant = &device;
+    }
+  }
+  if (dominant != nullptr) {
+    os << "  dominating contention: task "
+       << set[dominant->dominant_competitor].name() << " on device "
+       << set.platform().device_name(dominant->device) << " (d"
+       << dominant->device << ") adds " << dominant->interference
+       << " ticks to " << tight.name << "'s bound\n";
+  } else {
+    os << "  no device contention: every per-task bound is the isolated "
+          "platform bound\n";
+  }
+  return os.str();
+}
+
+}  // namespace hedra::taskset

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file contention_rta.h
+/// Federated-style admission test for sporadic DAG task sets whose offload
+/// nodes CONTEND for shared accelerator classes.
+///
+/// The single-task platform bound (analysis/platform_rta.h) already accounts
+/// for a task's own device serialisation:
+///
+///   R_i(m_i) <= vol_host_i/m_i + Σ_d vol_{i,d}/(n_d·s_d)
+///             + max_P Σ_{v∈P} w_v   (the weighted chain walk).
+///
+/// On a shared platform, device d additionally executes work of the OTHER
+/// tasks while τ_i's job is pending: in any window of length L, a competing
+/// sporadic task τ_j (with constrained deadline D_j <= T_j and a response
+/// bound <= D_j) has at most  n_jobs_j(L) = floor((L + D_j)/T_j) + 1  jobs
+/// whose execution overlaps the window — the classic carry-in argument of
+/// the sporadic-DAG interference literature (Dong & Liu, arXiv:1808.00017;
+/// Dinh et al., arXiv:1905.05119).  Each such job places at most vol_{j,d}
+/// device-d ticks on the class's n_d units, so the device-saturated waiting
+/// of the Graham chain argument grows by  Σ_{j≠i} n_jobs_j(L)·vol_{j,d} /
+/// (n_d·s_d),  and the response bound becomes the least fixpoint of
+///
+///   R = R_i(m_i) + Σ_d Σ_{j≠i} (floor((R + D_j)/T_j) + 1)·vol_{j,d}
+///                             / (n_d·s_d) ,
+///
+/// iterated in EXACT rational arithmetic from R = R_i(m_i).  The right-hand
+/// side is non-decreasing in R, so the iteration either reaches a fixpoint
+/// or crosses D_i (unschedulable at this core count).  A task with no
+/// device-sharing competitors — in particular any SINGLE-task set — takes
+/// zero iterations past the seed, so its bound equals
+/// AnalysisCache::r_platform with exact rational equality (regression-
+/// pinned; the acceptance criterion of this subsystem).
+///
+/// Host cores are PARTITIONED, federated-style: tasks are processed in
+/// index order (the priority order), each receiving the smallest dedicated
+/// m_i <= remaining cores whose fixpoint meets D_i — the seed bound is
+/// non-increasing in m_i (vol_host/m shrinks faster than the chain term
+/// grows, exactly as in the single-task bound), so the smallest feasible
+/// m_i wastes no cores on later tasks.  Devices are NOT partitioned; they
+/// are exactly the contention the fixpoint charges for.  The set is
+/// admitted iff every task gets a feasible allocation within the m cores.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "taskset/taskset.h"
+#include "util/fraction.h"
+
+namespace hedra::taskset {
+
+/// One shared accelerator class's contribution to a task's inflated bound.
+struct DeviceContention {
+  graph::DeviceId device = 0;     ///< device id (>= 1)
+  graph::Time own_volume = 0;     ///< vol_{i,d}, the task's own device work
+  /// Σ_{j≠i} n_jobs_j(R)·vol_{j,d}/(n_d·s_d) at the fixpoint — the
+  /// carry-in interference other tasks add on this class.
+  Frac interference;
+  /// Index of the competitor contributing most to `interference`
+  /// (meaningless when interference is zero).
+  std::size_t dominant_competitor = 0;
+};
+
+/// Per-task outcome of the admission test.
+struct TaskAdmission {
+  std::string name;
+  int cores = 0;        ///< dedicated host cores m_i (0: none left to try)
+  bool schedulable = false;
+  /// Inflated response bound at `cores` (the fixpoint when schedulable;
+  /// the first value crossing the deadline otherwise; zero when cores==0).
+  Frac response;
+  int iterations = 0;   ///< fixpoint iterations taken (1 = no contention)
+  std::vector<DeviceContention> devices;  ///< classes with shared work only
+};
+
+/// Whole-set verdict.
+struct ContentionAnalysis {
+  bool schedulable = false;
+  int cores_used = 0;   ///< Σ m_i over schedulable tasks
+  std::vector<TaskAdmission> tasks;
+};
+
+/// Runs the admission test.  Requires a validated, non-empty set.
+[[nodiscard]] ContentionAnalysis contention_rta(const TaskSet& set);
+
+/// The inflated response-time fixpoint of task `index` on `cores` dedicated
+/// host cores, ignoring the partitioning step — the building block
+/// contention_rta iterates, exposed for tests and tooling.  Returns the
+/// fixpoint (which may exceed the deadline); sets `converged` to false if
+/// the iteration crossed the deadline instead of stabilising.
+[[nodiscard]] Frac contention_response(const TaskSet& set, std::size_t index,
+                                       int cores, bool* converged = nullptr);
+
+/// Human-readable verdict: per-task allocation and bound vs deadline, and —
+/// for the tightest task — the dominating (competitor task, device) pair,
+/// i.e. the contention edge to relieve first when the set is rejected.
+[[nodiscard]] std::string explain(const ContentionAnalysis& analysis,
+                                  const TaskSet& set);
+
+}  // namespace hedra::taskset

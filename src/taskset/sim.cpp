@@ -1,0 +1,364 @@
+#include "taskset/sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "graph/critical_path.h"
+#include "graph/flat_dag.h"
+#include "util/rng.h"
+
+namespace hedra::taskset {
+
+namespace {
+
+using graph::FlatDag;
+using graph::NodeId;
+using graph::Time;
+
+/// One ready node instance of one task.
+struct Item {
+  std::uint32_t job = 0;  ///< job index within the task
+  NodeId node = 0;
+
+  friend bool operator<(const Item& a, const Item& b) noexcept {
+    return a.job != b.job ? a.job < b.job : a.node < b.node;
+  }
+};
+
+/// Host-side ready set of ONE task, indexed by the scheduling policy — the
+/// taskset counterpart of the single-DAG simulator's policy structures.
+/// Items are inserted in deterministic (job, node) order per time step.
+class HostReady {
+ public:
+  HostReady(sim::Policy policy, const std::vector<Time>* down)
+      : policy_(policy), down_(down) {}
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_ >= items_.size();
+  }
+
+  void push(const Item& item) {
+    switch (policy_) {
+      case sim::Policy::kBreadthFirst:
+      case sim::Policy::kDepthFirst:
+      case sim::Policy::kRandom:
+        items_.push_back(item);
+        break;
+      case sim::Policy::kCriticalPathFirst:
+      case sim::Policy::kIndexOrder:
+        items_.push_back(item);
+        std::push_heap(items_.begin(), items_.end(),
+                       [this](const Item& a, const Item& b) {
+                         return lower_priority(a, b);
+                       });
+        break;
+    }
+  }
+
+  Item pop(Rng& rng) {
+    Item out;
+    switch (policy_) {
+      case sim::Policy::kBreadthFirst:
+        // FIFO via a head index — an O(1) pop like the single-DAG
+        // simulator's deque, without shifting the vector.
+        out = items_[head_++];
+        if (head_ == items_.size()) {
+          items_.clear();
+          head_ = 0;
+        }
+        break;
+      case sim::Policy::kDepthFirst:
+        out = items_.back();
+        items_.pop_back();
+        break;
+      case sim::Policy::kRandom: {
+        const std::size_t pick = rng.index(items_.size());
+        out = items_[pick];
+        items_[pick] = items_.back();
+        items_.pop_back();
+        break;
+      }
+      case sim::Policy::kCriticalPathFirst:
+      case sim::Policy::kIndexOrder:
+        std::pop_heap(items_.begin(), items_.end(),
+                      [this](const Item& a, const Item& b) {
+                        return lower_priority(a, b);
+                      });
+        out = items_.back();
+        items_.pop_back();
+        break;
+    }
+    return out;
+  }
+
+ private:
+  /// True if `a` ranks below `b` (heap "less": the top is the best pick).
+  [[nodiscard]] bool lower_priority(const Item& a, const Item& b) const {
+    if (policy_ == sim::Policy::kCriticalPathFirst) {
+      const Time da = (*down_)[a.node];
+      const Time db = (*down_)[b.node];
+      if (da != db) return da < db;  // longer remaining path wins
+    }
+    return b < a;  // smallest (job, node) wins ties / index order
+  }
+
+  sim::Policy policy_;
+  const std::vector<Time>* down_;
+  std::vector<Item> items_;
+  std::size_t head_ = 0;  ///< FIFO read position (kBreadthFirst only)
+};
+
+/// A node instance finishing at `time`; `unit` identifies the resource to
+/// free: -1 = a host core of `task`, d >= 1 = one unit of device d.
+struct Completion {
+  Time time = 0;
+  std::uint64_t seq = 0;  ///< insertion order, for deterministic ties
+  std::uint32_t task = 0;
+  std::uint32_t job = 0;
+  NodeId node = 0;
+  int unit = -1;
+
+  friend bool operator>(const Completion& a, const Completion& b) noexcept {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+struct Release {
+  Time time = 0;
+  std::uint32_t task = 0;
+  std::uint32_t job = 0;
+};
+
+}  // namespace
+
+TasksetSimResult simulate_taskset(const TaskSet& set,
+                                  std::span<const int> cores_per_task,
+                                  const TasksetSimConfig& config) {
+  set.validate();
+  HEDRA_REQUIRE(!set.empty(), "cannot simulate an empty task set");
+  // The simulator executes WCETs verbatim (device-time).  A platform with
+  // WCET speedups declares the DAGs' WCETs to be NOMINAL — the contention
+  // analysis divides its device terms by s_d — so simulating them unscaled
+  // would take longer than the admitted bounds allow.  Refuse loudly
+  // rather than produce spurious "violations": bake speedups into the
+  // WCETs at generation (gen::HierarchicalParams::device_speedup) and
+  // simulate on the unscaled platform.
+  HEDRA_REQUIRE(!set.platform().has_speedups(),
+                "taskset simulation runs in device-time; platforms with "
+                "WCET speedups cannot be executed verbatim — apply the "
+                "scaling at generation instead");
+  HEDRA_REQUIRE(config.jobs_per_task >= 1, "need at least one job per task");
+  HEDRA_REQUIRE(cores_per_task.size() == set.size(),
+                "need one host-core count per task");
+  int partitioned = 0;
+  for (const int cores : cores_per_task) {
+    HEDRA_REQUIRE(cores >= 1, "every task needs at least one dedicated core");
+    partitioned += cores;
+  }
+  HEDRA_REQUIRE(partitioned <= set.platform().cores,
+                "host partition exceeds the platform's cores");
+
+  const std::size_t num_tasks = set.size();
+  const auto jobs = static_cast<std::uint32_t>(config.jobs_per_task);
+  const int num_devices = set.platform().num_devices();
+  Rng rng(config.seed);
+
+  // Per-task snapshots (and down-lengths for the CP policy only, exactly as
+  // in the single-DAG simulator).
+  std::vector<FlatDag> flats;
+  flats.reserve(num_tasks);
+  for (const DagTask& task : set) flats.emplace_back(task.dag());
+  std::vector<std::vector<Time>> down(num_tasks);
+  if (config.policy == sim::Policy::kCriticalPathFirst) {
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      down[i] = graph::down_lengths(flats[i]);
+    }
+  }
+
+  // Per-(task, job) node state: outstanding predecessor counts and the
+  // number of unfinished nodes.
+  std::vector<std::vector<std::vector<std::uint32_t>>> pending(num_tasks);
+  std::vector<std::vector<std::size_t>> unfinished(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    pending[i].assign(jobs, {});
+    unfinished[i].assign(jobs, flats[i].num_nodes());
+  }
+
+  TasksetSimResult result;
+  result.tasks.assign(num_tasks, {});
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    result.tasks[i].jobs.assign(jobs, {});
+  }
+
+  // All releases, time-major (synchronous periodic pattern).
+  std::vector<Release> releases;
+  releases.reserve(num_tasks * jobs);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+      releases.push_back(Release{set[i].period() * j,
+                                 static_cast<std::uint32_t>(i), j});
+    }
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.task != b.task) return a.task < b.task;
+              return a.job < b.job;
+            });
+  std::size_t next_release = 0;
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+  std::uint64_t seq = 0;
+
+  std::vector<HostReady> host_ready;
+  host_ready.reserve(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    host_ready.emplace_back(config.policy, &down[i]);
+  }
+  std::vector<std::deque<std::pair<std::uint32_t, Item>>> device_queue(
+      static_cast<std::size_t>(num_devices) + 1);
+  std::vector<int> free_units(static_cast<std::size_t>(num_devices) + 1, 0);
+  for (int d = 1; d <= num_devices; ++d) {
+    free_units[static_cast<std::size_t>(d)] =
+        set.platform().units_of(static_cast<graph::DeviceId>(d));
+  }
+  std::vector<int> free_cores(cores_per_task.begin(), cores_per_task.end());
+
+  // Same-time ready nodes are staged per destination and flushed in sorted
+  // (task, job, node) order, so insertion order — and with it every policy's
+  // pick — is independent of event-processing order.
+  std::vector<std::vector<Item>> host_staging(num_tasks);
+  std::vector<std::vector<std::pair<std::uint32_t, Item>>> device_staging(
+      static_cast<std::size_t>(num_devices) + 1);
+
+  std::size_t jobs_remaining = num_tasks * jobs;
+
+  // Completes (task, job, node) at time t; zero-WCET host successors retire
+  // instantly and cascade.
+  const auto complete_node = [&](std::uint32_t task, std::uint32_t job,
+                                 NodeId node, Time t) {
+    std::vector<Item> stack{Item{job, node}};
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      if (--unfinished[task][item.job] == 0) {
+        JobRecord& record = result.tasks[task].jobs[item.job];
+        record.finish = t;
+        result.tasks[task].worst_response =
+            std::max(result.tasks[task].worst_response, record.response());
+        result.makespan = std::max(result.makespan, t);
+        --jobs_remaining;
+      }
+      for (const NodeId succ : flats[task].successors(item.node)) {
+        if (--pending[task][item.job][succ] != 0) continue;
+        const graph::DeviceId device = flats[task].device(succ);
+        if (device == graph::kHostDevice && flats[task].wcet(succ) == 0) {
+          stack.push_back(Item{item.job, succ});  // pure sync point
+        } else if (device == graph::kHostDevice) {
+          host_staging[task].push_back(Item{item.job, succ});
+        } else {
+          device_staging[device].push_back({task, Item{item.job, succ}});
+        }
+      }
+    }
+  };
+
+  while (jobs_remaining > 0) {
+    HEDRA_REQUIRE(!completions.empty() || next_release < releases.size(),
+                  "taskset simulation stalled (hedra bug)");
+    Time t = std::numeric_limits<Time>::max();
+    if (!completions.empty()) t = completions.top().time;
+    if (next_release < releases.size()) {
+      t = std::min(t, releases[next_release].time);
+    }
+
+    // Retire every completion at t.
+    while (!completions.empty() && completions.top().time == t) {
+      const Completion done = completions.top();
+      completions.pop();
+      if (done.unit < 0) {
+        ++free_cores[done.task];
+      } else {
+        ++free_units[static_cast<std::size_t>(done.unit)];
+      }
+      complete_node(done.task, done.job, done.node, t);
+    }
+
+    // Release every job arriving at t.
+    while (next_release < releases.size() &&
+           releases[next_release].time == t) {
+      const Release release = releases[next_release++];
+      const FlatDag& flat = flats[release.task];
+      auto& counts = pending[release.task][release.job];
+      counts.resize(flat.num_nodes());
+      for (NodeId v = 0; v < flat.num_nodes(); ++v) {
+        counts[v] = static_cast<std::uint32_t>(flat.in_degree(v));
+      }
+      result.tasks[release.task].jobs[release.job].release = t;
+      for (NodeId v = 0; v < flat.num_nodes(); ++v) {
+        if (flat.in_degree(v) != 0) continue;
+        const graph::DeviceId device = flat.device(v);
+        if (device == graph::kHostDevice && flat.wcet(v) == 0) {
+          complete_node(release.task, release.job, v, t);
+        } else if (device == graph::kHostDevice) {
+          host_staging[release.task].push_back(Item{release.job, v});
+        } else {
+          device_staging[device].push_back({release.task, Item{release.job, v}});
+        }
+      }
+    }
+
+    // Flush staged ready nodes in deterministic order.
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      auto& staging = host_staging[i];
+      if (staging.empty()) continue;
+      std::sort(staging.begin(), staging.end());
+      for (const Item& item : staging) host_ready[i].push(item);
+      staging.clear();
+    }
+    for (int d = 1; d <= num_devices; ++d) {
+      auto& staging = device_staging[static_cast<std::size_t>(d)];
+      if (staging.empty()) continue;
+      std::sort(staging.begin(), staging.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      for (const auto& entry : staging) {
+        device_queue[static_cast<std::size_t>(d)].push_back(entry);
+      }
+      staging.clear();
+    }
+
+    // Work-conserving dispatch: each task's dedicated cores, then each
+    // shared device's free units (FIFO across tasks).
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      while (free_cores[i] > 0 && !host_ready[i].empty()) {
+        const Item item = host_ready[i].pop(rng);
+        --free_cores[i];
+        completions.push(Completion{t + flats[i].wcet(item.node), seq++,
+                                    static_cast<std::uint32_t>(i), item.job,
+                                    item.node, -1});
+      }
+    }
+    for (int d = 1; d <= num_devices; ++d) {
+      auto& queue = device_queue[static_cast<std::size_t>(d)];
+      auto& units = free_units[static_cast<std::size_t>(d)];
+      while (units > 0 && !queue.empty()) {
+        const auto [task, item] = queue.front();
+        queue.pop_front();
+        --units;
+        completions.push(Completion{t + flats[task].wcet(item.node), seq++,
+                                    task, item.job, item.node, d});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hedra::taskset

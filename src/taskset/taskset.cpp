@@ -1,0 +1,151 @@
+#include "taskset/taskset.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/dag_io.h"
+#include "util/strings.h"
+
+namespace hedra::taskset {
+
+void TaskSet::validate() const {
+  platform_.validate();
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const DagTask& task = tasks_[i];
+    HEDRA_REQUIRE(!task.name().empty(), "task names must be non-empty");
+    HEDRA_REQUIRE(task.name().find_first_of(" \t\r\n") == std::string::npos,
+                  "task name '" + task.name() + "' contains whitespace");
+    for (std::size_t j = 0; j < i; ++j) {
+      HEDRA_REQUIRE(tasks_[j].name() != task.name(),
+                    "duplicate task name '" + task.name() + "'");
+    }
+    const auto issues = model::check_supports(platform_, task.dag());
+    HEDRA_REQUIRE(issues.empty(), "task '" + task.name() +
+                                      "' does not fit the platform: " +
+                                      issues.front());
+  }
+}
+
+Frac TaskSet::task_device_utilization(std::size_t i,
+                                      graph::DeviceId device) const {
+  HEDRA_REQUIRE(i < tasks_.size(), "task index out of range");
+  return Frac(tasks_[i].dag().volume_on(device), tasks_[i].period());
+}
+
+double TaskSet::device_utilization(graph::DeviceId device) const {
+  double total = 0.0;
+  for (const DagTask& task : tasks_) {
+    total += static_cast<double>(task.dag().volume_on(device)) /
+             static_cast<double>(task.period());
+  }
+  return total;
+}
+
+double TaskSet::total_utilization() const {
+  double total = 0.0;
+  for (const DagTask& task : tasks_) total += task.utilization().to_double();
+  return total;
+}
+
+std::string TaskSet::to_text() const {
+  validate();
+  std::ostringstream os;
+  os << "platform " << platform_.spec() << "\n";
+  for (const DagTask& task : tasks_) {
+    os << "task " << task.name() << " period " << task.period()
+       << " deadline " << task.deadline() << "\n"
+       << graph::write_dag_text(task.dag()) << "endtask\n";
+  }
+  return os.str();
+}
+
+TaskSet TaskSet::from_text(const std::string& text) {
+  const auto lines = split(text, '\n');
+  auto fail = [&](std::size_t line, const std::string& reason) -> void {
+    throw Error("taskset line " + std::to_string(line + 1) + ": " + reason);
+  };
+
+  TaskSet set;
+  bool have_platform = false;
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const std::string_view line = trim(lines[i]);
+    if (line.empty() || line[0] == '#') {
+      ++i;
+      continue;
+    }
+    // Directives are matched by their EXACT first token, so a misspelling
+    // like "tasks" or "platformX" is an unknown directive, not a silently
+    // accepted near-miss.
+    const std::string_view directive = line.substr(0, line.find_first_of(" \t"));
+    if (directive == "platform") {
+      if (have_platform) fail(i, "duplicate platform directive");
+      const std::string spec(trim(line.substr(directive.size())));
+      set.platform_ = Platform::parse(spec);
+      have_platform = true;
+      ++i;
+      continue;
+    }
+    if (directive == "task") {
+      if (!have_platform) fail(i, "the platform directive must come first");
+      // "task <name> period <T> deadline <D>"
+      std::istringstream header{std::string(line)};
+      std::string keyword, name, period_kw, deadline_kw, trailing;
+      graph::Time period = 0;
+      graph::Time deadline = 0;
+      header >> keyword >> name >> period_kw >> period >> deadline_kw >>
+          deadline;
+      // `>>` stops at the first non-digit, so "deadline 40O" would silently
+      // read 40; any leftover token is a malformed header.
+      if (header.fail() || period_kw != "period" ||
+          deadline_kw != "deadline" || (header >> trailing)) {
+        fail(i, "expected 'task <name> period <T> deadline <D>', got '" +
+                    std::string(line) + "'");
+      }
+      const std::size_t header_line = i;
+      ++i;
+      std::string dag_text;
+      bool closed = false;
+      while (i < lines.size()) {
+        const std::string_view body = trim(lines[i]);
+        if (body == "endtask") {
+          closed = true;
+          ++i;
+          break;
+        }
+        dag_text += lines[i];
+        dag_text += '\n';
+        ++i;
+      }
+      if (!closed) fail(header_line, "task '" + name + "' has no endtask");
+      try {
+        set.add(DagTask(graph::read_dag_text(dag_text), period, deadline,
+                        name));
+      } catch (const Error& e) {
+        fail(header_line, "task '" + name + "': " + e.what());
+      }
+      continue;
+    }
+    fail(i, "unknown directive '" + std::string(line) + "'");
+  }
+  HEDRA_REQUIRE(have_platform, "taskset text has no platform directive");
+  set.validate();
+  return set;
+}
+
+void save_taskset_file(const TaskSet& set, const std::string& path) {
+  std::ofstream out(path);
+  HEDRA_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  out << set.to_text();
+  HEDRA_REQUIRE(out.good(), "failed writing taskset file: " + path);
+}
+
+TaskSet load_taskset_file(const std::string& path) {
+  std::ifstream in(path);
+  HEDRA_REQUIRE(in.good(), "cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TaskSet::from_text(buffer.str());
+}
+
+}  // namespace hedra::taskset

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file taskset.h
+/// First-class sporadic task SETS over one shared heterogeneous platform.
+///
+/// The paper analyses a single DAG task in isolation; its DAC-2018 setting,
+/// however, is a platform shared by many sporadic DAG tasks whose offload
+/// nodes contend for the same accelerator classes.  taskset::TaskSet binds a
+/// vector of `τ_i = <G_i, T_i, D_i>` tasks (model::DagTask) to ONE
+/// model::Platform — m host cores plus K named accelerator classes with n_d
+/// units and optional per-class WCET speedups — and is the object the
+/// taskset-level analysis (taskset/contention_rta.h), generator
+/// (taskset/gen.h) and simulator (taskset/sim.h) all operate on.
+///
+/// Unlike model::TaskSet (a bare task vector for the federated
+/// schedulability-study example), a taskset::TaskSet knows its platform:
+/// validation checks every task's device placements against it, and the
+/// per-device utilisation accessors expose how loaded each shared
+/// accelerator class is — the quantity the contention analysis inflates
+/// per-task bounds with.
+///
+/// The text round-trip format mirrors graph/dag_io.h, one directive per
+/// line with '#' comments:
+///
+///     platform 4:gpu*2,dsp
+///     task tau1 period 1200 deadline 1100
+///     node v1 5
+///     node v2 9 offload
+///     edge v1 v2
+///     endtask
+///     task tau2 ...
+///
+/// Task names must be unique and whitespace-free; the DAG lines between
+/// `task` and `endtask` are exactly the dag_io format, so `.dag` files can
+/// be pasted into a taskset verbatim.
+
+#include <string>
+#include <vector>
+
+#include "model/platform.h"
+#include "model/task.h"
+#include "util/fraction.h"
+
+namespace hedra::taskset {
+
+using model::DagTask;
+using model::Platform;
+
+/// Sporadic DAG tasks sharing one heterogeneous platform.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(Platform platform) : platform_(std::move(platform)) {}
+  TaskSet(Platform platform, std::vector<DagTask> tasks)
+      : platform_(std::move(platform)), tasks_(std::move(tasks)) {}
+
+  void add(DagTask task) { tasks_.push_back(std::move(task)); }
+
+  [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  [[nodiscard]] const DagTask& operator[](std::size_t i) const {
+    HEDRA_REQUIRE(i < tasks_.size(), "task index out of range");
+    return tasks_[i];
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// Throws hedra::Error if the platform is invalid, any task name is
+  /// empty, duplicated or contains whitespace (the round-trip format could
+  /// not represent it), or some task places a node on a device the platform
+  /// does not provide (the violation names the task).
+  void validate() const;
+
+  /// vol_d(G_i) / T_i — task i's exact utilisation of accelerator class d
+  /// (d = 0 selects the host).  Device-TIME ticks; divide by n_d for a
+  /// per-unit load.
+  [[nodiscard]] Frac task_device_utilization(std::size_t i,
+                                             graph::DeviceId device) const;
+
+  /// Σ_i vol_d(G_i)/T_i across tasks (double: periods from
+  /// utilisation-driven generators are large and mutually coprime, so the
+  /// exact rational sum can overflow 64-bit numerators — same rationale as
+  /// model::TaskSet).
+  [[nodiscard]] double device_utilization(graph::DeviceId device) const;
+
+  /// Σ_i vol(G_i)/T_i — host and accelerator workload combined.
+  [[nodiscard]] double total_utilization() const;
+
+  /// Serialises the set; round-trips through from_text.  Calls validate().
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the textual format.  Throws hedra::Error with a line number on
+  /// malformed input (missing platform line, duplicate task names, bad
+  /// period/deadline, dag_io errors rethrown with the task named).
+  [[nodiscard]] static TaskSet from_text(const std::string& text);
+
+ private:
+  Platform platform_;
+  std::vector<DagTask> tasks_;
+};
+
+/// File convenience wrappers.
+void save_taskset_file(const TaskSet& set, const std::string& path);
+[[nodiscard]] TaskSet load_taskset_file(const std::string& path);
+
+}  // namespace hedra::taskset

@@ -103,4 +103,113 @@ std::ostream& operator<<(std::ostream& os, const Frac& f) {
 Frac frac_max(const Frac& a, const Frac& b) noexcept { return a < b ? b : a; }
 Frac frac_min(const Frac& a, const Frac& b) noexcept { return b < a ? b : a; }
 
+namespace {
+
+std::int64_t parse_int_strict(std::string_view text, std::string_view whole) {
+  HEDRA_REQUIRE(!text.empty(), "malformed rational '" + std::string(whole) +
+                                   "': empty component");
+  std::int64_t value = 0;
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+    HEDRA_REQUIRE(text.size() > 1, "malformed rational '" + std::string(whole) +
+                                       "': sign without digits");
+  }
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  for (; i < text.size(); ++i) {
+    HEDRA_REQUIRE(text[i] >= '0' && text[i] <= '9',
+                  "malformed rational '" + std::string(whole) +
+                      "': unexpected character '" + std::string(1, text[i]) +
+                      "'");
+    const std::int64_t digit = text[i] - '0';
+    HEDRA_REQUIRE(value <= (kMax - digit) / 10,
+                  "malformed rational '" + std::string(whole) +
+                      "': overflows 64-bit range");
+    value = value * 10 + digit;
+  }
+  return negative ? -value : value;
+}
+
+}  // namespace
+
+Frac parse_frac(std::string_view text) {
+  HEDRA_REQUIRE(!text.empty(), "cannot parse an empty rational");
+  const auto slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    HEDRA_REQUIRE(text.find('.') == std::string_view::npos &&
+                      text.find('/', slash + 1) == std::string_view::npos,
+                  "malformed rational '" + std::string(text) + "'");
+    const std::int64_t num = parse_int_strict(text.substr(0, slash), text);
+    const std::int64_t den = parse_int_strict(text.substr(slash + 1), text);
+    HEDRA_REQUIRE(den != 0, "malformed rational '" + std::string(text) +
+                                "': zero denominator");
+    return Frac(num, den);
+  }
+  const auto dot = text.find('.');
+  if (dot == std::string_view::npos) return Frac(parse_int_strict(text, text));
+  const std::string_view frac_digits = text.substr(dot + 1);
+  HEDRA_REQUIRE(!frac_digits.empty() &&
+                    frac_digits.find_first_not_of("0123456789") ==
+                        std::string_view::npos,
+                "malformed rational '" + std::string(text) + "'");
+  HEDRA_REQUIRE(frac_digits.size() <= 18,
+                "malformed rational '" + std::string(text) +
+                    "': too many decimal places");
+  const std::string_view whole_part = text.substr(0, dot);
+  const bool negative = !whole_part.empty() && whole_part[0] == '-';
+  // "-0.5" has integer part 0, so the sign must be applied to the whole
+  // value, not just the integer component.
+  const std::int64_t integral =
+      whole_part.empty() || whole_part == "-" || whole_part == "+"
+          ? 0
+          : parse_int_strict(whole_part, text);
+  std::int64_t den = 1;
+  for (std::size_t i = 0; i < frac_digits.size(); ++i) den *= 10;
+  const std::int64_t frac_part = parse_int_strict(frac_digits, text);
+  const std::int64_t whole_abs = integral < 0 ? -integral : integral;
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  HEDRA_REQUIRE(whole_abs <= (kMax - frac_part) / den,
+                "malformed rational '" + std::string(text) +
+                    "': overflows 64-bit range");
+  const std::int64_t magnitude = whole_abs * den + frac_part;
+  return Frac(negative || integral < 0 ? -magnitude : magnitude, den);
+}
+
+std::string frac_spec_string(const Frac& f) {
+  if (f.is_integer()) return std::to_string(f.num());
+  // A denominator of the form 2^a * 5^b has an exact finite decimal.
+  std::int64_t den = f.den();
+  int twos = 0;
+  int fives = 0;
+  while (den % 2 == 0) {
+    den /= 2;
+    ++twos;
+  }
+  while (den % 5 == 0) {
+    den /= 5;
+    ++fives;
+  }
+  // 10^places must fit int64 (and the scaled numerator below must too);
+  // beyond that the ratio form is the exact spelling anyway.
+  if (den != 1) return f.to_string();
+  const int places = twos > fives ? twos : fives;
+  if (places > 18) return f.to_string();
+  std::int64_t scale = 1;
+  for (int i = 0; i < places; ++i) scale *= 10;
+  // scale/f.den() is integral by construction.
+  const std::int64_t factor = scale / f.den();
+  const std::int64_t num_abs = f.num() < 0 ? -f.num() : f.num();
+  if (num_abs > std::numeric_limits<std::int64_t>::max() / factor) {
+    return f.to_string();
+  }
+  const std::int64_t scaled_abs = num_abs * factor;
+  std::string digits = std::to_string(scaled_abs % scale);
+  digits.insert(digits.begin(),
+                static_cast<std::size_t>(places) - digits.size(), '0');
+  return (f.num() < 0 ? "-" : "") + std::to_string(scaled_abs / scale) + "." +
+         digits;
+}
+
 }  // namespace hedra

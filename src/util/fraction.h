@@ -79,4 +79,14 @@ std::ostream& operator<<(std::ostream& os, const Frac& f);
 [[nodiscard]] Frac frac_max(const Frac& a, const Frac& b) noexcept;
 [[nodiscard]] Frac frac_min(const Frac& a, const Frac& b) noexcept;
 
+/// Parses "3", "-2", "1.5" or "7/3" into an exact rational.  Finite decimals
+/// are exactly representable (1.5 = 3/2), so spec files can carry decimal
+/// factors without losing exactness.  Throws hedra::Error on malformed input
+/// ("", "1.2.3", "1/0", "x").
+[[nodiscard]] Frac parse_frac(std::string_view text);
+
+/// Shortest spec-friendly rendering, the inverse of parse_frac: integers as
+/// "3", exact finite decimals as "1.5"/"0.25", everything else as "7/3".
+[[nodiscard]] std::string frac_spec_string(const Frac& f);
+
 }  // namespace hedra

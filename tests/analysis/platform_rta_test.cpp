@@ -251,6 +251,105 @@ TEST(PlatformRtaTest, MoreUnitsNeverLoosenTheBound) {
   }
 }
 
+TEST(PlatformRtaTest, SpeedupScalesDeviceAndChainTermsExactly) {
+  // SATELLITE (PR 5): heterogeneous WCET scaling.  Chain v1(10) ->
+  // vOff(8, d1) -> v3(10): vol_host = 20, max host path = 20, vol_1 = 8.
+  graph::Dag dag;
+  const auto a = dag.add_node(10);
+  const auto b = dag.add_node_on(8, 1);
+  const auto c = dag.add_node(10);
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+
+  // Unscaled, m = 4, n = 1: 20/4 + 8 + 20·(3/4) = 28.
+  EXPECT_EQ(analysis::rta_platform(dag, Platform::parse("4:gpu")), Frac(28));
+  // 2x device, single unit: the device term halves (8 -> 4); the chain
+  // weight of a single-unit device stays zero.  28 - 4 = 24.
+  const auto scaled =
+      analysis::analyze_platform(dag, Platform::parse("4:gpu@2"));
+  EXPECT_EQ(scaled.devices[0].speedup, Frac(2));
+  EXPECT_EQ(scaled.devices[0].term, Frac(4));
+  EXPECT_EQ(scaled.bound, Frac(24));
+  // 2x device with 2 units on m = 2: 20/2 + 8/(2·2)
+  //   + [10·(1/2) + (8/2)·(1/2) + 10·(1/2)] = 10 + 2 + 12 = 24.
+  EXPECT_EQ(analysis::rta_platform(dag, Platform::parse("2:gpu*2@2")),
+            Frac(24));
+  const std::string text =
+      analysis::explain(analysis::analyze_platform(dag,
+                                                   Platform::parse("4:gpu@2")));
+  EXPECT_NE(text.find("(n_d*s_d)"), std::string::npos);
+  EXPECT_NE(text.find("at 2x speed"), std::string::npos);
+}
+
+TEST(PlatformRtaTest, UnitSpeedupsReduceToTheUnscaledBoundExactly) {
+  // All-ones speedup vectors must not change a single rational — through
+  // analyze_platform AND the AnalysisCache overloads.
+  Rng master(77);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 80;
+  params.num_devices = 2;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 6; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.35, rng);
+    Platform plain = Platform::parse("4:gpu*2,dsp");
+    Platform unit_speed = plain;
+    unit_speed.device_speedup = {Frac(1), Frac(1)};
+    EXPECT_EQ(analysis::rta_platform(dag, plain),
+              analysis::rta_platform(dag, unit_speed));
+    analysis::AnalysisCache cache(dag);
+    EXPECT_EQ(cache.r_platform(plain), cache.r_platform(unit_speed));
+    const std::vector<int> units{2, 1};
+    const std::vector<Frac> ones{Frac(1), Frac(1)};
+    EXPECT_EQ(cache.r_platform(4, units, ones), cache.r_platform(4, units));
+  }
+}
+
+TEST(PlatformRtaTest, FasterDevicesNeverLoosenTheBound) {
+  Rng master(78);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 80;
+  params.num_devices = 3;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 6; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.4, rng);
+    analysis::AnalysisCache cache(dag);
+    for (const int m : {2, 8}) {
+      const std::vector<int> units{2, 1, 3};
+      Frac previous = cache.r_platform(m, units);
+      for (const std::int64_t speedup : {2, 3, 6}) {
+        const std::vector<Frac> speedups(3, Frac(speedup));
+        const Frac bound = cache.r_platform(m, units, speedups);
+        EXPECT_LE(bound, previous) << "m=" << m << " s=" << speedup;
+        previous = bound;
+      }
+      // And a slowdown (s < 1) can only loosen it.
+      const std::vector<Frac> slow(3, Frac(1, 2));
+      EXPECT_GE(cache.r_platform(m, units, slow), cache.r_platform(m, units));
+    }
+  }
+}
+
+TEST(PlatformRtaTest, CacheSpeedupOverloadMatchesAnalyzePlatform) {
+  Rng master(79);
+  gen::HierarchicalParams params;
+  params.min_nodes = 20;
+  params.max_nodes = 80;
+  params.num_devices = 2;
+  params.offloads_per_device = 2;
+  for (int i = 0; i < 6; ++i) {
+    Rng rng = master.fork();
+    const auto dag = gen::generate_multi_device(params, 0.3, rng);
+    const Platform platform = Platform::parse("8:gpu*2@1.5,dsp@7/3");
+    analysis::AnalysisCache cache(dag);
+    EXPECT_EQ(cache.r_platform(platform),
+              analysis::rta_platform(dag, platform));
+  }
+}
+
 TEST(PlatformRtaTest, ExplainShowsUnitCountsOnMultiUnitPlatforms) {
   const auto ex = testing::multi_device_example();
   const auto analysis =

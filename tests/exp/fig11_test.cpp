@@ -91,6 +91,57 @@ TEST(Fig11HarnessTest, ParallelRunsAreBitIdenticalToSerial) {
   }
 }
 
+TEST(Fig11HarnessTest, ExplicitSymmetricVectorsMatchTheLegacyGrid) {
+  // SATELLITE (PR 5): the asymmetric-vector path, fed all-equal vectors,
+  // must reproduce the symmetric sweep field-for-field (same batches, same
+  // bounds, same labels) — so the new axis cannot drift from the old one.
+  Fig11Config legacy = small_config();
+  Fig11Config vectors = small_config();
+  vectors.unit_vectors = {{1, 1}, {2, 2}, {3, 3}};
+  const Fig11Result a = run_fig11(legacy);
+  const Fig11Result b = run_fig11(vectors);
+  EXPECT_EQ(render_fig11(a), render_fig11(b));
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].units, b.rows[i].units);
+    EXPECT_EQ(a.rows[i].unit_vector, b.rows[i].unit_vector);
+    EXPECT_EQ(a.rows[i].mean_bound, b.rows[i].mean_bound);
+    EXPECT_EQ(a.rows[i].mean_makespan, b.rows[i].mean_makespan);
+  }
+}
+
+TEST(Fig11HarnessTest, AsymmetricUnitVectorsSweepSoundly) {
+  Fig11Config config = small_config();
+  config.unit_vectors = {{2, 1}, {3, 1}};
+  const Fig11Result result = run_fig11(config);
+  // 2 vectors × 2 ratios × 2 cores rows, 2 vectors × 2 cores summaries.
+  EXPECT_EQ(result.rows.size(), 8u);
+  EXPECT_EQ(result.summaries.size(), 4u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.units, -1);  // genuinely asymmetric
+    ASSERT_EQ(row.unit_vector.size(), 2u);
+    EXPECT_EQ(row.violations, 0)
+        << "units=" << row.unit_vector[0] << "," << row.unit_vector[1]
+        << " ratio=" << row.ratio << " m=" << row.m;
+    // Extra units on class 1 only still tighten vs the single-unit bound.
+    EXPECT_LE(row.mean_bound, row.mean_bound_single + 1e-9);
+  }
+  const std::string text = render_fig11(result);
+  EXPECT_NE(text.find("2-1"), std::string::npos);
+  EXPECT_NE(text.find("3-1"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/f11_asym.csv";
+  write_fig11_csv(result, path);
+  std::remove(path.c_str());
+}
+
+TEST(Fig11HarnessTest, MalformedUnitVectorsThrow) {
+  Fig11Config config = small_config();
+  config.unit_vectors = {{2}};  // one entry for two classes
+  EXPECT_THROW((void)run_fig11(config), Error);
+  config.unit_vectors = {{2, 0}};
+  EXPECT_THROW((void)run_fig11(config), Error);
+}
+
 TEST(Fig11HarnessTest, RendersAndExportsCsv) {
   const Fig11Result result = run_fig11(small_config());
   const std::string text = render_fig11(result);

@@ -162,6 +162,60 @@ TEST(MultiDeviceGenTest, GeneratorProducesValidDeviceAnnotatedDags) {
   }
 }
 
+TEST(MultiDeviceGenTest, SpeedupScalesPerDeviceBudgets) {
+  // SATELLITE (PR 5): heterogeneous WCET scaling.  A 2x device realises
+  // about half the device-time volume of its unit-speed twin generated
+  // from the identical RNG stream; unscaled devices are untouched.
+  gen::HierarchicalParams params = test_params();
+  params.num_devices = 2;
+  params.offloads_per_device = 2;
+  Rng a(31);
+  Rng b(31);
+  graph::Dag plain = gen::generate_hierarchical(params, a);
+  graph::Dag scaled = gen::generate_hierarchical(params, b);
+  (void)gen::select_offload_nodes(plain, 2, 2, a);
+  (void)gen::select_offload_nodes(scaled, 2, 2, b);
+  const auto plain_split = gen::set_offload_ratio_multi(plain, 0.4);
+  const auto scaled_split =
+      gen::set_offload_ratio_multi(scaled, 0.4, {}, {2.0, 1.0});
+  ASSERT_EQ(plain_split.per_device.size(), 2u);
+  ASSERT_EQ(scaled_split.per_device.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(scaled_split.per_device[0].second),
+              static_cast<double>(plain_split.per_device[0].second) / 2.0,
+              2.0);
+  EXPECT_EQ(scaled_split.per_device[1].second,
+            plain_split.per_device[1].second);
+  // The split invariant holds for the scaled graph too.
+  graph::Time sum = 0;
+  for (const auto& [device, volume] : scaled_split.per_device) sum += volume;
+  EXPECT_EQ(sum, scaled_split.total);
+}
+
+TEST(MultiDeviceGenTest, SpeedupRejectsDegenerateFactors) {
+  gen::HierarchicalParams params = test_params();
+  params.num_devices = 2;
+  Rng rng(32);
+  graph::Dag dag = gen::generate_hierarchical(params, rng);
+  (void)gen::select_offload_nodes(dag, 2, 1, rng);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {}, {1.0}),
+               Error);  // one factor for two devices
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {}, {0.0, 1.0}),
+               Error);
+  EXPECT_THROW((void)gen::set_offload_ratio_multi(dag, 0.3, {}, {-2.0, 1.0}),
+               Error);
+}
+
+TEST(MultiDeviceGenTest, HierarchicalParamsValidateSpeedups) {
+  gen::HierarchicalParams params = test_params();
+  params.num_devices = 2;
+  params.device_speedup = {2.0};  // one entry for two devices
+  EXPECT_THROW(params.validate(), Error);
+  params.device_speedup = {2.0, 0.0};
+  EXPECT_THROW(params.validate(), Error);
+  params.device_speedup = {2.0, 1.5};
+  EXPECT_NO_THROW(params.validate());
+}
+
 TEST(MultiDeviceGenTest, GeneratorIsDeterministicPerSeed) {
   gen::HierarchicalParams params = test_params();
   params.num_devices = 2;

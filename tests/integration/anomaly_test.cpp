@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/analysis_cache.h"
 #include "analysis/rta_heterogeneous.h"
 #include "common/fixtures.h"
 #include "graph/dag_io.h"
@@ -14,6 +15,12 @@
 /// WCETs, so they must dominate every execution in which each node runs for
 /// at most its WCET — under every work-conserving policy.  This is the
 /// guarantee a certification argument actually needs.
+///
+/// Every draw × policy run of a sweep simulates the SAME frozen graph, so
+/// the sweeps batch their simulate_with_times calls over one
+/// AnalysisCache CSR snapshot per DAG instead of re-snapshotting per call
+/// (15 snapshots per DAG before; measured by the sim_with_times_batch
+/// kernel of bench/perf_report).
 
 namespace hedra {
 namespace {
@@ -39,14 +46,16 @@ TEST_P(AnomalySweep, EarlyCompletionNeverBreaksRhom) {
     (void)gen::select_offload_node(dag, rng);
     (void)gen::set_offload_ratio(dag, 0.05 + 0.5 * rng.uniform_real());
     const int m = static_cast<int>(rng.uniform_int(1, 8));
-    const Frac r_hom = analysis::rta_homogeneous(dag, m);
+    analysis::AnalysisCache cache(dag);
+    const Frac r_hom = cache.r_hom(m);
     for (int draw = 0; draw < 3; ++draw) {
       const auto actual = sim::random_actual_times(dag, 0.2, rng);
       for (const auto policy : kPolicies) {
         sim::SimConfig config;
         config.cores = m;
         config.policy = policy;
-        const auto trace = sim::simulate_with_times(dag, config, actual);
+        const auto trace =
+            sim::simulate_with_times(cache.flat(), config, actual);
         EXPECT_LE(Frac(trace.makespan()), r_hom)
             << "m=" << m << " policy=" << sim::to_string(policy);
       }
@@ -68,19 +77,20 @@ TEST_P(AnomalySweep, EarlyCompletionNeverBreaksRhet) {
     (void)gen::select_offload_node(dag, rng);
     (void)gen::set_offload_ratio(dag, 0.05 + 0.5 * rng.uniform_real());
     const int m = static_cast<int>(rng.uniform_int(1, 8));
-    const auto analysis = analysis::analyze_heterogeneous(dag, m);
-    const auto& transformed = analysis.transform.transformed;
+    analysis::AnalysisCache cache(dag);
+    const Frac r_het = cache.r_het(m);
     for (int draw = 0; draw < 3; ++draw) {
-      const auto actual = sim::random_actual_times(transformed, 0.2, rng);
+      const auto actual =
+          sim::random_actual_times(cache.transformed(), 0.2, rng);
       for (const auto policy : kPolicies) {
         sim::SimConfig config;
         config.cores = m;
         config.policy = policy;
         const auto trace =
-            sim::simulate_with_times(transformed, config, actual);
-        EXPECT_LE(Frac(trace.makespan()), analysis.r_het)
+            sim::simulate_with_times(cache.flat_transformed(), config, actual);
+        EXPECT_LE(Frac(trace.makespan()), r_het)
             << "m=" << m << " policy=" << sim::to_string(policy)
-            << " scenario=" << to_string(analysis.scenario);
+            << " scenario=" << to_string(cache.scenario(m));
       }
     }
   }

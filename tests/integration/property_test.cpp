@@ -137,17 +137,19 @@ TEST_P(SoundnessSweep, PlatformBoundDominatesEveryPolicyOnEveryDevice) {
       const double ratio = 0.05 + 0.5 * rng.uniform_real();
       const graph::Dag dag = gen::generate_multi_device(params, ratio, rng);
       const int m = static_cast<int>(rng.uniform_int(1, 16));
-      const Frac bound = analysis::rta_platform(dag, m);
+      // One CSR snapshot serves all 5 policies × (WCET + early) runs.
+      analysis::AnalysisCache cache(dag);
+      const Frac bound = cache.r_platform(m);
       for (const auto policy : sim::all_policies()) {
         sim::SimConfig config;
         config.cores = m;
         config.policy = policy;
-        EXPECT_LE(Frac(sim::simulated_makespan(dag, config)), bound)
+        EXPECT_LE(Frac(sim::simulated_makespan(cache.flat(), config)), bound)
             << "K=" << num_devices << " m=" << m
             << " policy=" << sim::to_string(policy);
         const auto actual = sim::random_actual_times(dag, 0.3, rng);
         const graph::Time early =
-            sim::simulate_with_times(dag, config, actual).makespan();
+            sim::simulate_with_times(cache.flat(), config, actual).makespan();
         EXPECT_LE(Frac(early), bound)
             << "early completion, K=" << num_devices << " m=" << m
             << " policy=" << sim::to_string(policy);
@@ -186,12 +188,13 @@ TEST_P(SoundnessSweep, MultiUnitPlatformBoundDominatesEveryPolicy) {
           config.cores = m;
           config.policy = policy;
           config.device_units = device_units;
-          EXPECT_LE(Frac(sim::simulated_makespan(dag, config)), bound)
+          EXPECT_LE(Frac(sim::simulated_makespan(cache.flat(), config)), bound)
               << "K=" << num_devices << " units=" << units << " m=" << m
               << " policy=" << sim::to_string(policy);
           const auto actual = sim::random_actual_times(dag, 0.3, rng);
           const graph::Time early =
-              sim::simulate_with_times(dag, config, actual).makespan();
+              sim::simulate_with_times(cache.flat(), config, actual)
+                  .makespan();
           EXPECT_LE(Frac(early), bound)
               << "early completion, K=" << num_devices << " units=" << units
               << " m=" << m << " policy=" << sim::to_string(policy);

@@ -65,6 +65,36 @@ TEST(PlatformTest, ParseReadsUnitMultiplicities) {
   EXPECT_FALSE(Platform::parse("2:gpu*1").has_multi_units());
 }
 
+TEST(PlatformTest, ParseReadsSpeedups) {
+  // SATELLITE (PR 5): heterogeneous WCET scaling in the spec syntax.
+  const Platform platform = Platform::parse("4:gpu*2@3.0,dsp@1.5,fpga");
+  EXPECT_EQ(platform.speedup_of(1), Frac(3));
+  EXPECT_EQ(platform.speedup_of(2), Frac(3, 2));
+  EXPECT_EQ(platform.speedup_of(3), Frac(1));
+  EXPECT_TRUE(platform.has_speedups());
+  // Decimal factors normalise to their shortest exact spelling; the
+  // default 1.0 is omitted, so pre-speedup specs round-trip unchanged.
+  EXPECT_EQ(platform.spec(), "4:gpu*2@3,dsp@1.5,fpga");
+  EXPECT_EQ(Platform::parse(platform.spec()), platform);
+  EXPECT_NE(platform.describe().find("@1.5x"), std::string::npos);
+
+  EXPECT_FALSE(Platform::parse("4:gpu@1").has_speedups());
+  EXPECT_EQ(Platform::parse("4:gpu@1.0").spec(), "4:gpu");
+  // Exact rationals survive: 7/3 has no finite decimal but still
+  // round-trips.
+  EXPECT_EQ(Platform::parse("4:gpu@7/3").speedup_of(1), Frac(7, 3));
+  EXPECT_EQ(Platform::parse("4:gpu@7/3").spec(), "4:gpu@7/3");
+}
+
+TEST(PlatformTest, ParseRejectsMalformedSpeedups) {
+  EXPECT_THROW((void)Platform::parse("4:gpu@"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu@0"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu@-1.5"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu@x"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu@1.2.3"), Error);
+  EXPECT_THROW((void)Platform::parse("4:gpu@2*2"), Error);  // '*' after '@'
+}
+
 TEST(PlatformTest, ParseRejectsMalformedSpecs) {
   EXPECT_THROW((void)Platform::parse(""), Error);
   EXPECT_THROW((void)Platform::parse("x"), Error);
@@ -111,11 +141,18 @@ TEST(PlatformTest, RandomizedPlatformsRoundTripThroughSpec) {
     std::vector<std::string> names(pool.begin(), pool.end());
     rng.shuffle(names);
     const bool explicit_units = rng.bernoulli(0.7);
+    const bool explicit_speedups = rng.bernoulli(0.5);
+    const std::vector<Frac> speedup_pool{Frac(1),    Frac(2),    Frac(3, 2),
+                                         Frac(5, 4), Frac(7, 3), Frac(1, 2)};
     for (int d = 0; d < devices; ++d) {
       platform.device_names.push_back(names[d]);
       if (explicit_units) {
         platform.device_units.push_back(
             static_cast<int>(rng.uniform_int(1, 6)));
+      }
+      if (explicit_speedups) {
+        platform.device_speedup.push_back(
+            speedup_pool[rng.index(speedup_pool.size())]);
       }
     }
     platform.validate();

@@ -4,6 +4,7 @@
 
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "util/error.h"
 
@@ -137,6 +138,76 @@ TEST_P(FracBoundShapeTest, GrahamBoundShape) {
 
 INSTANTIATE_TEST_SUITE_P(CoreCounts, FracBoundShapeTest,
                          ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+TEST(FracSpecTest, ParsesIntegersDecimalsAndRatios) {
+  EXPECT_EQ(parse_frac("3"), Frac(3));
+  EXPECT_EQ(parse_frac("-2"), Frac(-2));
+  EXPECT_EQ(parse_frac("+4"), Frac(4));
+  EXPECT_EQ(parse_frac("1.5"), Frac(3, 2));
+  EXPECT_EQ(parse_frac("3.0"), Frac(3));
+  EXPECT_EQ(parse_frac("0.25"), Frac(1, 4));
+  EXPECT_EQ(parse_frac("-0.5"), Frac(-1, 2));
+  EXPECT_EQ(parse_frac(".5"), Frac(1, 2));
+  EXPECT_EQ(parse_frac("7/3"), Frac(7, 3));
+  EXPECT_EQ(parse_frac("-7/3"), Frac(-7, 3));
+  EXPECT_EQ(parse_frac("6/4"), Frac(3, 2));  // normalised
+}
+
+TEST(FracSpecTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "x", "1.2.3", "1/0", "1/2/3", "1.5/2", "--1",
+                          "1.", "1e3", " 2", "0.123456789012345678901"}) {
+    EXPECT_THROW((void)parse_frac(bad), Error) << bad;
+  }
+}
+
+TEST(FracSpecTest, RejectsOverflowingNumerals) {
+  // Numerals past int64 must throw, not silently wrap (they previously
+  // overflowed to an arbitrary value — e.g. 2^64+1 parsed as 1).
+  for (const char* bad : {"18446744073709551617", "9223372036854775808",
+                          "-9223372036854775808000", "10.000000000000000001",
+                          "9223372036854775807/9999999999999999999"}) {
+    EXPECT_THROW((void)parse_frac(bad), Error) << bad;
+  }
+  // The extremes that do fit still parse.
+  EXPECT_EQ(parse_frac("9223372036854775807"),
+            Frac(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(FracSpecTest, HugeDecimalDenominatorsFallBackToRatioForm) {
+  // 10^places would overflow int64 for 2^a·5^b denominators with
+  // max(a, b) > 18; the exact ratio form is the spelling then.
+  const Frac tiny(1, std::int64_t(1) << 40);
+  EXPECT_EQ(frac_spec_string(tiny), tiny.to_string());
+  EXPECT_EQ(parse_frac(frac_spec_string(tiny)), tiny);
+  // And a scaled numerator that would overflow also falls back.  (max − 2
+  // is odd, so the half survives normalisation as a genuine /2 rational.)
+  const Frac wide(std::numeric_limits<std::int64_t>::max() - 2, 2);
+  EXPECT_EQ(frac_spec_string(wide), wide.to_string());
+  EXPECT_EQ(parse_frac(frac_spec_string(wide)), wide);
+}
+
+TEST(FracSpecTest, SpecStringIsShortestExactForm) {
+  EXPECT_EQ(frac_spec_string(Frac(3)), "3");
+  EXPECT_EQ(frac_spec_string(Frac(-2)), "-2");
+  EXPECT_EQ(frac_spec_string(Frac(3, 2)), "1.5");
+  EXPECT_EQ(frac_spec_string(Frac(1, 4)), "0.25");
+  EXPECT_EQ(frac_spec_string(Frac(-1, 2)), "-0.5");
+  EXPECT_EQ(frac_spec_string(Frac(1, 8)), "0.125");
+  EXPECT_EQ(frac_spec_string(Frac(1, 20)), "0.05");
+  // Non-decimal denominators fall back to the ratio form.
+  EXPECT_EQ(frac_spec_string(Frac(7, 3)), "7/3");
+  EXPECT_EQ(frac_spec_string(Frac(1, 7)), "1/7");
+}
+
+TEST(FracSpecTest, RoundTripsExactly) {
+  const std::vector<Frac> values{Frac(1),     Frac(42),    Frac(-3),
+                                 Frac(3, 2),  Frac(1, 4),  Frac(7, 3),
+                                 Frac(-9, 8), Frac(13, 5), Frac(1, 1000)};
+  for (const Frac& value : values) {
+    EXPECT_EQ(parse_frac(frac_spec_string(value)), value)
+        << frac_spec_string(value);
+  }
+}
 
 }  // namespace
 }  // namespace hedra
