@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validates the JSON emitted by bench/perf_report (schema
-hedra-perf-report-v1).  CI runs `perf_report --quick --out <file>` and then
-this script, so the benchmark harness can't silently rot.
+hedra-perf-report-v2; the v1 schema of the committed pre-PR-6 baselines is
+still accepted).  CI runs `perf_report --quick --out <file>` and then this
+script, so the benchmark harness can't silently rot.
 
 Usage: validate_perf_report.py <report.json> [--expect-benchmarks N]
                                [--require-kernel NAME]...
@@ -15,7 +16,15 @@ baseline.
 import json
 import sys
 
-REQUIRED_TOP = {"schema", "quick", "single_threaded", "benchmarks"}
+# v1 reports are single-threaded by construction; v2 (PR 6) replaces the
+# "single_threaded" flag with the worker-thread count used by the parallel
+# kernels plus the machine's hardware concurrency.
+REQUIRED_TOP = {
+    "hedra-perf-report-v1": {"schema", "quick", "single_threaded",
+                             "benchmarks"},
+    "hedra-perf-report-v2": {"schema", "quick", "jobs",
+                             "hardware_concurrency", "benchmarks"},
+}
 REQUIRED_BENCH = {"name", "unit", "value", "iterations"}
 KNOWN_UNITS = {"ms", "us_per_sim", "us_per_dag"}
 
@@ -41,15 +50,21 @@ def main() -> None:
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
 
-    missing = REQUIRED_TOP - report.keys()
+    schema = report.get("schema")
+    if schema not in REQUIRED_TOP:
+        fail(f"unexpected schema {schema!r}")
+    missing = REQUIRED_TOP[schema] - report.keys()
     if missing:
         fail(f"missing top-level keys: {sorted(missing)}")
-    if report["schema"] != "hedra-perf-report-v1":
-        fail(f"unexpected schema {report['schema']!r}")
     if not isinstance(report["quick"], bool):
         fail("'quick' must be a boolean")
-    if report["single_threaded"] is not True:
-        fail("perf reports must be measured single-threaded")
+    if schema == "hedra-perf-report-v1":
+        if report["single_threaded"] is not True:
+            fail("v1 perf reports must be measured single-threaded")
+    else:
+        for key in ("jobs", "hardware_concurrency"):
+            if not isinstance(report[key], int) or report[key] < 1:
+                fail(f"{key!r} must be a positive integer")
 
     benchmarks = report["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:

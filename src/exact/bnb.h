@@ -25,6 +25,16 @@
 /// The search is budgeted (node count + wall clock).  On exhaustion the best
 /// schedule found so far is returned with proven_optimal = false; the
 /// figure-7 harness reports the fraction of instances proven optimal.
+///
+/// Parallel mode (`BnbConfig::jobs > 1`): the root expands breadth-first
+/// into a frontier of independent subtree tasks, workers drain per-worker
+/// deques (stealing the shallowest pending subtree from a victim when their
+/// own runs dry), and the incumbent upper bound is a shared atomic that
+/// every worker prunes against and CAS-updates.  Proven-optimal makespans
+/// are exactly the sequential ones (see DESIGN.md for the safety argument);
+/// `nodes_explored` and any budget-truncated (unproven) makespan may vary
+/// run to run.  `jobs == 1` is the deterministic mode: the sequential DFS,
+/// bit-identical to the historical solver and the committed goldens.
 
 #include <cstdint>
 
@@ -36,6 +46,12 @@ namespace hedra::exact {
 struct BnbConfig {
   std::uint64_t max_nodes = 20'000'000;  ///< decision nodes before giving up
   double time_limit_sec = 10.0;          ///< wall-clock budget per instance
+  /// Worker threads for the subtree search.  1 (the default) is the
+  /// deterministic sequential DFS; <= 0 selects all hardware threads.  The
+  /// node and wall-clock budgets are shared across workers (the node total
+  /// is polled every 1024 local nodes, so a parallel run may overshoot
+  /// max_nodes by at most 1024 nodes per worker).
+  int jobs = 1;
 };
 
 /// Solver outcome.

@@ -34,12 +34,18 @@ Fig7Result run_fig7(const Fig7Config& config) {
   }
 
   Runner runner(config.jobs);
+  // Per-instance solver parallelism composes with the Runner's per-DAG
+  // fan-out without oversubscription: when the sweep itself fans out over
+  // worker threads, each solve runs sequentially; solver.jobs only takes
+  // effect in a single-job sweep (the fleet-sharding shape: one process
+  // per shard, all cores on one instance at a time).
+  exact::BnbConfig solver = config.solver;
+  if (runner.jobs() > 1) solver.jobs = 1;
   Fig7Result result;
   result.rows = runner.sweep(
       points,
-      [&config](analysis::AnalysisCache& cache, int m) {
-        const auto opt =
-            exact::min_makespan(cache.original(), m, config.solver);
+      [&solver](analysis::AnalysisCache& cache, int m) {
+        const auto opt = exact::min_makespan(cache.original(), m, solver);
         const auto makespan = static_cast<double>(opt.makespan);
         return Sample{
             stats::percentage_change(cache.r_hom(m).to_double(), makespan),

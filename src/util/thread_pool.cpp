@@ -11,6 +11,24 @@
 
 namespace hedra {
 
+namespace {
+
+/// Depth of ThreadPool item execution on this thread (any pool).  Nested
+/// parallel_for_each calls issued from inside an item run their items
+/// inline instead of dispatching: dispatching to the same pool would
+/// deadlock the single-job-slot protocol, and dispatching to a second pool
+/// from a worker oversubscribes the machine.  Inline nested execution keeps
+/// Runner::sweep --jobs N composable with callbacks that parallelise
+/// internally (e.g. the parallel B&B).
+thread_local int pool_item_depth = 0;
+
+struct ItemDepthGuard {
+  ItemDepthGuard() { ++pool_item_depth; }
+  ~ItemDepthGuard() { --pool_item_depth; }
+};
+
+}  // namespace
+
 /// Shared state of one parallel_for_each call.  Workers claim items through
 /// a single atomic cursor, so no item is run twice and the claim order never
 /// affects results (each item owns its output slot).
@@ -64,6 +82,7 @@ struct ThreadPool::Impl {
 
   /// Claims and runs items until the cursor passes `count`.
   void run_items() {
+    const ItemDepthGuard guard;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
@@ -112,14 +131,18 @@ int ThreadPool::default_workers() noexcept {
 void ThreadPool::parallel_for_each(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (impl_ == nullptr) {  // 1 worker: run inline, fail on first error
+  // 1-worker pool, or a nested call from inside a pool item (the worker is
+  // already a parallel lane — dispatching again would deadlock the one-job
+  // dispatch protocol or oversubscribe): run inline, fail on first error.
+  if (impl_ == nullptr || pool_item_depth > 0) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     HEDRA_REQUIRE(impl_->fn == nullptr,
-                  "parallel_for_each is not reentrant on one pool");
+                  "parallel_for_each may not be called concurrently from "
+                  "two independent threads on one pool");
     impl_->fn = &fn;
     impl_->count = count;
     impl_->cursor.store(0, std::memory_order_relaxed);

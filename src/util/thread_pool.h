@@ -43,8 +43,11 @@ class ThreadPool {
   /// Runs fn(0) ... fn(count - 1), distributing items over the pool; the
   /// calling thread participates.  Blocks until every item completed.  If
   /// any item throws, the exception of the smallest-index failing item is
-  /// rethrown here once all claimed items finished.  Reentrant calls from
-  /// inside `fn` are not allowed.
+  /// rethrown here once all claimed items finished.  Reentrant: a call
+  /// issued from inside an item (on this or any other pool) runs its items
+  /// inline on the calling thread — nested parallelism never deadlocks the
+  /// dispatch protocol or oversubscribes the machine.  Concurrent calls
+  /// from two independent (non-pool) threads remain invalid.
   void parallel_for_each(std::size_t count,
                          const std::function<void(std::size_t)>& fn);
 

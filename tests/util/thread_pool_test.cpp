@@ -104,6 +104,54 @@ TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
   EXPECT_EQ(sum.load(), 45);
 }
 
+TEST(ThreadPoolTest, NestedCallRunsInline) {
+  // A parallel_for_each issued from inside an item must run inline on that
+  // worker instead of deadlocking the dispatch protocol (the regression the
+  // parallel B&B needs to run under Runner::sweep --jobs N).
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.parallel_for_each(8, [&](std::size_t) {
+    pool.parallel_for_each(16, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedCallOnASecondPoolRunsInline) {
+  // Cross-pool nesting would oversubscribe the machine; it runs inline too.
+  ThreadPool outer(4);
+  ThreadPool other(4);
+  std::atomic<int> inner{0};
+  outer.parallel_for_each(6, [&](std::size_t) {
+    other.parallel_for_each(10, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 60);
+}
+
+TEST(ThreadPoolTest, DoublyNestedCallRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  pool.parallel_for_each(4, [&](std::size_t) {
+    pool.parallel_for_each(4, [&](std::size_t) {
+      pool.parallel_for_each(4, [&](std::size_t) { ++inner; });
+    });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_each(4, [&](std::size_t) {
+      pool.parallel_for_each(4, [](std::size_t j) {
+        if (j == 2) throw Error("nested boom");
+      });
+    });
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "nested boom");
+  }
+}
+
 TEST(ThreadPoolTest, ManySmallBatchesBackToBack) {
   // Exercises the job hand-off path: successive parallel_for_each calls on
   // one pool must not deadlock or leak items between jobs.

@@ -1,0 +1,106 @@
+#include "util/work_stealing_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hedra {
+namespace {
+
+TEST(WorkStealingDequeTest, OwnerEndIsLifo) {
+  WorkStealingDeque<int> deque;
+  deque.push_bottom(1);
+  deque.push_bottom(2);
+  deque.push_bottom(3);
+  int out = 0;
+  ASSERT_TRUE(deque.pop_bottom(out));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(deque.pop_bottom(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(deque.pop_bottom(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(deque.pop_bottom(out));
+}
+
+TEST(WorkStealingDequeTest, ThiefEndIsFifo) {
+  WorkStealingDeque<int> deque;
+  deque.push_bottom(1);
+  deque.push_bottom(2);
+  deque.push_bottom(3);
+  int out = 0;
+  ASSERT_TRUE(deque.steal_top(out));
+  EXPECT_EQ(out, 1);  // the oldest (shallowest) task
+  ASSERT_TRUE(deque.pop_bottom(out));
+  EXPECT_EQ(out, 3);  // the owner keeps its most recent work
+  ASSERT_TRUE(deque.steal_top(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(deque.steal_top(out));
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(WorkStealingDequeTest, SizeTracksBothEnds) {
+  WorkStealingDeque<int> deque;
+  EXPECT_EQ(deque.size(), 0u);
+  deque.push_bottom(7);
+  deque.push_bottom(8);
+  EXPECT_EQ(deque.size(), 2u);
+  int out = 0;
+  ASSERT_TRUE(deque.steal_top(out));
+  EXPECT_EQ(deque.size(), 1u);
+}
+
+TEST(WorkStealingDequeTest, MoveOnlyPayload) {
+  WorkStealingDeque<std::unique_ptr<int>> deque;
+  deque.push_bottom(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(deque.pop_bottom(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(WorkStealingDequeTest, ConcurrentOwnerAndThievesDrainEverything) {
+  // One owner pushes and pops while three thieves steal: every pushed value
+  // must be consumed exactly once.  Run under the ASan and TSan jobs.
+  constexpr int kItems = 20000;
+  WorkStealingDeque<int> deque;
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      int out = 0;
+      while (!done.load() || !deque.empty()) {
+        if (deque.steal_top(out)) {
+          consumed_sum.fetch_add(out);
+          consumed_count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  long long pushed_sum = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    deque.push_bottom(i);
+    pushed_sum += i;
+    int out = 0;
+    if (i % 3 == 0 && deque.pop_bottom(out)) {
+      consumed_sum.fetch_add(out);
+      consumed_count.fetch_add(1);
+    }
+  }
+  done.store(true);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed_count.load(), kItems);
+  EXPECT_EQ(consumed_sum.load(), pushed_sum);
+}
+
+}  // namespace
+}  // namespace hedra
