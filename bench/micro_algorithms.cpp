@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/analysis_cache.h"
+#include "analysis/batch_kernels.h"
 #include "analysis/rta_heterogeneous.h"
 #include "dense_dag.h"
 #include "exact/bnb.h"
@@ -186,6 +187,63 @@ void BM_TransitiveReduction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitiveReduction)->Arg(60)->Arg(150);
+
+// The SoA arena pipeline (PR 7): whole-batch generation into one arena vs
+// the legacy vector<Dag> path on the identical RNG stream, and the batched
+// analysis kernels over the arena's flat arrays.
+hedra::exp::BatchConfig arena_batch_config(int count) {
+  hedra::exp::BatchConfig config;
+  config.params = hedra::gen::HierarchicalParams::large_tasks_100_250();
+  config.params.num_devices = 3;
+  config.coff_ratio = 0.3;
+  config.count = count;
+  config.seed = 31;
+  return config;
+}
+
+void BM_BatchGenerateLegacy(benchmark::State& state) {
+  const auto config = arena_batch_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::exp::generate_batch(config));
+  }
+}
+BENCHMARK(BM_BatchGenerateLegacy)->Arg(8)->Arg(32);
+
+void BM_BatchGenerateArena(benchmark::State& state) {
+  const auto config = arena_batch_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hedra::exp::generate_flat_batch(config));
+  }
+}
+BENCHMARK(BM_BatchGenerateArena)->Arg(8)->Arg(32);
+
+void BM_BatchDeviceVolumes(benchmark::State& state) {
+  const auto batch = hedra::exp::generate_flat_batch(
+      arena_batch_config(static_cast<int>(state.range(0))));
+  std::vector<hedra::graph::Time> volumes;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const hedra::graph::FlatView view = batch.view(i);
+      volumes.assign(view.max_device() + 1, 0);
+      hedra::analysis::accumulate_device_volumes(view.wcets(), view.devices(),
+                                                 volumes);
+      benchmark::DoNotOptimize(volumes.data());
+    }
+  }
+  state.SetLabel(hedra::analysis::batch_kernel_backend());
+}
+BENCHMARK(BM_BatchDeviceVolumes)->Arg(32);
+
+void BM_BatchPlatformRta(benchmark::State& state) {
+  const auto batch = hedra::exp::generate_flat_batch(
+      arena_batch_config(static_cast<int>(state.range(0))));
+  const std::vector<int> cores{2, 4, 8, 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hedra::analysis::analyze_platform_batch(batch, cores));
+  }
+}
+BENCHMARK(BM_BatchPlatformRta)->Arg(8)->Arg(32);
 
 void BM_ExactSolverSmall(benchmark::State& state) {
   const Dag dag = make_instance(8, static_cast<int>(state.range(0)), 7, 0.3);

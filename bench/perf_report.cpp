@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/analysis_cache.h"
+#include "analysis/batch_kernels.h"
 #include "dense_dag.h"
 #include "exact/bnb.h"
 #include "exp/experiment.h"
@@ -341,6 +342,39 @@ int main(int argc, char** argv) {
       });
       record("platform_rta_cache", "us_per_dag",
              1000.0 * ms / static_cast<double>(batch.size()));
+    }
+
+    // -- SoA arena pipeline (PR 7): legacy per-Dag batch generation vs the
+    //    arena-writing generator on the identical RNG stream, then the
+    //    whole-batch vectorized K-device analysis over the arena (the
+    //    analyze_platform_batch entry the sweeps consume).
+    {
+      hedra::exp::BatchConfig config;
+      config.params = hedra::gen::HierarchicalParams::large_tasks_100_250();
+      config.params.num_devices = 3;
+      config.coff_ratio = 0.3;
+      config.count = q ? 4 : 32;
+      config.seed = 31;
+      const auto count = static_cast<double>(config.count);
+      const double legacy_ms =
+          best_ms(reps, [&] { (void)hedra::exp::generate_batch(config); });
+      record("batch_generation_legacy", "us_per_dag",
+             1000.0 * legacy_ms / count);
+      hedra::graph::FlatDagBatch arena;
+      const double arena_ms =
+          best_ms(reps, [&] { arena = hedra::exp::generate_flat_batch(config); });
+      record("batch_generation_arena", "us_per_dag",
+             1000.0 * arena_ms / count);
+      const std::vector<int> cores{2, 4, 8, 16};
+      const double rta_ms = best_ms(reps, [&] {
+        (void)hedra::analysis::analyze_platform_batch(arena, cores);
+      });
+      record("platform_rta_batch", "us_per_dag",
+             1000.0 * rta_ms / static_cast<double>(arena.size()),
+             {{"backend_avx2",
+               std::string(hedra::analysis::batch_kernel_backend()) == "avx2"
+                   ? 1.0
+                   : 0.0}});
     }
 
     // -- Theorem 1 pipeline across the m grid (single-offload DAGs).

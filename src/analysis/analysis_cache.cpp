@@ -3,19 +3,33 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/batch_kernels.h"
 #include "analysis/platform_rta.h"
 #include "graph/algorithms.h"
 
 namespace hedra::analysis {
 
+const Dag& AnalysisCache::original() {
+  if (dag_ == nullptr) {
+    materialized_ = batch_->materialize(batch_index_);
+    dag_ = &*materialized_;
+  }
+  return *dag_;
+}
+
 const TransformResult& AnalysisCache::transform() {
-  if (!transform_) transform_ = transform_for_offload(*dag_);
+  if (!transform_) transform_ = transform_for_offload(original());
   return *transform_;
 }
 
 const graph::FlatDag& AnalysisCache::flat() {
-  if (!flat_) flat_.emplace(*dag_);
+  if (!flat_) flat_.emplace(original());
   return *flat_;
+}
+
+graph::FlatView AnalysisCache::flat_view() {
+  if (batch_ != nullptr) return view_;
+  return flat().view();
 }
 
 const graph::FlatDag& AnalysisCache::flat_transformed() {
@@ -65,16 +79,14 @@ const TheoremQuantities& AnalysisCache::quantities() {
 
 const PlatformQuantities& AnalysisCache::platform_quantities() {
   if (!platform_quantities_) {
-    const graph::FlatDag& f = flat();
+    const graph::FlatView f = flat_view();
     PlatformQuantities q;
-    // One contiguous pass accumulates every per-device volume and node
-    // count (the Dag API would walk the node array once per device).
+    // Volumes via the dispatched batch kernel (SIMD masked accumulation on
+    // AVX2 hosts), counts in one scalar sweep over the same device array.
     std::vector<graph::Time> volume(f.max_device() + 1, 0);
     std::vector<std::size_t> count(f.max_device() + 1, 0);
-    for (graph::NodeId v = 0; v < f.num_nodes(); ++v) {
-      volume[f.device(v)] += f.wcet(v);
-      ++count[f.device(v)];
-    }
+    accumulate_device_volumes(f.wcets(), f.devices(), volume);
+    for (const graph::DeviceId d : f.devices()) ++count[d];
     q.vol_host = volume[graph::kHostDevice];
     q.max_host_path = analysis::max_host_path(f);
     for (graph::DeviceId d = 1; d <= f.max_device(); ++d) {
@@ -89,11 +101,16 @@ const PlatformQuantities& AnalysisCache::platform_quantities() {
 
 graph::Time AnalysisCache::len_original() {
   if (!len_original_) {
-    // Reuse the CSR snapshot when some other quantity already built it; the
+    // Reuse the CSR data when already on hand — the arena view of a
+    // batch-backed cache, or a snapshot another quantity built; the
     // pure-Theorem-1 path (fig6/8/9) never walks the original graph again,
     // so it should not pay for materialising one.
-    len_original_ = flat_ ? graph::critical_path_length(*flat_)
-                          : graph::critical_path_length(*dag_);
+    if (batch_ != nullptr) {
+      len_original_ = graph::critical_path_length(view_);
+    } else {
+      len_original_ = flat_ ? graph::critical_path_length(*flat_)
+                            : graph::critical_path_length(*dag_);
+    }
   }
   return *len_original_;
 }
@@ -101,7 +118,15 @@ graph::Time AnalysisCache::len_original() {
 Frac AnalysisCache::r_hom(int m) {
   // vol(G) = vol(G'), and using the original graph keeps r_hom usable
   // without forcing the transform.
-  if (!vol_original_) vol_original_ = dag_->volume();
+  if (!vol_original_) {
+    if (batch_ != nullptr) {
+      graph::Time vol = 0;
+      for (const graph::Time c : view_.wcets()) vol += c;
+      vol_original_ = vol;
+    } else {
+      vol_original_ = dag_->volume();
+    }
+  }
   return rta_homogeneous(len_original(), *vol_original_, m);
 }
 
@@ -139,7 +164,7 @@ Frac AnalysisCache::r_platform(int m, std::span<const int> device_units) {
     device_term += Frac(volume, units);
   }
   return Frac(q.vol_host, m) + device_term +
-         analysis::max_host_path(flat(), weighting);
+         analysis::max_host_path(flat_view(), weighting);
 }
 
 Frac AnalysisCache::r_platform(int m, std::span<const int> device_units,
@@ -161,13 +186,13 @@ Frac AnalysisCache::r_platform(int m, std::span<const int> device_units,
     device_term += Frac(volume, units) / speedup;
   }
   return Frac(q.vol_host, m) + device_term +
-         analysis::max_host_path(flat(), weighting);
+         analysis::max_host_path(flat_view(), weighting);
 }
 
 Frac AnalysisCache::r_platform(const model::Platform& platform) {
   platform.validate();
   {
-    const auto issues = model::check_supports(platform, *dag_);
+    const auto issues = model::check_supports(platform, original());
     HEDRA_REQUIRE(issues.empty(),
                   "platform does not support the DAG: " + issues.front());
   }

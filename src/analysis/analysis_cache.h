@@ -26,6 +26,7 @@
 #include "analysis/transform.h"
 #include "graph/critical_path.h"
 #include "graph/dag.h"
+#include "graph/flat_batch.h"
 #include "graph/flat_dag.h"
 #include "model/platform.h"
 #include "util/fraction.h"
@@ -53,13 +54,29 @@ class AnalysisCache {
   /// Binding to a temporary would dangle immediately.
   explicit AnalysisCache(Dag&&) = delete;
 
-  [[nodiscard]] const Dag& original() const noexcept { return *dag_; }
+  /// Binds to DAG `index` of an arena batch (which must outlive the cache).
+  /// The platform-bound paths (flat_view, platform_quantities, r_platform)
+  /// then run straight over the arena with no Dag in sight; anything that
+  /// genuinely needs a Dag — the §3.4 transform, labels, r_hom's
+  /// Dag::volume — materialises one lazily, exactly once, via original().
+  AnalysisCache(const graph::FlatDagBatch& batch, std::size_t index)
+      : batch_(&batch), batch_index_(index), view_(batch.view(index)) {}
+
+  /// The analysed Dag.  For an arena-backed cache the first call
+  /// materialises it from the batch (field-identical to the legacy
+  /// pipeline's object, labels included).
+  [[nodiscard]] const Dag& original();
 
   /// CSR snapshot of the ORIGINAL graph, built once on first use.  Every
   /// graph walk the cache performs on τ runs over this snapshot, and the
   /// simulation call sites share it so a 5-policy × 4-m sweep snapshots the
-  /// DAG once instead of twenty times.
+  /// DAG once instead of twenty times.  Arena-backed caches materialise the
+  /// Dag first; hot paths should prefer flat_view(), which never does.
   [[nodiscard]] const graph::FlatDag& flat();
+
+  /// CSR view of the ORIGINAL graph: the arena slice for a batch-backed
+  /// cache (no materialisation, no copy), flat().view() otherwise.
+  [[nodiscard]] graph::FlatView flat_view();
 
   /// CSR snapshot of the transformed graph τ' (forces the transform).
   [[nodiscard]] const graph::FlatDag& flat_transformed();
@@ -133,7 +150,11 @@ class AnalysisCache {
   [[nodiscard]] HetAnalysis analyze(int m) &&;
 
  private:
-  const Dag* dag_;
+  const Dag* dag_ = nullptr;
+  const graph::FlatDagBatch* batch_ = nullptr;
+  std::size_t batch_index_ = 0;
+  graph::FlatView view_;              ///< arena slice (batch-backed only)
+  std::optional<Dag> materialized_;   ///< lazy Dag of a batch-backed cache
   std::optional<TransformResult> transform_;
   std::optional<graph::FlatDag> flat_;
   std::optional<graph::FlatDag> flat_transformed_;

@@ -1,6 +1,7 @@
 #include "analysis/platform_rta.h"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "graph/algorithms.h"
@@ -38,32 +39,79 @@ graph::Time max_host_path(const graph::Dag& dag) {
   return max_host_path(dag, graph::topological_order(dag));
 }
 
-graph::Time max_host_path(const graph::FlatDag& flat) {
-  std::vector<graph::Time> best(flat.num_nodes(), 0);
+graph::Time max_host_path(const graph::FlatView& view) {
+  std::vector<graph::Time> best(view.num_nodes(), 0);
   graph::Time max_weighted = 0;
-  for (const auto v : flat.topological_order()) {
+  for (const auto v : view.topological_order()) {
     graph::Time incoming = 0;
-    for (const auto p : flat.predecessors(v)) {
+    for (const auto p : view.predecessors(v)) {
       incoming = std::max(incoming, best[p]);
     }
     const graph::Time weight =
-        flat.device(v) == graph::kHostDevice ? flat.wcet(v) : 0;
+        view.device(v) == graph::kHostDevice ? view.wcet(v) : 0;
     best[v] = incoming + weight;
     max_weighted = std::max(max_weighted, best[v]);
   }
   return max_weighted;
 }
 
+graph::Time max_host_path(const graph::FlatDag& flat) {
+  return max_host_path(flat.view());
+}
+
 namespace {
 
-/// Shared DP of the generalised walk; `Graph` is Dag or FlatDag (identical
-/// accessor vocabulary).  Exact rational arithmetic so the all-units-1
-/// reduction to max_host_path·(m−1)/m is an equality, not an approximation.
+/// Per-resource weight C_v·(r−1)/r (optionally /s_d) expressed over one
+/// common denominator so the DP runs on int64 instead of Frac: node v
+/// contributes `wcet(v) · factor[device(v)]` to a path value, and the walk
+/// result is Frac(max_scaled, denom) — the SAME normalised rational the
+/// per-node Frac arithmetic produces, at a fraction of the cost.
+struct ScaledWeights {
+  std::vector<std::int64_t> factor;  ///< indexed by device id (0 = host)
+  std::int64_t denom = 1;
+  bool usable = false;
+};
+
+ScaledWeights scale_weights(graph::DeviceId max_device,
+                            const ChainWeighting& weighting) {
+  ScaledWeights out;
+  // Common denominator: host nodes weigh (m−1)/m, device-d nodes weigh
+  // (n_d−1)·den(s_d) / (n_d·num(s_d)).
+  std::int64_t denom = weighting.m;
+  for (graph::DeviceId d = 1; d <= max_device; ++d) {
+    const int units = weighting.units_of(d);
+    if (units <= 1) continue;  // weight 0 regardless of speedup
+    const Frac speedup = weighting.speedup_of(d);
+    const std::int64_t device_denom = static_cast<std::int64_t>(units) *
+                                      speedup.num();
+    if (device_denom > (std::int64_t{1} << 31)) return out;
+    denom = std::lcm(denom, device_denom);
+    if (denom > (std::int64_t{1} << 31)) return out;
+  }
+  out.denom = denom;
+  out.factor.assign(static_cast<std::size_t>(max_device) + 1, 0);
+  out.factor[graph::kHostDevice] = denom / weighting.m * (weighting.m - 1);
+  for (graph::DeviceId d = 1; d <= max_device; ++d) {
+    const int units = weighting.units_of(d);
+    if (units <= 1) continue;
+    const Frac speedup = weighting.speedup_of(d);
+    const __int128 factor = static_cast<__int128>(denom) /
+                            (static_cast<std::int64_t>(units) * speedup.num()) *
+                            (units - 1) * speedup.den();
+    if (factor > (std::int64_t{1} << 31)) return out;
+    out.factor[d] = static_cast<std::int64_t>(factor);
+  }
+  out.usable = true;
+  return out;
+}
+
+/// Exact Frac DP of the generalised walk; `Graph` is Dag, FlatDag or
+/// FlatView (identical accessor vocabulary).  The fallback for weightings
+/// whose common denominator would risk int64 overflow.
 template <typename Graph>
-Frac weighted_chain_walk(const Graph& graph,
-                         std::span<const graph::NodeId> order,
-                         const ChainWeighting& weighting) {
-  HEDRA_REQUIRE(weighting.m >= 1, "core count m must be >= 1");
+Frac weighted_chain_walk_frac(const Graph& graph,
+                              std::span<const graph::NodeId> order,
+                              const ChainWeighting& weighting) {
   const bool scaled = !weighting.speedup.empty();
   std::vector<Frac> best(graph.num_nodes());
   Frac max_weighted;
@@ -86,6 +134,49 @@ Frac weighted_chain_walk(const Graph& graph,
   return max_weighted;
 }
 
+/// Integer-scaled DP over a common denominator; falls back to the Frac DP
+/// when the scaling is unrepresentable.  Exact rational equality with the
+/// Frac DP in all cases (regression-pinned in platform_rta_test).
+template <typename Graph>
+Frac weighted_chain_walk(const Graph& graph,
+                         std::span<const graph::NodeId> order,
+                         const ChainWeighting& weighting) {
+  HEDRA_REQUIRE(weighting.m >= 1, "core count m must be >= 1");
+  for (graph::DeviceId d = 1; d <= graph.max_device(); ++d) {
+    HEDRA_REQUIRE(weighting.units_of(d) >= 1,
+                  "every device class needs >= 1 execution unit");
+    HEDRA_REQUIRE(weighting.speedup_of(d) > Frac(0),
+                  "every device speedup must be strictly positive");
+  }
+  const ScaledWeights scale = scale_weights(graph.max_device(), weighting);
+  if (!scale.usable) {
+    return weighted_chain_walk_frac(graph, order, weighting);
+  }
+  // Overflow guard: every path value is bounded by Σ_v C_v·factor_v.
+  __int128 total = 0;
+  std::int64_t max_factor = 0;
+  for (const std::int64_t f : scale.factor) {
+    max_factor = std::max(max_factor, f);
+  }
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    total += static_cast<__int128>(graph.wcet(v)) * max_factor;
+  }
+  if (total > (static_cast<__int128>(1) << 62)) {
+    return weighted_chain_walk_frac(graph, order, weighting);
+  }
+  std::vector<std::int64_t> best(graph.num_nodes(), 0);
+  std::int64_t max_weighted = 0;
+  for (const auto v : order) {
+    std::int64_t incoming = 0;
+    for (const auto p : graph.predecessors(v)) {
+      incoming = std::max(incoming, best[p]);
+    }
+    best[v] = incoming + graph.wcet(v) * scale.factor[graph.device(v)];
+    max_weighted = std::max(max_weighted, best[v]);
+  }
+  return Frac(max_weighted, scale.denom);
+}
+
 }  // namespace
 
 Frac max_host_path(const graph::Dag& dag, const ChainWeighting& weighting) {
@@ -96,6 +187,11 @@ Frac max_host_path(const graph::Dag& dag, const ChainWeighting& weighting) {
 Frac max_host_path(const graph::FlatDag& flat,
                    const ChainWeighting& weighting) {
   return weighted_chain_walk(flat, flat.topological_order(), weighting);
+}
+
+Frac max_host_path(const graph::FlatView& view,
+                   const ChainWeighting& weighting) {
+  return weighted_chain_walk(view, view.topological_order(), weighting);
 }
 
 PlatformAnalysis analyze_platform(const graph::Dag& dag,

@@ -142,6 +142,9 @@ struct ChainWeighting {
 /// AnalysisCache hot path (one contiguous pass, no adjacency indirection).
 [[nodiscard]] graph::Time max_host_path(const graph::FlatDag& flat);
 
+/// Overload over a non-owning CSR view (arena batches).
+[[nodiscard]] graph::Time max_host_path(const graph::FlatView& view);
+
 /// The generalised weighted chain walk of the multiplicity bound:
 /// max_P Σ_{v∈P} C_v·(r_v−1)/r_v with r_v the unit count of v's resource
 /// (m for host nodes, n_d for device-d nodes).  Exact rationals throughout;
@@ -149,6 +152,8 @@ struct ChainWeighting {
 [[nodiscard]] Frac max_host_path(const graph::Dag& dag,
                                  const ChainWeighting& weighting);
 [[nodiscard]] Frac max_host_path(const graph::FlatDag& flat,
+                                 const ChainWeighting& weighting);
+[[nodiscard]] Frac max_host_path(const graph::FlatView& view,
                                  const ChainWeighting& weighting);
 
 /// Human-readable, term-by-term derivation of the bound (the multi-device

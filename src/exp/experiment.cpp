@@ -1,12 +1,50 @@
 #include "exp/experiment.h"
 
+#include "gen/flat_gen.h"
 #include "gen/multi_device.h"
 
 namespace hedra::exp {
 
 std::vector<graph::Dag> generate_batch(const BatchConfig& config) {
-  ThreadPool inline_pool(1);
-  return generate_batch(config, inline_pool);
+  // Same fork-chain seeding as the pooled overload, run inline — spawning
+  // a one-thread pool for a serial loop paid a thread start/join per call.
+  HEDRA_REQUIRE(config.count >= 1, "batch count must be >= 1");
+  const auto count = static_cast<std::size_t>(config.count);
+  Rng master(config.seed);
+  std::vector<graph::Dag> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng = master.fork();
+    if (config.params.num_devices > 0) {
+      out.push_back(
+          gen::generate_multi_device(config.params, config.coff_ratio, rng));
+      continue;
+    }
+    graph::Dag dag = gen::generate_hierarchical(config.params, rng);
+    (void)gen::select_offload_node(dag, rng);
+    (void)gen::set_offload_ratio(dag, config.coff_ratio);
+    out.push_back(std::move(dag));
+  }
+  return out;
+}
+
+graph::FlatDagBatch generate_flat_batch(const BatchConfig& config) {
+  HEDRA_REQUIRE(config.count >= 1, "batch count must be >= 1");
+  const auto count = static_cast<std::size_t>(config.count);
+  Rng master(config.seed);
+  graph::FlatDagBatch batch;
+  batch.reserve(count, static_cast<std::size_t>(config.params.max_nodes),
+                static_cast<std::size_t>(config.params.max_nodes) * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng = master.fork();
+    if (config.params.num_devices > 0) {
+      gen::generate_multi_device_flat(config.params, config.coff_ratio, rng,
+                                      batch);
+    } else {
+      gen::generate_offload_flat(config.params, config.coff_ratio, rng, batch);
+    }
+  }
+  return batch;
 }
 
 std::vector<graph::Dag> generate_batch(const BatchConfig& config,

@@ -15,6 +15,7 @@
 #include "gen/hierarchical.h"
 #include "gen/offload.h"
 #include "graph/dag.h"
+#include "graph/flat_batch.h"
 #include "util/thread_pool.h"
 
 namespace hedra::exp {
@@ -36,6 +37,16 @@ struct BatchConfig {
 /// slot, so the result is bit-identical to the serial overload.
 [[nodiscard]] std::vector<graph::Dag> generate_batch(const BatchConfig& config,
                                                      ThreadPool& pool);
+
+/// Same batch as generate_batch — bit-identical DAGs from the same RNG
+/// fork chain — but emitted straight into a structure-of-arrays arena: no
+/// per-DAG Dag objects, no per-attempt allocations in the rejection loop.
+/// `batch.view(i)` equals `FlatDag(generate_batch(config)[i])` array for
+/// array; `batch.materialize(i)` reproduces the Dag itself.  This is the
+/// hot path for every sweep-shaped experiment; generation is serial (it is
+/// allocation-, not compute-, bound once staged).
+[[nodiscard]] graph::FlatDagBatch generate_flat_batch(
+    const BatchConfig& config);
 
 /// Core counts evaluated throughout §5: m = 2, 4, 8, 16.
 [[nodiscard]] std::vector<int> paper_core_counts();

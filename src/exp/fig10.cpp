@@ -47,10 +47,9 @@ Fig10Result run_fig10(const Fig10Config& config) {
     result.policy_names.emplace_back(sim::to_string(policy));
   }
 
-  result.rows = runner.sweep(
+  result.rows = runner.sweep_platform(
       points,
-      [](analysis::AnalysisCache& cache, int m) {
-        const Frac bound = cache.r_platform(m);
+      [](analysis::AnalysisCache& cache, int m, const Frac& bound) {
         Fig10Sample sample;
         sample.bound = bound.to_double();
         sample.makespans.reserve(sim::all_policies().size());
@@ -58,13 +57,14 @@ Fig10Result run_fig10(const Fig10Config& config) {
           sim::SimConfig sim_config;
           sim_config.cores = m;
           sim_config.policy = policy;
-          // The cache's CSR snapshot is shared across the whole 5-policy ×
-          // 4-m sweep of this DAG, and per-run trace validation is off in
-          // the Monte-Carlo loop (the property tests simulate the same
-          // policies with validation on).
+          // The cache's arena view is shared across the whole 5-policy ×
+          // 4-m sweep of this DAG (no Dag, no CSR snapshot is ever built),
+          // and per-run trace validation is off in the Monte-Carlo loop —
+          // the makespan-only recorder path — while the property tests
+          // simulate the same policies with validation on.
           sim_config.validate = false;
           const graph::Time observed =
-              sim::simulated_makespan(cache.flat(), sim_config);
+              sim::simulated_makespan(cache.flat_view(), sim_config);
           sample.makespans.push_back(static_cast<double>(observed));
           sample.worst = std::max(sample.worst,
                                   static_cast<double>(observed));

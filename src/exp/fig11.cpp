@@ -76,11 +76,12 @@ Fig11Result run_fig11(const Fig11Config& config) {
     result.policy_names.emplace_back(sim::to_string(policy));
   }
 
-  const auto cells = runner.sweep(
+  const auto cells = runner.sweep_platform(
       points,
-      [&config, &swept](analysis::AnalysisCache& cache, int m) {
+      [&config, &swept](analysis::AnalysisCache& cache, int m,
+                        const Frac& bound_single) {
         Fig11Sample sample;
-        sample.bound_single = cache.r_platform(m).to_double();
+        sample.bound_single = bound_single.to_double();
         sample.per_units.reserve(swept.size());
         for (const std::vector<int>& device_units : swept) {
           const Frac bound = cache.r_platform(m, device_units);
@@ -92,12 +93,12 @@ Fig11Result run_fig11(const Fig11Config& config) {
             sim_config.cores = m;
             sim_config.policy = policy;
             sim_config.device_units = device_units;
-            // Shared CSR snapshot, Monte-Carlo validation off — the
-            // property tests simulate the same unit counts with
-            // validation on.
+            // Shared arena view, Monte-Carlo validation off (the
+            // makespan-only recorder path) — the property tests simulate
+            // the same unit counts with validation on.
             sim_config.validate = false;
             const graph::Time observed =
-                sim::simulated_makespan(cache.flat(), sim_config);
+                sim::simulated_makespan(cache.flat_view(), sim_config);
             us.makespans.push_back(static_cast<double>(observed));
             us.worst = std::max(us.worst, static_cast<double>(observed));
             if (Frac(observed) > bound) us.violated = true;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "analysis/analysis_cache.h"
+#include "analysis/batch_kernels.h"
 #include "exp/experiment.h"
 #include "util/thread_pool.h"
 
@@ -119,6 +120,12 @@ class Runner {
   /// `reduce(point, m, samples) -> Row` aggregates each cell on the calling
   /// thread, with `samples` in replication order.  Rows come back
   /// point-major, m-minor — the order the figures print.
+  ///
+  /// Batches are generated as one SoA arena (generate_flat_batch, bit
+  /// -identical to generate_batch) and every cache binds to its arena slice:
+  /// the platform-bound path runs straight over flat arrays, and only
+  /// callbacks that force the τ ⇒ τ' transform (fig6/8/9) materialise a Dag
+  /// — lazily, once, field-identical to the legacy object.
   template <typename PerDag, typename Reduce>
   auto sweep(const std::vector<SweepPoint>& points, PerDag&& per_dag,
              Reduce&& reduce) {
@@ -128,13 +135,48 @@ class Runner {
                                      const std::vector<Sample>&>;
     std::vector<Row> rows;
     for (const SweepPoint& point : points) {
-      const std::vector<graph::Dag> batch = generate(point.batch);
+      const graph::FlatDagBatch batch = generate_flat_batch(point.batch);
       std::vector<std::vector<Sample>> samples(
           point.cores.size(), std::vector<Sample>(batch.size()));
       pool_.parallel_for_each(batch.size(), [&](std::size_t di) {
-        analysis::AnalysisCache cache(batch[di]);
+        analysis::AnalysisCache cache(batch, di);
         for (std::size_t mi = 0; mi < point.cores.size(); ++mi) {
           samples[mi][di] = per_dag(cache, point.cores[mi]);
+        }
+      });
+      for (std::size_t mi = 0; mi < point.cores.size(); ++mi) {
+        rows.push_back(reduce(point, point.cores[mi], samples[mi]));
+      }
+    }
+    return rows;
+  }
+
+  /// sweep() for the bound-vs-simulation figures (fig10/fig11): the
+  /// single-unit K-device bounds of a whole batch come from ONE vectorized
+  /// analyze_platform_batch pass over the arena (SIMD-dispatched volume
+  /// kernel, batch-shared scratch) instead of per-worker cache arithmetic,
+  /// and `per_dag(cache, m, bound)` receives its (DAG, m) bound precomputed
+  /// — exactly equal to cache.r_platform(m), which stays available for the
+  /// generalised overloads.  Same determinism contract as sweep().
+  template <typename PerDag, typename Reduce>
+  auto sweep_platform(const std::vector<SweepPoint>& points, PerDag&& per_dag,
+                      Reduce&& reduce) {
+    using Sample = std::invoke_result_t<PerDag&, analysis::AnalysisCache&, int,
+                                        const Frac&>;
+    using Row = std::invoke_result_t<Reduce&, const SweepPoint&, int,
+                                     const std::vector<Sample>&>;
+    std::vector<Row> rows;
+    for (const SweepPoint& point : points) {
+      const graph::FlatDagBatch batch = generate_flat_batch(point.batch);
+      const analysis::PlatformBatchAnalysis platform =
+          analysis::analyze_platform_batch(batch, point.cores);
+      std::vector<std::vector<Sample>> samples(
+          point.cores.size(), std::vector<Sample>(batch.size()));
+      pool_.parallel_for_each(batch.size(), [&](std::size_t di) {
+        analysis::AnalysisCache cache(batch, di);
+        for (std::size_t mi = 0; mi < point.cores.size(); ++mi) {
+          samples[mi][di] =
+              per_dag(cache, point.cores[mi], platform.bound(di, mi));
         }
       });
       for (std::size_t mi = 0; mi < point.cores.size(); ++mi) {

@@ -1,72 +1,23 @@
 #include "gen/hierarchical.h"
 
+#include "gen/flat_gen.h"
+#include "graph/flat_batch.h"
+
 namespace hedra::gen {
 
-namespace {
-
-using graph::Dag;
-using graph::NodeId;
-
-/// A recursively built fragment with unique entry/exit nodes.
-struct Fragment {
-  NodeId entry;
-  NodeId exit;
-};
-
-class Builder {
- public:
-  Builder(const HierarchicalParams& params, Rng& rng)
-      : params_(params), rng_(rng) {}
-
-  Dag build() {
-    dag_ = Dag();
-    (void)expand(0);
-    return std::move(dag_);
-  }
-
- private:
-  NodeId new_node() {
-    return dag_.add_node(rng_.uniform_int(params_.wcet_min, params_.wcet_max));
-  }
-
-  Fragment expand(int depth) {
-    const bool terminal =
-        depth >= params_.max_depth || !rng_.bernoulli(params_.p_par);
-    if (terminal) {
-      const NodeId v = new_node();
-      return Fragment{v, v};
-    }
-    // Parallel sub-DAG: fork, k expanded branches, join.
-    const NodeId fork = new_node();
-    const NodeId join = new_node();
-    const int k = static_cast<int>(rng_.uniform_int(2, params_.n_par));
-    for (int b = 0; b < k; ++b) {
-      const Fragment branch = expand(depth + 1);
-      dag_.add_edge(fork, branch.entry);
-      dag_.add_edge(branch.exit, join);
-    }
-    return Fragment{fork, join};
-  }
-
-  const HierarchicalParams& params_;
-  Rng& rng_;
-  Dag dag_;
-};
-
-}  // namespace
-
 graph::Dag generate_hierarchical(const HierarchicalParams& params, Rng& rng) {
-  params.validate();
-  Builder builder(params, rng);
-  for (int attempt = 0; attempt < params.max_attempts; ++attempt) {
-    Dag dag = builder.build();
-    const auto n = static_cast<int>(dag.num_nodes());
-    if (n >= params.min_nodes && n <= params.max_nodes) return dag;
+  // The rejection loop runs in reusable staging buffers (no Dag — and at
+  // steady state no allocation at all — per rejected attempt); only the
+  // accepted attempt materialises.  RNG consumption is identical to the
+  // historical per-attempt Dag builder: the recursion never read the Dag.
+  thread_local graph::StagedDag staged;
+  generate_hierarchical_staged(params, rng, staged);
+  graph::Dag dag;
+  for (std::size_t v = 0; v < staged.num_nodes(); ++v) {
+    (void)dag.add_node(staged.wcet[v]);
   }
-  throw Error(
-      "hierarchical generator: no DAG within the node window after " +
-      std::to_string(params.max_attempts) +
-      " attempts; the window is likely unreachable for these parameters");
+  for (const auto& [from, to] : staged.edges) dag.add_edge(from, to);
+  return dag;
 }
 
 }  // namespace hedra::gen

@@ -25,24 +25,27 @@ CriticalPathInfo::CriticalPathInfo(const Dag& dag) {
   }
 }
 
-CriticalPathInfo::CriticalPathInfo(const FlatDag& flat) {
-  const std::size_t n = flat.num_nodes();
+CriticalPathInfo::CriticalPathInfo(const FlatView& view) {
+  const std::size_t n = view.num_nodes();
   up_.assign(n, 0);
   down_.assign(n, 0);
-  const auto& order = flat.topological_order();
+  const auto order = view.topological_order();
   for (const NodeId v : order) {
     Time best = 0;
-    for (const NodeId p : flat.predecessors(v)) best = std::max(best, up_[p]);
-    up_[v] = best + flat.wcet(v);
+    for (const NodeId p : view.predecessors(v)) best = std::max(best, up_[p]);
+    up_[v] = best + view.wcet(v);
     length_ = std::max(length_, up_[v]);
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
     Time best = 0;
-    for (const NodeId s : flat.successors(v)) best = std::max(best, down_[s]);
-    down_[v] = best + flat.wcet(v);
+    for (const NodeId s : view.successors(v)) best = std::max(best, down_[s]);
+    down_[v] = best + view.wcet(v);
   }
 }
+
+CriticalPathInfo::CriticalPathInfo(const FlatDag& flat)
+    : CriticalPathInfo(flat.view()) {}
 
 bool CriticalPathInfo::on_critical_path(const Dag& dag, NodeId v) const {
   return up(v) + down(v) - dag.wcet(v) == length_;
@@ -52,30 +55,38 @@ Time critical_path_length(const Dag& dag) {
   return CriticalPathInfo(dag).length();
 }
 
-Time critical_path_length(const FlatDag& flat) {
-  const std::size_t n = flat.num_nodes();
+Time critical_path_length(const FlatView& view) {
+  const std::size_t n = view.num_nodes();
   std::vector<Time> up(n, 0);
   Time length = 0;
-  for (const NodeId v : flat.topological_order()) {
+  for (const NodeId v : view.topological_order()) {
     Time best = 0;
-    for (const NodeId p : flat.predecessors(v)) best = std::max(best, up[p]);
-    up[v] = best + flat.wcet(v);
+    for (const NodeId p : view.predecessors(v)) best = std::max(best, up[p]);
+    up[v] = best + view.wcet(v);
     length = std::max(length, up[v]);
   }
   return length;
 }
 
-std::vector<Time> down_lengths(const FlatDag& flat) {
-  const std::size_t n = flat.num_nodes();
+Time critical_path_length(const FlatDag& flat) {
+  return critical_path_length(flat.view());
+}
+
+std::vector<Time> down_lengths(const FlatView& view) {
+  const std::size_t n = view.num_nodes();
   std::vector<Time> down(n, 0);
-  const auto& order = flat.topological_order();
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
     Time best = 0;
-    for (const NodeId s : flat.successors(v)) best = std::max(best, down[s]);
-    down[v] = best + flat.wcet(v);
+    for (const NodeId s : view.successors(v)) best = std::max(best, down[s]);
+    down[v] = best + view.wcet(v);
   }
   return down;
+}
+
+std::vector<Time> down_lengths(const FlatDag& flat) {
+  return down_lengths(flat.view());
 }
 
 std::vector<NodeId> extract_critical_path(const Dag& dag) {

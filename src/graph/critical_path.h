@@ -31,6 +31,9 @@ class CriticalPathInfo {
   /// the AnalysisCache and the simulator use.
   explicit CriticalPathInfo(const FlatDag& flat);
 
+  /// Same lengths from a non-owning CSR view (arena batches).
+  explicit CriticalPathInfo(const FlatView& view);
+
   /// len(G): length of the longest path; 0 for an empty graph.
   [[nodiscard]] Time length() const noexcept { return length_; }
 
@@ -55,11 +58,13 @@ class CriticalPathInfo {
 /// len(G) from a CSR snapshot (single forward pass, no allocation beyond
 /// one lengths array).
 [[nodiscard]] Time critical_path_length(const FlatDag& flat);
+[[nodiscard]] Time critical_path_length(const FlatView& view);
 
 /// down(v) for every node of a snapshot — the longest path starting at v,
 /// v's WCET included.  One reverse pass over the cached topological order;
 /// used by the critical-path-first simulator policy and the B&B solver.
 [[nodiscard]] std::vector<Time> down_lengths(const FlatDag& flat);
+[[nodiscard]] std::vector<Time> down_lengths(const FlatView& view);
 
 /// One longest path, source to sink, as a node sequence.  Deterministic
 /// (smallest-id tie-breaks).  Empty for an empty graph.

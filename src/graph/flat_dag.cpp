@@ -1,39 +1,8 @@
 #include "graph/flat_dag.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace hedra::graph {
-
-namespace {
-
-/// Kahn with a min-heap on node id — byte-identical order to
-/// graph::topological_order(Dag).  Throws on cyclic input.
-std::vector<NodeId> kahn_order(std::size_t n,
-                               const std::vector<std::uint32_t>& succ_off,
-                               const std::vector<NodeId>& succ,
-                               const std::vector<std::uint32_t>& pred_off) {
-  std::vector<std::uint32_t> in_deg(n);
-  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
-  for (NodeId v = 0; v < n; ++v) {
-    in_deg[v] = pred_off[v + 1] - pred_off[v];
-    if (in_deg[v] == 0) ready.push(v);
-  }
-  std::vector<NodeId> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const NodeId v = ready.top();
-    ready.pop();
-    order.push_back(v);
-    for (std::uint32_t e = succ_off[v]; e < succ_off[v + 1]; ++e) {
-      if (--in_deg[succ[e]] == 0) ready.push(succ[e]);
-    }
-  }
-  HEDRA_REQUIRE(order.size() == n, "graph contains a cycle");
-  return order;
-}
-
-}  // namespace
 
 FlatDag::FlatDag(const Dag& dag) : source_(&dag) {
   const std::size_t n = dag.num_nodes();
@@ -58,7 +27,9 @@ FlatDag::FlatDag(const Dag& dag) : source_(&dag) {
         pred_off_[v] + static_cast<std::uint32_t>(dag.in_degree(v));
     for (const NodeId p : dag.predecessors(v)) pred_.push_back(p);
   }
-  topo_ = kahn_order(n, succ_off_, succ_, pred_off_);
+  topo_.resize(n);
+  detail::kahn_order_into(n, succ_off_.data(), succ_.data(), pred_off_.data(),
+                          topo_.data());
 }
 
 }  // namespace hedra::graph

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/dag.h"
+#include "graph/flat_view.h"
 
 namespace hedra::graph {
 
@@ -42,6 +43,13 @@ class FlatDag {
 
   /// The snapshotted graph (labels, mutation API, validation).
   [[nodiscard]] const Dag& source() const noexcept { return *source_; }
+
+  /// Non-owning view over this snapshot's arrays (valid while the snapshot
+  /// lives); lets FlatDag-based callers reuse the FlatView entry points.
+  [[nodiscard]] FlatView view() const noexcept {
+    return FlatView(succ_off_, pred_off_, succ_, pred_, wcet_, device_, sync_,
+                    topo_, max_device_, num_offload_, source_);
+  }
 
   [[nodiscard]] std::size_t num_nodes() const noexcept { return wcet_.size(); }
   [[nodiscard]] std::size_t num_edges() const noexcept { return succ_.size(); }

@@ -1,0 +1,40 @@
+#include "graph/flat_view.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace hedra::graph::detail {
+
+void kahn_order_into(std::size_t n, const std::uint32_t* succ_off,
+                     const NodeId* succ, const std::uint32_t* pred_off,
+                     NodeId* out) {
+  // Hot on the generation path (once per appended DAG): the scratch lives
+  // per thread so repeated calls allocate nothing.  The ready set is a
+  // min-heap over unique node ids, so the popped sequence — the smallest
+  // ready node at every step — is the same for any heap implementation.
+  thread_local std::vector<std::uint32_t> in_deg;
+  thread_local std::vector<NodeId> ready;
+  in_deg.resize(n);
+  ready.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    in_deg[v] = pred_off[v + 1] - pred_off[v];
+    if (in_deg[v] == 0) ready.push_back(v);
+  }
+  std::make_heap(ready.begin(), ready.end(), std::greater<>{});
+  std::size_t filled = 0;
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+    const NodeId v = ready.back();
+    ready.pop_back();
+    out[filled++] = v;
+    for (std::uint32_t e = succ_off[v]; e < succ_off[v + 1]; ++e) {
+      if (--in_deg[succ[e]] == 0) {
+        ready.push_back(succ[e]);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+    }
+  }
+  HEDRA_REQUIRE(filled == n, "graph contains a cycle");
+}
+
+}  // namespace hedra::graph::detail

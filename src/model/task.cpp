@@ -1,33 +1,99 @@
 #include "model/task.h"
 
+#include <utility>
+
 #include "graph/critical_path.h"
 
 namespace hedra::model {
+
+namespace {
+
+void check_timing(Time period, Time deadline) {
+  HEDRA_REQUIRE(deadline >= 1, "task deadline must be positive");
+  HEDRA_REQUIRE(period >= deadline,
+                "constrained-deadline model requires D <= T");
+}
+
+}  // namespace
 
 DagTask::DagTask(Dag dag, Time period, Time deadline, std::string name)
     : dag_(std::move(dag)),
       period_(period),
       deadline_(deadline),
       name_(std::move(name)) {
-  HEDRA_REQUIRE(deadline_ >= 1, "task deadline must be positive");
-  HEDRA_REQUIRE(period_ >= deadline_,
-                "constrained-deadline model requires D <= T");
+  check_timing(period_, deadline_);
+}
+
+DagTask::DagTask(std::shared_ptr<const graph::FlatDagBatch> batch,
+                 std::size_t index, Time period, Time deadline,
+                 std::string name)
+    : batch_(std::move(batch)),
+      batch_index_(index),
+      period_(period),
+      deadline_(deadline),
+      name_(std::move(name)) {
+  HEDRA_REQUIRE(batch_ != nullptr, "arena-backed task needs a batch");
+  HEDRA_REQUIRE(batch_index_ < batch_->size(),
+                "arena record index out of range");
+  check_timing(period_, deadline_);
 }
 
 DagTask DagTask::implicit(Dag dag, Time period, std::string name) {
   return DagTask(std::move(dag), period, period, std::move(name));
 }
 
-Frac DagTask::utilization() const { return Frac(dag_.volume(), period_); }
+const Dag& DagTask::dag() const {
+  if (!dag_) dag_ = batch_->materialize(batch_index_);
+  return *dag_;
+}
 
-Frac DagTask::density() const { return Frac(dag_.volume(), deadline_); }
+Dag& DagTask::mutable_dag() {
+  if (!dag_) dag_ = batch_->materialize(batch_index_);
+  batch_.reset();  // the arena no longer reflects upcoming mutations
+  return *dag_;
+}
+
+graph::FlatView DagTask::flat_view() const {
+  HEDRA_REQUIRE(batch_ != nullptr,
+                "flat_view() requires an arena-backed task");
+  return batch_->view(batch_index_);
+}
+
+Frac DagTask::utilization() const {
+  if (batch_ != nullptr) {
+    Time volume = 0;
+    for (const Time c : flat_view().wcets()) volume += c;
+    return Frac(volume, period_);
+  }
+  return Frac(dag_->volume(), period_);
+}
+
+Frac DagTask::density() const {
+  if (batch_ != nullptr) {
+    Time volume = 0;
+    for (const Time c : flat_view().wcets()) volume += c;
+    return Frac(volume, deadline_);
+  }
+  return Frac(dag_->volume(), deadline_);
+}
 
 Frac DagTask::host_utilization() const {
-  return Frac(dag_.host_volume(), period_);
+  if (batch_ != nullptr) {
+    const graph::FlatView view = flat_view();
+    Time host = 0;
+    for (graph::NodeId v = 0; v < view.num_nodes(); ++v) {
+      if (view.device(v) == graph::kHostDevice) host += view.wcet(v);
+    }
+    return Frac(host, period_);
+  }
+  return Frac(dag_->host_volume(), period_);
 }
 
 Frac DagTask::length_ratio() const {
-  return Frac(graph::critical_path_length(dag_), deadline_);
+  if (batch_ != nullptr) {
+    return Frac(graph::critical_path_length(flat_view()), deadline_);
+  }
+  return Frac(graph::critical_path_length(*dag_), deadline_);
 }
 
 }  // namespace hedra::model

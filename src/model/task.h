@@ -5,9 +5,13 @@
 /// parallel execution, T is the minimum inter-arrival time, and D <= T is the
 /// constrained relative deadline.
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "graph/dag.h"
+#include "graph/flat_batch.h"
 #include "util/fraction.h"
 
 namespace hedra::model {
@@ -17,16 +21,48 @@ using graph::NodeId;
 using graph::Time;
 
 /// A sporadic DAG task.
+///
+/// Two storage modes share one API:
+///   - *eager*: constructed from a `Dag`, which is stored directly (the
+///     classic path — file round-trips, hand-built tests, rewrites);
+///   - *arena-backed*: constructed from a shared `graph::FlatDagBatch`
+///     record.  The CSR arrays ARE the task's graph; `dag()` materialises a
+///     field-identical `Dag` lazily, only if something actually asks for
+///     the mutable adjacency-list form.  The taskset generator emits these,
+///     and the contention analysis and taskset simulator run off
+///     `flat_view()` without ever building a `Dag`.
 class DagTask {
  public:
   /// Builds τ = <G, T, D>.  Requires T >= D >= 1 (constrained deadline).
   DagTask(Dag dag, Time period, Time deadline, std::string name = "tau");
 
+  /// Arena-backed task: record `index` of `batch` is the graph.  The batch
+  /// is shared (copies of the task stay cheap and alias the same arrays);
+  /// `dag()` materialises on demand.
+  DagTask(std::shared_ptr<const graph::FlatDagBatch> batch, std::size_t index,
+          Time period, Time deadline, std::string name = "tau");
+
   /// Implicit-deadline convenience (D = T).
   static DagTask implicit(Dag dag, Time period, std::string name = "tau");
 
-  [[nodiscard]] const Dag& dag() const noexcept { return dag_; }
-  [[nodiscard]] Dag& mutable_dag() noexcept { return dag_; }
+  /// The task graph.  Arena-backed tasks materialise it on first call
+  /// (field-identical to the record: same wcets, devices, labels and edge
+  /// order).  Not thread-safe across concurrent first calls on the SAME
+  /// task object.
+  [[nodiscard]] const Dag& dag() const;
+
+  /// Mutable graph access.  Detaches an arena-backed task from its batch
+  /// first (the flat view would silently go stale under mutation).
+  [[nodiscard]] Dag& mutable_dag();
+
+  /// True when the task still aliases its generation arena, i.e.
+  /// flat_view() is available without materialising anything.
+  [[nodiscard]] bool has_flat_view() const noexcept {
+    return batch_ != nullptr;
+  }
+
+  /// CSR view of the arena record.  Requires has_flat_view().
+  [[nodiscard]] graph::FlatView flat_view() const;
   [[nodiscard]] Time period() const noexcept { return period_; }
   [[nodiscard]] Time deadline() const noexcept { return deadline_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -44,7 +80,10 @@ class DagTask {
   [[nodiscard]] Frac length_ratio() const;
 
  private:
-  Dag dag_;
+  /// Present for eager tasks; lazily filled for arena-backed ones.
+  mutable std::optional<Dag> dag_;
+  std::shared_ptr<const graph::FlatDagBatch> batch_;  ///< null when eager
+  std::size_t batch_index_ = 0;
   Time period_;
   Time deadline_;
   std::string name_;

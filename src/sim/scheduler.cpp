@@ -71,6 +71,45 @@ struct EventAfter {
   }
 };
 
+/// Recorders: what a simulation run keeps of its scheduling decisions.  The
+/// event loop is recorder-agnostic; golden-trace byte-identity is preserved
+/// because the recorder only OBSERVES decisions, never influences them.
+///
+/// Full trace — the validation/golden/tooling path.
+struct TraceRecorder {
+  static constexpr bool kRecordsTrace = true;
+  ScheduleTrace trace;
+
+  TraceRecorder(const Dag* dag, int cores, std::vector<int> device_units)
+      : trace(dag, cores, std::move(device_units)) {}
+
+  [[nodiscard]] int units_of(graph::DeviceId device) const noexcept {
+    return trace.units_of(device);
+  }
+  void reserve(std::size_t intervals) { trace.reserve(intervals); }
+  void add(const Interval& interval) { trace.add(interval); }
+};
+
+/// Makespan only — the Monte-Carlo hot path: no per-interval storage, no
+/// ScheduleTrace allocation, just a running max over finish times.
+struct MakespanRecorder {
+  static constexpr bool kRecordsTrace = false;
+  std::vector<int> units;  ///< index d−1 = units of device d
+  Time makespan = 0;
+
+  explicit MakespanRecorder(std::vector<int> device_units)
+      : units(std::move(device_units)) {}
+
+  [[nodiscard]] int units_of(graph::DeviceId device) const noexcept {
+    const std::size_t index = static_cast<std::size_t>(device) - 1;
+    return index < units.size() ? units[index] : 1;
+  }
+  void reserve(std::size_t) noexcept {}
+  void add(const Interval& interval) noexcept {
+    makespan = std::max(makespan, interval.finish);
+  }
+};
+
 /// Critical-path-first key: longest down(v) wins, smallest id tie-breaks —
 /// the same strict total order the historical linear scan minimised over,
 /// so heap and scan always pick the same node.
@@ -168,16 +207,16 @@ class ReadyHost {
   std::vector<NodeId> pool_;
 };
 
+template <class Recorder>
 class Simulation {
  public:
   /// `actual` gives per-node execution times; nullptr means "run at WCET".
-  Simulation(const FlatDag& flat, const SimConfig& config,
-             const std::vector<Time>* actual)
+  Simulation(const graph::FlatView& flat, const SimConfig& config,
+             const std::vector<Time>* actual, Recorder recorder)
       : flat_(flat),
         config_(config),
         actual_(actual),
-        trace_(&flat.source(), config.cores,
-               units_for(flat.max_device(), config.device_units)),
+        rec_(std::move(recorder)),
         rng_(config.seed),
         down_(config.policy == Policy::kCriticalPathFirst
                   ? graph::down_lengths(flat)
@@ -188,7 +227,7 @@ class Simulation {
     HEDRA_REQUIRE(config_.cores >= 1, "simulation requires at least one core");
     for (std::size_t d = 0; d < dev_free_.size(); ++d) {
       // Smallest free unit index on top, matching the host free-core heap.
-      for (int u = trace_.units_of(static_cast<graph::DeviceId>(d + 1)) - 1;
+      for (int u = rec_.units_of(static_cast<graph::DeviceId>(d + 1)) - 1;
            u >= 0; --u) {
         dev_free_[d].push(u);
       }
@@ -203,9 +242,9 @@ class Simulation {
     }
   }
 
-  ScheduleTrace run() {
+  Recorder run() {
     const std::size_t n = flat_.num_nodes();
-    trace_.reserve(n);
+    rec_.reserve(n);
     remaining_preds_.resize(n);
     for (NodeId v = 0; v < n; ++v) {
       remaining_preds_[v] = static_cast<std::uint32_t>(flat_.in_degree(v));
@@ -251,14 +290,16 @@ class Simulation {
       now = next;
     }
 
-    if (config_.validate) {
-      g_validation_runs.fetch_add(1, std::memory_order_relaxed);
-      std::vector<Time> durations(n);
-      for (NodeId v = 0; v < n; ++v) durations[v] = duration(v);
-      const auto issues = trace_.validate_with_durations(durations);
-      HEDRA_ASSERT(issues.empty());
+    if constexpr (Recorder::kRecordsTrace) {
+      if (config_.validate) {
+        g_validation_runs.fetch_add(1, std::memory_order_relaxed);
+        std::vector<Time> durations(n);
+        for (NodeId v = 0; v < n; ++v) durations[v] = duration(v);
+        const auto issues = rec_.trace.validate_with_durations(durations);
+        HEDRA_ASSERT(issues.empty());
+      }
     }
-    return std::move(trace_);
+    return std::move(rec_);
   }
 
  private:
@@ -286,7 +327,7 @@ class Simulation {
       if (device != graph::kHostDevice) {
         ready_dev_[device - 1].push_back(v);
       } else if (flat_.wcet(v) == 0) {
-        trace_.add(Interval{v, kInstantUnit, time, time});
+        rec_.add(Interval{v, kInstantUnit, time, time});
         retire(v);
       } else {
         ready_host_.push(v);
@@ -316,14 +357,14 @@ class Simulation {
 
   void start(NodeId v, int unit, Time time) {
     const Time finish = time + duration(v);
-    trace_.add(Interval{v, unit, time, finish});
+    rec_.add(Interval{v, unit, time, finish});
     events_.push(Event{finish, v, unit});
   }
 
-  const FlatDag& flat_;
+  graph::FlatView flat_;
   SimConfig config_;
   const std::vector<Time>* actual_;
-  ScheduleTrace trace_;
+  Recorder rec_;
   Rng rng_;
   std::vector<Time> down_;  ///< down(v), kCriticalPathFirst only
 
@@ -342,42 +383,66 @@ class Simulation {
   std::size_t completed_ = 0;
 };
 
+/// A trace-recording run over `view`, whose source Dag is `dag`.
+ScheduleTrace run_traced(const graph::FlatView& view, const Dag* dag,
+                         const SimConfig& config,
+                         const std::vector<Time>* actual) {
+  Simulation<TraceRecorder> sim(
+      view, config, actual,
+      TraceRecorder(dag, config.cores,
+                    units_for(view.max_device(), config.device_units)));
+  return std::move(sim.run().trace);
+}
+
 }  // namespace
 
 ScheduleTrace simulate(const FlatDag& flat, const SimConfig& config) {
   HEDRA_REQUIRE(flat.num_nodes() > 0, "cannot simulate an empty graph");
-  Simulation sim(flat, config, nullptr);
-  return sim.run();
+  return run_traced(flat.view(), &flat.source(), config, nullptr);
 }
 
 ScheduleTrace simulate(const Dag& dag, const SimConfig& config) {
   HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
   const FlatDag flat(dag);  // throws on cyclic input
-  Simulation sim(flat, config, nullptr);
-  return sim.run();
+  return run_traced(flat.view(), &dag, config, nullptr);
+}
+
+Time simulated_makespan(const graph::FlatView& view, const SimConfig& config) {
+  HEDRA_REQUIRE(view.num_nodes() > 0, "cannot simulate an empty graph");
+  if (config.validate) {
+    // Validation needs a full trace (and the source Dag to check against),
+    // so honour the flag by taking the recording path.
+    HEDRA_REQUIRE(view.source() != nullptr,
+                  "trace validation requires a Dag-backed view");
+    return run_traced(view, view.source(), config, nullptr).makespan();
+  }
+  Simulation<MakespanRecorder> sim(
+      view, config, nullptr,
+      MakespanRecorder(units_for(view.max_device(), config.device_units)));
+  return sim.run().makespan;
 }
 
 Time simulated_makespan(const Dag& dag, const SimConfig& config) {
-  return simulate(dag, config).makespan();
+  HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
+  const FlatDag flat(dag);  // throws on cyclic input
+  return simulated_makespan(flat.view(), config);
 }
 
 Time simulated_makespan(const FlatDag& flat, const SimConfig& config) {
-  return simulate(flat, config).makespan();
+  return simulated_makespan(flat.view(), config);
 }
 
 ScheduleTrace simulate_with_times(const FlatDag& flat, const SimConfig& config,
                                   const std::vector<Time>& actual_times) {
   HEDRA_REQUIRE(flat.num_nodes() > 0, "cannot simulate an empty graph");
-  Simulation sim(flat, config, &actual_times);
-  return sim.run();
+  return run_traced(flat.view(), &flat.source(), config, &actual_times);
 }
 
 ScheduleTrace simulate_with_times(const Dag& dag, const SimConfig& config,
                                   const std::vector<Time>& actual_times) {
   HEDRA_REQUIRE(dag.num_nodes() > 0, "cannot simulate an empty graph");
   const FlatDag flat(dag);  // throws on cyclic input
-  Simulation sim(flat, config, &actual_times);
-  return sim.run();
+  return run_traced(flat.view(), &dag, config, &actual_times);
 }
 
 std::vector<Time> random_actual_times(const Dag& dag, double scale_min,

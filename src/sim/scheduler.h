@@ -102,6 +102,16 @@ struct SimConfig {
 [[nodiscard]] Time simulated_makespan(const FlatDag& flat,
                                       const SimConfig& config);
 
+/// Makespan over a non-owning CSR view — the Monte-Carlo batch hot path.
+/// With `config.validate` off (the sweep setting) the run records no trace
+/// at all: no interval storage, no ScheduleTrace, just a running max over
+/// finish times; scheduling decisions are identical to simulate(), so the
+/// returned makespan equals simulate(...).makespan() exactly.  With
+/// `config.validate` on the view must be Dag-backed (view.source() !=
+/// nullptr) and the call takes the recording path so the flag is honoured.
+[[nodiscard]] Time simulated_makespan(const graph::FlatView& view,
+                                      const SimConfig& config);
+
 /// Simulates with *actual* execution times (one per node, each in
 /// [0, WCET]).  WCETs are upper bounds; real executions finish early, and
 /// non-preemptive multiprocessor scheduling is prone to timing anomalies

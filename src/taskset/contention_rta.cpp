@@ -1,25 +1,63 @@
 #include "taskset/contention_rta.h"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "analysis/analysis_cache.h"
+#include "analysis/batch_kernels.h"
 
 namespace hedra::taskset {
 
 namespace {
 
 /// Per-set quantities shared by every fixpoint evaluation: the platform's
-/// unit/speedup vectors and each task's per-device volumes.
+/// unit/speedup vectors, each task's per-device volumes, and the
+/// precomputed per-job interference rationals vol_{j,d}/(n_d·s_d) — the
+/// innermost fixpoint loop multiplies those by integer job counts instead
+/// of re-deriving the fraction every iteration.
 struct SetQuantities {
   std::vector<int> units;                       ///< n_d, indexed d−1
   std::vector<Frac> speedups;                   ///< s_d, indexed d−1
   std::vector<std::vector<graph::Time>> volume; ///< [task][device d−1]
+  std::vector<std::vector<Frac>> unit_volume;   ///< vol/(n_d·s_d), same shape
+
+  // Integer-fixpoint precomputation (see fixpoint_int): every unit volume
+  // as an integer at the common base scale B = lcm of their denominators,
+  // plus __int128 magnitude bounds so each fixpoint call can clear the
+  // overflow guard with a handful of multiplies instead of re-scanning.
+  graph::Time base_scale = 0;  ///< B; 0 = unusable, take the Frac path
+  std::vector<std::vector<graph::Time>> scaled_uv;  ///< uv·B, same shape
+  __int128 step_weight = 0;  ///< Σ_{j,d} uv·B · n_jobs_max_j
+  __int128 timing_max = 0;   ///< max_j max(D_j, T_j), and the set's D_max
 };
 
-SetQuantities measure(const TaskSet& set) {
+constexpr graph::Time kMaxScale = graph::Time{1} << 20;
+// Headroom: one fixpoint step past the deadline must not overflow int64.
+constexpr __int128 kMaxMagnitude = __int128{1} << 56;
+
+/// vol_d(G) from the arena view when the task is arena-backed — the fig12
+/// pipeline never materialises a Dag for this.
+graph::Time task_volume_on(const DagTask& task, graph::DeviceId device) {
+  if (!task.has_flat_view()) return task.dag().volume_on(device);
+  const graph::FlatView view = task.flat_view();
+  graph::Time volume = 0;
+  for (graph::NodeId v = 0; v < view.num_nodes(); ++v) {
+    if (view.device(v) == device) volume += view.wcet(v);
+  }
+  return volume;
+}
+
+/// Returns per-thread scratch rebuilt for `set` — valid until the next
+/// measure() call on this thread (the admission loop holds it across one
+/// set, never across two).
+const SetQuantities& measure(const TaskSet& set) {
+  thread_local SetQuantities q;
+  q.base_scale = 0;
+  q.step_weight = 0;
+  q.timing_max = 0;
   const Platform& platform = set.platform();
-  SetQuantities q;
   const auto num_devices = static_cast<std::size_t>(platform.num_devices());
   q.units.resize(num_devices);
   q.speedups.resize(num_devices, Frac(1));
@@ -29,35 +67,75 @@ SetQuantities measure(const TaskSet& set) {
     q.speedups[d] = platform.speedup_of(device);
   }
   q.volume.resize(set.size());
+  q.unit_volume.resize(set.size());
   for (std::size_t i = 0; i < set.size(); ++i) {
     q.volume[i].resize(num_devices, 0);
+    q.unit_volume[i].resize(num_devices);
     for (std::size_t d = 0; d < num_devices; ++d) {
       q.volume[i][d] =
-          set[i].dag().volume_on(static_cast<graph::DeviceId>(d + 1));
+          task_volume_on(set[i], static_cast<graph::DeviceId>(d + 1));
+      // Dividing by a unit speedup is the identity on normalised rationals;
+      // skipping it keeps the value (and every downstream comparison)
+      // bit-identical while sparing the gcd work.
+      Frac uv(q.volume[i][d], q.units[d]);
+      if (q.speedups[d] != Frac(1)) uv = uv / q.speedups[d];
+      q.unit_volume[i][d] = uv;
     }
   }
+
+  // Base scale and magnitude bounds for the integer fixpoint.  Job counts
+  // are evaluated at windows that never exceed the analysed task's
+  // deadline, so (D_max + D_j)/T_j + 1 bounds n_jobs_j for every task in
+  // the set.
+  graph::Time base = 1;
+  for (const auto& task_uv : q.unit_volume) {
+    for (const Frac& uv : task_uv) {
+      base = std::lcm(base, uv.den());
+      if (base > kMaxScale) return q;  // base_scale stays 0: Frac path only
+    }
+  }
+  graph::Time d_max = 0;
+  for (const DagTask& task : set) {
+    d_max = std::max(d_max, task.deadline());
+    q.timing_max = std::max(q.timing_max, __int128{task.deadline()});
+    q.timing_max = std::max(q.timing_max, __int128{task.period()});
+  }
+  q.scaled_uv.resize(set.size());
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    const __int128 n_jobs_max =
+        (__int128{d_max} + set[j].deadline()) / set[j].period() + 1;
+    q.scaled_uv[j].resize(num_devices);
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      const Frac& uv = q.unit_volume[j][d];
+      q.scaled_uv[j][d] = uv.num() * (base / uv.den());
+      q.step_weight += __int128{q.scaled_uv[j][d]} * n_jobs_max;
+    }
+  }
+  q.base_scale = base;
   return q;
 }
 
 /// floor((L + D_j)/T_j) + 1 — jobs of τ_j whose execution can overlap a
 /// window of length L, given τ_j meets its deadline.
-Frac carry_in_jobs(const Frac& window, const DagTask& competitor) {
-  return Frac((window + Frac(competitor.deadline())).floor() /
-                  competitor.period() +
-              1);
+graph::Time carry_in_jobs(const Frac& window, const DagTask& competitor) {
+  return (window + Frac(competitor.deadline())).floor() /
+             competitor.period() +
+         1;
 }
 
 /// One evaluation of the interference sum at window length `window`.
 /// Returns Σ_d Σ_{j≠i} n_jobs_j·vol_{j,d}/(n_d·s_d) and fills
 /// `per_device` (parallel to q.units) with the per-class totals.
+/// `n_jobs` is caller-owned scratch (the fixpoint re-evaluates this in its
+/// innermost loop; the buffer survives across iterations).
 Frac interference_at(const TaskSet& set, const SetQuantities& q,
                      std::size_t index, const Frac& window,
+                     std::vector<graph::Time>& n_jobs,
                      std::vector<Frac>* per_device,
                      std::vector<std::size_t>* dominant) {
   // n_jobs_j depends only on (window, j) — compute it once per competitor,
-  // not once per (competitor, device): this sits in the innermost loop of
-  // the admission fixpoint.
-  std::vector<Frac> n_jobs(set.size());
+  // not once per (competitor, device).
+  n_jobs.assign(set.size(), 0);
   for (std::size_t j = 0; j < set.size(); ++j) {
     if (j != index) n_jobs[j] = carry_in_jobs(window, set[j]);
   }
@@ -69,8 +147,7 @@ Frac interference_at(const TaskSet& set, const SetQuantities& q,
     std::size_t best_task = index;
     for (std::size_t j = 0; j < set.size(); ++j) {
       if (j == index || q.volume[j][d] == 0) continue;
-      const Frac contribution =
-          n_jobs[j] * Frac(q.volume[j][d], q.units[d]) / q.speedups[d];
+      const Frac contribution = Frac(n_jobs[j]) * q.unit_volume[j][d];
       device_total += contribution;
       if (best_task == index || contribution > best) {
         best = contribution;
@@ -92,22 +169,24 @@ struct FixpointResult {
   std::vector<std::size_t> dominant;     ///< dominant competitor per class
 };
 
+constexpr int kMaxIterations = 1000;
+
 /// Iterates R ← seed + I(R) from R = seed until stable or past `deadline`.
 /// The right-hand side is non-decreasing in R, so the sequence is monotone;
 /// a generous iteration cap guards against pathological slow convergence.
-FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
-                        std::size_t index, const Frac& seed,
-                        graph::Time deadline) {
-  constexpr int kMaxIterations = 1000;
+FixpointResult fixpoint_frac(const TaskSet& set, const SetQuantities& q,
+                             std::size_t index, const Frac& seed,
+                             graph::Time deadline) {
   FixpointResult out;
   out.per_device.assign(q.units.size(), Frac());
   out.dominant.assign(q.units.size(), index);
+  std::vector<graph::Time> n_jobs;
   Frac response = seed;
   for (int k = 1; k <= kMaxIterations; ++k) {
     out.iterations = k;
     const Frac next =
-        seed + interference_at(set, q, index, response, &out.per_device,
-                               &out.dominant);
+        seed + interference_at(set, q, index, response, n_jobs,
+                               &out.per_device, &out.dominant);
     if (next == response) {
       out.response = response;
       out.converged = true;
@@ -123,15 +202,137 @@ FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
   return out;  // iteration cap: treat as unschedulable
 }
 
+/// Every rational the fixpoint touches has a denominator dividing
+/// L = lcm(seed.den, all unit-volume denominators), so when L is small and
+/// the magnitudes leave int64 headroom the whole iteration runs on
+/// L-scaled integers — same sequence of values, same convergence step,
+/// same dominant-competitor ties (scaled comparisons preserve order), with
+/// every gcd normalisation replaced by integer adds and multiplies.  The
+/// Monte-Carlo sweeps (unit speedups, n_d <= a few) always take this path;
+/// exotic platforms fall back to the Frac loop above.
+///
+/// L = B·f with B the precomputed base scale and f = seed.den/gcd(B,
+/// seed.den): the stored base-scaled unit volumes reach scale L with one
+/// multiply by f per term, so nothing is allocated or re-derived per call.
+FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
+                            graph::Time L, graph::Time f, std::size_t index,
+                            const Frac& seed, graph::Time deadline) {
+  using graph::Time;
+  const Time seed_scaled = seed.num() * (L / seed.den());
+  const Time deadline_scaled = deadline * L;
+  const std::size_t num_tasks = set.size();
+  const std::size_t num_devices = q.units.size();
+
+  FixpointResult out;
+  out.dominant.assign(num_devices, index);
+  thread_local std::vector<Time> per_device;
+  per_device.assign(num_devices, 0);
+  thread_local std::vector<Time> n_jobs;
+  n_jobs.assign(num_tasks, 0);
+
+  Time response = seed_scaled;
+  for (int k = 1; k <= kMaxIterations; ++k) {
+    out.iterations = k;
+    // n_jobs_j = floor((R + D_j)/T_j) + 1 on L-scaled integers.
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      if (j == index) continue;
+      n_jobs[j] = (response + set[j].deadline() * L) / (set[j].period() * L) + 1;
+    }
+    Time total = 0;
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      if (q.volume[index][d] == 0) continue;
+      Time device_total = 0;
+      Time best = 0;
+      std::size_t best_task = index;
+      for (std::size_t j = 0; j < num_tasks; ++j) {
+        if (j == index || q.volume[j][d] == 0) continue;
+        const Time contribution = n_jobs[j] * q.scaled_uv[j][d] * f;
+        device_total += contribution;
+        if (best_task == index || contribution > best) {
+          best = contribution;
+          best_task = j;
+        }
+      }
+      total += device_total;
+      per_device[d] = device_total;
+      out.dominant[d] = best_task;
+    }
+    const Time next = seed_scaled + total;
+    if (next == response) {
+      out.converged = true;
+      break;
+    }
+    response = next;
+    if (response > deadline_scaled) break;  // crossed the deadline; diverging
+  }
+  out.response = Frac(response, L);
+  out.per_device.resize(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    out.per_device[d] = Frac(per_device[d], L);
+  }
+  return out;
+}
+
+FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
+                        std::size_t index, const Frac& seed,
+                        graph::Time deadline) {
+  if (q.base_scale > 0) {
+    // L = lcm(B, seed.den) = B·f; seed.den divides L by construction.
+    const graph::Time f =
+        seed.den() / std::gcd(q.base_scale, seed.den());
+    const graph::Time L = q.base_scale * f;
+    if (L <= kMaxScale) {
+      const __int128 seed_scaled =
+          __int128{seed.num()} * (L / seed.den());
+      if (seed_scaled >= 0 &&
+          seed_scaled + __int128{f} * q.step_weight <= kMaxMagnitude &&
+          q.timing_max * L <= kMaxMagnitude) {
+        return fixpoint_int(set, q, L, f, index, seed, deadline);
+      }
+    }
+  }
+  return fixpoint_frac(set, q, index, seed, deadline);
+}
+
+/// Per-task isolated platform bound R(m), served from the arena view when
+/// the task is arena-backed (no Dag, no FlatDag snapshot) and from a
+/// per-DAG AnalysisCache otherwise.  Both paths return bit-identical
+/// rationals (the view path is AnalysisCache::r_platform's exact formula).
+class SeedBound {
+ public:
+  SeedBound(const DagTask& task, const SetQuantities& q) : q_(q) {
+    if (task.has_flat_view()) {
+      view_.emplace(task.flat_view());
+      quantities_ = analysis::platform_quantities_view(*view_);
+    } else {
+      cache_.emplace(task.dag());
+    }
+  }
+
+  [[nodiscard]] Frac operator()(int m) {
+    if (view_) {
+      return analysis::platform_bound(quantities_, *view_, m, q_.units,
+                                      q_.speedups);
+    }
+    return cache_->r_platform(m, q_.units, q_.speedups);
+  }
+
+ private:
+  const SetQuantities& q_;
+  std::optional<graph::FlatView> view_;
+  analysis::PlatformQuantities quantities_;
+  std::optional<analysis::AnalysisCache> cache_;
+};
+
 }  // namespace
 
 Frac contention_response(const TaskSet& set, std::size_t index, int cores,
                          bool* converged) {
   HEDRA_REQUIRE(index < set.size(), "task index out of range");
   HEDRA_REQUIRE(cores >= 1, "need at least one dedicated host core");
-  const SetQuantities q = measure(set);
-  analysis::AnalysisCache cache(set[index].dag());
-  const Frac seed = cache.r_platform(cores, q.units, q.speedups);
+  const SetQuantities& q = measure(set);
+  SeedBound seed_bound(set[index], q);
+  const Frac seed = seed_bound(cores);
   const FixpointResult result =
       fixpoint(set, q, index, seed, set[index].deadline());
   if (converged != nullptr) *converged = result.converged;
@@ -141,7 +342,7 @@ Frac contention_response(const TaskSet& set, std::size_t index, int cores,
 ContentionAnalysis contention_rta(const TaskSet& set) {
   HEDRA_REQUIRE(!set.empty(), "contention_rta needs a non-empty task set");
   set.validate();
-  const SetQuantities q = measure(set);
+  const SetQuantities& q = measure(set);
 
   ContentionAnalysis out;
   out.schedulable = true;
@@ -149,16 +350,16 @@ ContentionAnalysis contention_rta(const TaskSet& set) {
   for (std::size_t i = 0; i < set.size(); ++i) {
     TaskAdmission admission;
     admission.name = set[i].name();
-    analysis::AnalysisCache cache(set[i].dag());
+    SeedBound seed_bound(set[i], q);
     const graph::Time deadline = set[i].deadline();
 
     FixpointResult best;
     int assigned = 0;
     // The seed bound is non-increasing in m_i, so the first feasible core
-    // count is the smallest one; every evaluation reuses the per-DAG cache
-    // (the chain walk is the only per-m work).
+    // count is the smallest one; every evaluation reuses the per-task
+    // quantities (the chain walk is the only per-m work).
     for (int m = 1; m <= remaining; ++m) {
-      const Frac seed = cache.r_platform(m, q.units, q.speedups);
+      const Frac seed = seed_bound(m);
       FixpointResult result = fixpoint(set, q, i, seed, deadline);
       if (result.converged && result.response <= Frac(deadline)) {
         best = std::move(result);

@@ -2,10 +2,10 @@
 
 #include <cmath>
 
-#include "gen/hierarchical.h"
-#include "gen/multi_device.h"
+#include "gen/flat_gen.h"
 #include "gen/taskset_gen.h"
 #include "graph/critical_path.h"
+#include "graph/flat_batch.h"
 
 namespace hedra::taskset {
 
@@ -42,23 +42,33 @@ TaskSet generate_task_set(const TaskSetGenConfig& config, Rng& rng) {
   const auto utils =
       gen::uunifast(config.num_tasks, config.total_utilization, rng);
   TaskSet set(config.platform());
+  // All tasks generate straight into ONE shared arena (same RNG stream as
+  // the legacy Dag generators — regression-pinned): period and deadline
+  // derive from the flat arrays, and every task stays arena-backed — the
+  // contention analysis and taskset simulator run off the CSR views, and a
+  // field-identical Dag is only materialised if a consumer asks for one.
+  auto arena = std::make_shared<graph::FlatDagBatch>();
   for (int i = 0; i < config.num_tasks; ++i) {
     Rng task_rng = rng.fork();
-    graph::Dag dag =
-        config.dag_params.num_devices > 0
-            ? gen::generate_multi_device(config.dag_params, config.coff_ratio,
-                                         task_rng)
-            : gen::generate_hierarchical(config.dag_params, task_rng);
+    if (config.dag_params.num_devices > 0) {
+      gen::generate_multi_device_flat(config.dag_params, config.coff_ratio,
+                                      task_rng, *arena);
+    } else {
+      gen::generate_hierarchical_flat(config.dag_params, task_rng, *arena);
+    }
+    const graph::FlatView view = arena->view(static_cast<std::size_t>(i));
+    graph::Time total = 0;
+    for (const graph::Time c : view.wcets()) total += c;
     const double u = utils[static_cast<std::size_t>(i)];
-    const auto vol = static_cast<double>(dag.volume());
-    const graph::Time len = graph::critical_path_length(dag);
+    const auto vol = static_cast<double>(total);
+    const graph::Time len = graph::critical_path_length(view);
     const graph::Time period = std::max<graph::Time>(
         len, static_cast<graph::Time>(std::ceil(vol / u)));
     graph::Time deadline = period;
     if (!config.implicit_deadlines && period > len) {
       deadline = task_rng.uniform_int(len, period);
     }
-    set.add(DagTask(std::move(dag), period, deadline,
+    set.add(DagTask(arena, static_cast<std::size_t>(i), period, deadline,
                     "tau" + std::to_string(i + 1)));
   }
   set.validate();

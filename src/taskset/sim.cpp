@@ -1,7 +1,6 @@
 #include "taskset/sim.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <queue>
 #include <utility>
@@ -166,25 +165,82 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
   const int num_devices = set.platform().num_devices();
   Rng rng(config.seed);
 
-  // Per-task snapshots (and down-lengths for the CP policy only, exactly as
-  // in the single-DAG simulator).
-  std::vector<FlatDag> flats;
-  flats.reserve(num_tasks);
-  for (const DagTask& task : set) flats.emplace_back(task.dag());
+  // The taskset sweeps call this thousands of times on small sets, so every
+  // container that does not escape the call lives in per-thread scratch:
+  // the state is rebuilt from scratch below (resize/assign/clear), only the
+  // heap capacity carries over between calls.
+  //
+  // Per-task CSR views: arena-backed tasks are viewed in place (no Dag, no
+  // snapshot); eager tasks snapshot once into `snapshots` (reserved so the
+  // views' pointee never reallocates).  Down-lengths feed the CP policy
+  // only, exactly as in the single-DAG simulator.
+  thread_local std::vector<FlatDag> snapshots;
+  snapshots.clear();
+  snapshots.reserve(num_tasks);
+  thread_local std::vector<graph::FlatView> views;
+  views.clear();
+  views.reserve(num_tasks);
+  for (const DagTask& task : set) {
+    if (task.has_flat_view()) {
+      views.push_back(task.flat_view());
+    } else {
+      snapshots.emplace_back(task.dag());
+      views.push_back(snapshots.back().view());
+    }
+  }
   std::vector<std::vector<Time>> down(num_tasks);
   if (config.policy == sim::Policy::kCriticalPathFirst) {
     for (std::size_t i = 0; i < num_tasks; ++i) {
-      down[i] = graph::down_lengths(flats[i]);
+      down[i] = graph::down_lengths(views[i]);
+    }
+  }
+
+  // Per-task release statics: the in-degree template copied into each job's
+  // pending counts, and the root nodes pre-classified by destination (the
+  // classification is per-DAG, not per-job — no reason to redo it on every
+  // release).  Roots are kept in ascending node order, matching the
+  // original per-release scan.
+  thread_local std::vector<std::vector<std::uint32_t>> indeg_template;
+  thread_local std::vector<std::vector<NodeId>> sync_roots;
+  thread_local std::vector<std::vector<NodeId>> host_roots;
+  thread_local std::vector<std::vector<std::pair<graph::DeviceId, NodeId>>>
+      device_roots;
+  indeg_template.resize(num_tasks);
+  sync_roots.resize(num_tasks);
+  host_roots.resize(num_tasks);
+  device_roots.resize(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    const graph::FlatView& flat = views[i];
+    sync_roots[i].clear();
+    host_roots[i].clear();
+    device_roots[i].clear();
+    auto& indeg = indeg_template[i];
+    indeg.resize(flat.num_nodes());
+    for (NodeId v = 0; v < flat.num_nodes(); ++v) {
+      indeg[v] = static_cast<std::uint32_t>(flat.in_degree(v));
+      if (indeg[v] != 0) continue;
+      const graph::DeviceId device = flat.device(v);
+      if (device == graph::kHostDevice && flat.wcet(v) == 0) {
+        sync_roots[i].push_back(v);
+      } else if (device == graph::kHostDevice) {
+        host_roots[i].push_back(v);
+      } else {
+        device_roots[i].emplace_back(device, v);
+      }
     }
   }
 
   // Per-(task, job) node state: outstanding predecessor counts and the
-  // number of unfinished nodes.
-  std::vector<std::vector<std::vector<std::uint32_t>>> pending(num_tasks);
-  std::vector<std::vector<std::size_t>> unfinished(num_tasks);
+  // number of unfinished nodes.  Pending counts are fully overwritten at
+  // each job's release (copy-assigned from the in-degree template), so the
+  // inner vectors only need the right shape here, not fresh contents.
+  thread_local std::vector<std::vector<std::vector<std::uint32_t>>> pending;
+  thread_local std::vector<std::vector<std::size_t>> unfinished;
+  pending.resize(num_tasks);
+  unfinished.resize(num_tasks);
   for (std::size_t i = 0; i < num_tasks; ++i) {
-    pending[i].assign(jobs, {});
-    unfinished[i].assign(jobs, flats[i].num_nodes());
+    pending[i].resize(jobs);
+    unfinished[i].assign(jobs, views[i].num_nodes());
   }
 
   TasksetSimResult result;
@@ -194,7 +250,8 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
   }
 
   // All releases, time-major (synchronous periodic pattern).
-  std::vector<Release> releases;
+  thread_local std::vector<Release> releases;
+  releases.clear();
   releases.reserve(num_tasks * jobs);
   for (std::size_t i = 0; i < num_tasks; ++i) {
     for (std::uint32_t j = 0; j < jobs; ++j) {
@@ -210,57 +267,83 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
             });
   std::size_t next_release = 0;
 
-  std::priority_queue<Completion, std::vector<Completion>,
-                      std::greater<Completion>>
+  // The completion queue is provably drained when the run ends (every job
+  // finished means every dispatched node retired), so the per-thread
+  // instance starts each call empty with its buffer intact.
+  thread_local std::priority_queue<Completion, std::vector<Completion>,
+                                   std::greater<Completion>>
       completions;
+  while (!completions.empty()) completions.pop();  // a prior throw may leak
   std::uint64_t seq = 0;
 
-  std::vector<HostReady> host_ready;
+  thread_local std::vector<HostReady> host_ready;
+  host_ready.clear();
   host_ready.reserve(num_tasks);
   for (std::size_t i = 0; i < num_tasks; ++i) {
     host_ready.emplace_back(config.policy, &down[i]);
   }
-  std::vector<std::deque<std::pair<std::uint32_t, Item>>> device_queue(
-      static_cast<std::size_t>(num_devices) + 1);
-  std::vector<int> free_units(static_cast<std::size_t>(num_devices) + 1, 0);
+  // FIFO per shared device class, as a vector + head cursor (the deque's
+  // chunked layout buys nothing at these queue depths).
+  thread_local std::vector<std::vector<std::pair<std::uint32_t, Item>>>
+      device_queue;
+  device_queue.resize(static_cast<std::size_t>(num_devices) + 1);
+  for (auto& queue : device_queue) queue.clear();
+  thread_local std::vector<std::size_t> device_head;
+  device_head.assign(static_cast<std::size_t>(num_devices) + 1, 0);
+  thread_local std::vector<int> free_units;
+  free_units.assign(static_cast<std::size_t>(num_devices) + 1, 0);
   for (int d = 1; d <= num_devices; ++d) {
     free_units[static_cast<std::size_t>(d)] =
         set.platform().units_of(static_cast<graph::DeviceId>(d));
   }
-  std::vector<int> free_cores(cores_per_task.begin(), cores_per_task.end());
+  thread_local std::vector<int> free_cores;
+  free_cores.assign(cores_per_task.begin(), cores_per_task.end());
 
   // Same-time ready nodes are staged per destination and flushed in sorted
   // (task, job, node) order, so insertion order — and with it every policy's
   // pick — is independent of event-processing order.
-  std::vector<std::vector<Item>> host_staging(num_tasks);
-  std::vector<std::vector<std::pair<std::uint32_t, Item>>> device_staging(
-      static_cast<std::size_t>(num_devices) + 1);
+  thread_local std::vector<std::vector<Item>> host_staging;
+  host_staging.resize(num_tasks);
+  for (auto& staging : host_staging) staging.clear();
+  thread_local std::vector<std::vector<std::pair<std::uint32_t, Item>>>
+      device_staging;
+  device_staging.resize(static_cast<std::size_t>(num_devices) + 1);
+  for (auto& staging : device_staging) staging.clear();
 
   std::size_t jobs_remaining = num_tasks * jobs;
 
   // Completes (task, job, node) at time t; zero-WCET host successors retire
-  // instantly and cascade.
+  // instantly and cascade.  The cascade stack lives outside the lambda —
+  // one allocation for the whole run, not one per completion.
+  thread_local std::vector<Item> cascade;
   const auto complete_node = [&](std::uint32_t task, std::uint32_t job,
                                  NodeId node, Time t) {
-    std::vector<Item> stack{Item{job, node}};
-    while (!stack.empty()) {
-      const Item item = stack.back();
-      stack.pop_back();
-      if (--unfinished[task][item.job] == 0) {
-        JobRecord& record = result.tasks[task].jobs[item.job];
+    cascade.clear();
+    cascade.push_back(Item{job, node});
+    const graph::FlatView& view = views[task];
+    auto& task_pending = pending[task];
+    auto& task_unfinished = unfinished[task];
+    auto& task_result = result.tasks[task];
+    auto& task_staging = host_staging[task];
+    while (!cascade.empty()) {
+      const Item item = cascade.back();
+      cascade.pop_back();
+      if (--task_unfinished[item.job] == 0) {
+        JobRecord& record = task_result.jobs[item.job];
         record.finish = t;
-        result.tasks[task].worst_response =
-            std::max(result.tasks[task].worst_response, record.response());
+        task_result.worst_response =
+            std::max(task_result.worst_response, record.response());
         result.makespan = std::max(result.makespan, t);
         --jobs_remaining;
       }
-      for (const NodeId succ : flats[task].successors(item.node)) {
-        if (--pending[task][item.job][succ] != 0) continue;
-        const graph::DeviceId device = flats[task].device(succ);
-        if (device == graph::kHostDevice && flats[task].wcet(succ) == 0) {
-          stack.push_back(Item{item.job, succ});  // pure sync point
+      auto& counts = task_pending[item.job];
+      for (const NodeId succ : view.successors(item.node)) {
+        if (--counts[succ] != 0) continue;
+        const graph::DeviceId device = view.device(succ);
+        if (device == graph::kHostDevice && view.wcet(succ) == 0) {
+          cascade.push_back(Item{item.job, succ});  // pure sync point
         } else if (device == graph::kHostDevice) {
-          host_staging[task].push_back(Item{item.job, succ});
+          task_staging.push_back(Item{item.job, succ});
         } else {
           device_staging[device].push_back({task, Item{item.job, succ}});
         }
@@ -289,27 +372,23 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
       complete_node(done.task, done.job, done.node, t);
     }
 
-    // Release every job arriving at t.
+    // Release every job arriving at t.  Root destinations are static per
+    // task; the loops below only spread the precomputed classification over
+    // the job index (completion order within one release is commutative —
+    // staging is globally sorted before any pick).
     while (next_release < releases.size() &&
            releases[next_release].time == t) {
       const Release release = releases[next_release++];
-      const FlatDag& flat = flats[release.task];
-      auto& counts = pending[release.task][release.job];
-      counts.resize(flat.num_nodes());
-      for (NodeId v = 0; v < flat.num_nodes(); ++v) {
-        counts[v] = static_cast<std::uint32_t>(flat.in_degree(v));
-      }
+      pending[release.task][release.job] = indeg_template[release.task];
       result.tasks[release.task].jobs[release.job].release = t;
-      for (NodeId v = 0; v < flat.num_nodes(); ++v) {
-        if (flat.in_degree(v) != 0) continue;
-        const graph::DeviceId device = flat.device(v);
-        if (device == graph::kHostDevice && flat.wcet(v) == 0) {
-          complete_node(release.task, release.job, v, t);
-        } else if (device == graph::kHostDevice) {
-          host_staging[release.task].push_back(Item{release.job, v});
-        } else {
-          device_staging[device].push_back({release.task, Item{release.job, v}});
-        }
+      for (const NodeId v : sync_roots[release.task]) {
+        complete_node(release.task, release.job, v, t);
+      }
+      for (const NodeId v : host_roots[release.task]) {
+        host_staging[release.task].push_back(Item{release.job, v});
+      }
+      for (const auto& [device, v] : device_roots[release.task]) {
+        device_staging[device].push_back({release.task, Item{release.job, v}});
       }
     }
 
@@ -341,20 +420,24 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
       while (free_cores[i] > 0 && !host_ready[i].empty()) {
         const Item item = host_ready[i].pop(rng);
         --free_cores[i];
-        completions.push(Completion{t + flats[i].wcet(item.node), seq++,
+        completions.push(Completion{t + views[i].wcet(item.node), seq++,
                                     static_cast<std::uint32_t>(i), item.job,
                                     item.node, -1});
       }
     }
     for (int d = 1; d <= num_devices; ++d) {
       auto& queue = device_queue[static_cast<std::size_t>(d)];
+      auto& head = device_head[static_cast<std::size_t>(d)];
       auto& units = free_units[static_cast<std::size_t>(d)];
-      while (units > 0 && !queue.empty()) {
-        const auto [task, item] = queue.front();
-        queue.pop_front();
+      while (units > 0 && head < queue.size()) {
+        const auto [task, item] = queue[head++];
         --units;
-        completions.push(Completion{t + flats[task].wcet(item.node), seq++,
+        completions.push(Completion{t + views[task].wcet(item.node), seq++,
                                     task, item.job, item.node, d});
+      }
+      if (head == queue.size() && head != 0) {
+        queue.clear();
+        head = 0;
       }
     }
   }

@@ -8,8 +8,25 @@
 
 namespace hedra::taskset {
 
+namespace {
+
+/// vol_d(G) without forcing arena-backed tasks to materialise a Dag.
+graph::Time task_volume_on(const DagTask& task, graph::DeviceId device) {
+  if (!task.has_flat_view()) return task.dag().volume_on(device);
+  const graph::FlatView view = task.flat_view();
+  graph::Time volume = 0;
+  for (graph::NodeId v = 0; v < view.num_nodes(); ++v) {
+    if (view.device(v) == device) volume += view.wcet(v);
+  }
+  return volume;
+}
+
+}  // namespace
+
 void TaskSet::validate() const {
   platform_.validate();
+  const auto num_devices =
+      static_cast<graph::DeviceId>(platform_.num_devices());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const DagTask& task = tasks_[i];
     HEDRA_REQUIRE(!task.name().empty(), "task names must be non-empty");
@@ -18,6 +35,12 @@ void TaskSet::validate() const {
     for (std::size_t j = 0; j < i; ++j) {
       HEDRA_REQUIRE(tasks_[j].name() != task.name(),
                     "duplicate task name '" + task.name() + "'");
+    }
+    // Arena-backed fast path: the view's max device decides support without
+    // materialising.  On violation fall through to the Dag-based check so
+    // the message (which names the offending node) stays identical.
+    if (task.has_flat_view() && task.flat_view().max_device() <= num_devices) {
+      continue;
     }
     const auto issues = model::check_supports(platform_, task.dag());
     HEDRA_REQUIRE(issues.empty(), "task '" + task.name() +
@@ -29,13 +52,13 @@ void TaskSet::validate() const {
 Frac TaskSet::task_device_utilization(std::size_t i,
                                       graph::DeviceId device) const {
   HEDRA_REQUIRE(i < tasks_.size(), "task index out of range");
-  return Frac(tasks_[i].dag().volume_on(device), tasks_[i].period());
+  return Frac(task_volume_on(tasks_[i], device), tasks_[i].period());
 }
 
 double TaskSet::device_utilization(graph::DeviceId device) const {
   double total = 0.0;
   for (const DagTask& task : tasks_) {
-    total += static_cast<double>(task.dag().volume_on(device)) /
+    total += static_cast<double>(task_volume_on(task, device)) /
              static_cast<double>(task.period());
   }
   return total;

@@ -1,0 +1,156 @@
+/// \file batch_kernels_test.cpp
+/// The vectorized batch kernels must be EXACTLY equal to the per-DAG
+/// AnalysisCache path: same normalised rationals for every (DAG, m) bound,
+/// same PlatformQuantities fields, and the SIMD volume backend must agree
+/// with the scalar reference on every input shape (including the <4-lane
+/// tails the masked loop peels).
+
+#include "analysis/batch_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "gen/params.h"
+#include "util/rng.h"
+
+namespace hedra::analysis {
+namespace {
+
+using exp::BatchConfig;
+using graph::DeviceId;
+using graph::FlatDagBatch;
+using graph::Time;
+
+BatchConfig small_config(std::uint64_t seed, double ratio) {
+  BatchConfig config;
+  config.params = gen::HierarchicalParams::small_tasks();
+  config.params.min_nodes = 10;
+  config.params.max_nodes = 60;
+  config.coff_ratio = ratio;
+  config.count = 8;
+  config.seed = seed;
+  return config;
+}
+
+TEST(BatchKernelsTest, BackendNameIsKnown) {
+  const std::string backend = batch_kernel_backend();
+  EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+}
+
+TEST(BatchKernelsTest, DispatchedVolumesMatchScalarReference) {
+  Rng rng(2024);
+  // Sizes straddling the 4-lane SIMD width, device counts beyond what the
+  // generators produce.
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 64u, 257u}) {
+    for (const std::size_t num_devices : {1u, 2u, 5u}) {
+      std::vector<Time> wcets(n);
+      std::vector<DeviceId> devices(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        wcets[i] = static_cast<Time>(rng.uniform_int(0, 1000));
+        devices[i] = static_cast<DeviceId>(
+            rng.uniform_int(0, static_cast<Time>(num_devices) - 1));
+      }
+      std::vector<Time> got(num_devices, 0);
+      std::vector<Time> want(num_devices, 0);
+      accumulate_device_volumes(wcets, devices, got);
+      accumulate_device_volumes_scalar(wcets, devices, want);
+      EXPECT_EQ(got, want) << "n=" << n << " devices=" << num_devices;
+    }
+  }
+}
+
+TEST(BatchKernelsTest, VolumesAccumulateIntoExistingEntries) {
+  const std::vector<Time> wcets{5, 7, 11};
+  const std::vector<DeviceId> devices{0, 1, 0};
+  std::vector<Time> out{100, 200};
+  accumulate_device_volumes(wcets, devices, out);
+  EXPECT_EQ(out, (std::vector<Time>{116, 207}));
+}
+
+TEST(BatchKernelsTest, QuantitiesBatchMatchesAnalysisCache) {
+  for (const int devices : {1, 2, 3}) {
+    BatchConfig config = small_config(300u + devices, 0.3);
+    config.params.num_devices = devices;
+    config.params.offloads_per_device = 2;
+    const FlatDagBatch batch = exp::generate_flat_batch(config);
+    const std::vector<PlatformQuantities> got =
+        platform_quantities_batch(batch);
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      SCOPED_TRACE("devices " + std::to_string(devices) + ", dag " +
+                   std::to_string(i));
+      AnalysisCache cache(batch, i);
+      const PlatformQuantities& want = cache.platform_quantities();
+      EXPECT_EQ(got[i].vol_host, want.vol_host);
+      EXPECT_EQ(got[i].max_host_path, want.max_host_path);
+      EXPECT_EQ(got[i].device_volume_sum, want.device_volume_sum);
+      EXPECT_EQ(got[i].device_volumes, want.device_volumes);
+    }
+  }
+}
+
+TEST(BatchKernelsTest, SingleUnitBoundsEqualCacheExactly) {
+  const std::vector<int> cores{1, 2, 4, 8};
+  for (const int devices : {1, 2, 3}) {
+    BatchConfig config = small_config(400u + devices, 0.25);
+    config.params.num_devices = devices;
+    config.params.offloads_per_device = 2;
+    const FlatDagBatch batch = exp::generate_flat_batch(config);
+    const PlatformBatchAnalysis result = analyze_platform_batch(batch, cores);
+    ASSERT_EQ(result.quantities.size(), batch.size());
+    ASSERT_EQ(result.bounds.size(), batch.size() * cores.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      AnalysisCache cache(batch, i);
+      for (std::size_t mi = 0; mi < cores.size(); ++mi) {
+        // Exact rational equality, not to_double closeness.
+        EXPECT_EQ(result.bound(i, mi), cache.r_platform(cores[mi]))
+            << "devices " << devices << ", dag " << i << ", m " << cores[mi];
+      }
+    }
+  }
+}
+
+TEST(BatchKernelsTest, MultiplicityAndSpeedupBoundsEqualCacheExactly) {
+  const std::vector<int> cores{2, 4, 8};
+  BatchConfig config = small_config(777, 0.35);
+  config.params.num_devices = 2;
+  config.params.offloads_per_device = 2;
+  const FlatDagBatch batch = exp::generate_flat_batch(config);
+
+  const std::vector<std::vector<int>> unit_grid{{1, 1}, {2, 1}, {2, 2}};
+  const std::vector<std::vector<Frac>> speed_grid{
+      {Frac(1), Frac(1)}, {Frac(3), Frac(3, 2)}};
+  for (const auto& units : unit_grid) {
+    for (const auto& speedups : speed_grid) {
+      const PlatformBatchAnalysis result =
+          analyze_platform_batch(batch, cores, units, speedups);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        AnalysisCache cache(batch, i);
+        for (std::size_t mi = 0; mi < cores.size(); ++mi) {
+          EXPECT_EQ(result.bound(i, mi),
+                    cache.r_platform(cores[mi], units, speedups))
+              << "units {" << units[0] << "," << units[1] << "} dag " << i
+              << " m " << cores[mi];
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelsTest, AllOnesGeneralOverloadDelegatesToSingleUnit) {
+  const std::vector<int> cores{2, 8};
+  const FlatDagBatch batch = exp::generate_flat_batch(small_config(11, 0.2));
+  const std::vector<int> units{1};
+  const std::vector<Frac> speedups{Frac(1)};
+  const PlatformBatchAnalysis general =
+      analyze_platform_batch(batch, cores, units, speedups);
+  const PlatformBatchAnalysis single = analyze_platform_batch(batch, cores);
+  EXPECT_EQ(general.bounds, single.bounds);
+}
+
+}  // namespace
+}  // namespace hedra::analysis
