@@ -1,0 +1,236 @@
+/// \file admissiond.cpp
+/// The admission-control daemon: hedra's contention-RTA (taskset/
+/// contention_rta.h, the paper's federated admission test hardened with
+/// per-request deadlines) behind a line protocol on stdin/stdout.
+///
+///     admissiond --platform 4:gpu*2,dsp --journal /var/lib/hedra.journal
+///
+/// speaks the protocol of serve/protocol.h: ADMIT (with a dag_io body
+/// terminated by `endtask`), LEAVE, STATUS, QUIT.  Restarting with the same
+/// --journal replays the admitted state bit-identically.
+///
+/// `--smoke` is the self-checking mode CI runs: it generates random task
+/// sets with the fig12 generator, pipes every task through the daemon's
+/// own protocol loop (real journal, real parser, real deadlines), and
+/// re-derives each decision with the offline exact-rational contention_rta
+/// — any divergence (an ADMIT the offline test rejects, or vice versa) is
+/// a hard failure.  PROVISIONAL answers are checked for fail-closedness
+/// only: they must never correspond to an applied admission.
+///
+/// `--faults '<spec>'` (or HEDRA_FAULTS in the environment) arms the fault
+/// registry first, so the smoke doubles as a fail-closed property check
+/// under injected faults.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/dag_io.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "taskset/gen.h"
+#include "util/cli.h"
+#include "util/fault.h"
+
+namespace {
+
+using hedra::serve::AdmissionConfig;
+using hedra::serve::AdmissionService;
+using hedra::serve::ServerConfig;
+using hedra::serve::ServerStats;
+
+/// Pipes `count` generated task sets through a fresh service's protocol
+/// loop and cross-checks every decision offline.  Returns the number of
+/// divergences (0 = pass).
+int run_smoke(int count, int tasks_per_set, std::uint64_t seed,
+              const ServerConfig& server_config) {
+  hedra::taskset::TaskSetGenConfig gen_config;
+  gen_config.num_tasks = tasks_per_set;
+  gen_config.total_utilization = 2.5;
+  gen_config.dag_params.max_depth = 3;
+  gen_config.dag_params.n_par = 4;
+  gen_config.dag_params.min_nodes = 10;
+  gen_config.dag_params.max_nodes = 40;
+  gen_config.dag_params.wcet_max = 50;
+  gen_config.dag_params.num_devices = 2;
+  gen_config.cores = 4;
+  const std::vector<hedra::taskset::TaskSet> sets =
+      hedra::taskset::generate_taskset_batch(gen_config, count, seed);
+
+  // Two severities: an unsound ADMIT is fatal always; a softer mismatch
+  // (REJECT/PROVISIONAL/ERROR where offline admits) is under-admission —
+  // fatal only when nothing can legitimately truncate the analysis, i.e.
+  // expected fail-closed behaviour under armed faults or a per-request
+  // deadline.
+  const bool lenient = hedra::fault::enabled() ||
+                       server_config.request_deadline_sec > 0.0;
+  int unsound = 0;
+  int mismatches = 0;
+  int checked = 0;
+
+  // Phase 1: drive every set through the daemon's protocol loop — with any
+  // armed faults live.  Outputs and final state sizes are collected so the
+  // offline referee below can run with injection DISABLED (the referee
+  // shares the instrumented analysis code; a fault firing inside the
+  // referee would corrupt the verdict it is refereeing).
+  std::vector<std::string> outputs;
+  std::vector<std::size_t> final_sizes;
+  for (int si = 0; si < count; ++si) {
+    const hedra::taskset::TaskSet& set = sets[static_cast<std::size_t>(si)];
+    std::ostringstream script;
+    for (const auto& task : set) {
+      script << "ADMIT " << task.name() << " period " << task.period()
+             << " deadline " << task.deadline() << "\n"
+             << hedra::graph::write_dag_text(task.dag()) << "endtask\n";
+    }
+    script << "QUIT\n";
+    std::istringstream in(script.str());
+    std::ostringstream out;
+
+    AdmissionConfig config;
+    config.platform = set.platform();
+    AdmissionService service(config);
+    (void)hedra::serve::run_server(in, out, service, server_config);
+    outputs.push_back(out.str());
+    final_sizes.push_back(service.snapshot()->set.size());
+  }
+  hedra::fault::reset();
+
+  // Phase 2: the offline referee replays the same incremental admissions
+  // with the unlimited exact-rational test.  The daemon's ADMIT set must
+  // match the referee's exactly (sans faults); PROVISIONAL/REJECT/ERROR
+  // answers must correspond to tasks the daemon did NOT apply.
+  for (int si = 0; si < count; ++si) {
+    const hedra::taskset::TaskSet& set = sets[static_cast<std::size_t>(si)];
+    hedra::taskset::TaskSet admitted(set.platform());
+
+    // Correlate responses by task name, not order: under overload SHED
+    // lines from the reader overtake queued responses (documented in
+    // server.h), so positional matching would misattribute decisions.
+    std::map<std::string, std::string> reply_for;
+    std::istringstream responses(outputs[static_cast<std::size_t>(si)]);
+    std::string line;
+    while (std::getline(responses, line)) {
+      std::istringstream fields(line);
+      std::string decision, name;
+      fields >> decision >> name;
+      if (!name.empty()) reply_for.emplace(name, line);
+    }
+
+    for (const auto& task : set) {
+      const auto it = reply_for.find(task.name());
+      line = it == reply_for.end() ? std::string("<no response>") : it->second;
+      const bool daemon_admitted = line.rfind("ADMITTED", 0) == 0;
+
+      hedra::taskset::TaskSet candidate = admitted;
+      candidate.add(task);
+      const auto offline = hedra::taskset::contention_rta(candidate);
+      ++checked;
+      if (daemon_admitted && !offline.schedulable) {
+        ++unsound;
+        std::cerr << "UNSOUND ADMIT: set " << si << " task " << task.name()
+                  << " ('" << line << "')\n";
+      }
+      if (daemon_admitted != offline.schedulable) {
+        ++mismatches;
+        if (!lenient) {
+          std::cerr << "divergence: set " << si << " task " << task.name()
+                    << ": daemon said '" << line << "', offline says "
+                    << (offline.schedulable ? "SCHEDULABLE"
+                                            : "NOT SCHEDULABLE")
+                    << "\n";
+        }
+      }
+      if (daemon_admitted) admitted.add(task);
+    }
+
+    // The daemon's applied state must equal its acknowledged admissions.
+    // With faults armed the ACK set is recomputed from the daemon's own
+    // replies, so this still holds: ADMITTED implies applied, exactly.
+    std::size_t acknowledged = 0;
+    std::istringstream recount(outputs[static_cast<std::size_t>(si)]);
+    while (std::getline(recount, line)) {
+      if (line.rfind("ADMITTED", 0) == 0) ++acknowledged;
+    }
+    if (final_sizes[static_cast<std::size_t>(si)] != acknowledged) {
+      ++unsound;
+      std::cerr << "state divergence: set " << si << " final state has "
+                << final_sizes[static_cast<std::size_t>(si)]
+                << " tasks, acknowledged " << acknowledged << "\n";
+    }
+  }
+  std::cout << "smoke: " << checked << " decisions cross-checked, " << unsound
+            << " unsound, " << mismatches << " mismatch(es)"
+            << (lenient ? " [lenient: only unsound is fatal]" : "")
+            << "\n";
+  return lenient ? unsound : unsound + mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hedra::ArgParser parser("admissiond",
+                          "admission-control daemon over stdin/stdout");
+  const auto* platform =
+      parser.add_string("platform", "4:acc", "platform spec (model::Platform)");
+  const auto* journal =
+      parser.add_string("journal", "", "journal file (empty = no persistence)");
+  const auto* deadline_ms = parser.add_real(
+      "deadline-ms", 0.0, "per-request analysis deadline (0 = unlimited)");
+  const auto* queue =
+      parser.add_int("queue", 64, "bounded request queue capacity");
+  const auto* faults = parser.add_string(
+      "faults", "", "fault-injection spec (see util/fault.h); also reads "
+                    "HEDRA_FAULTS when empty");
+  const auto* fault_seed =
+      parser.add_int("fault-seed", 0, "fault-injection RNG seed");
+  const auto* smoke = parser.add_flag(
+      "smoke", "self-check: pipe generated sets through the daemon and "
+               "cross-check every decision offline");
+  const auto* smoke_sets =
+      parser.add_int("smoke-sets", 20, "task sets in --smoke mode");
+  const auto* smoke_tasks =
+      parser.add_int("smoke-tasks", 4, "tasks per set in --smoke mode");
+  const auto* seed = parser.add_int("seed", 44, "generator seed (--smoke)");
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+
+    if (!faults->empty()) {
+      hedra::fault::configure(*faults,
+                              static_cast<std::uint64_t>(*fault_seed));
+    } else {
+      (void)hedra::fault::install_from_env();
+    }
+
+    ServerConfig server_config;
+    server_config.queue_capacity = static_cast<std::size_t>(*queue);
+    server_config.request_deadline_sec = *deadline_ms / 1000.0;
+
+    if (*smoke) {
+      const int divergences =
+          run_smoke(static_cast<int>(*smoke_sets),
+                    static_cast<int>(*smoke_tasks),
+                    static_cast<std::uint64_t>(*seed), server_config);
+      return divergences == 0 ? 0 : 1;
+    }
+
+    AdmissionConfig config;
+    config.platform = hedra::model::Platform::parse(*platform);
+    config.journal_path = *journal;
+    AdmissionService service(config);
+    const ServerStats stats =
+        hedra::serve::run_server(std::cin, std::cout, service, server_config);
+    std::cerr << "admissiond: " << stats.requests << " requests ("
+              << stats.admitted << " admitted, " << stats.rejected
+              << " rejected, " << stats.provisional << " provisional, "
+              << stats.errors << " errors, " << stats.shed << " shed)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

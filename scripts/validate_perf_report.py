@@ -26,7 +26,7 @@ REQUIRED_TOP = {
                              "hardware_concurrency", "benchmarks"},
 }
 REQUIRED_BENCH = {"name", "unit", "value", "iterations"}
-KNOWN_UNITS = {"ms", "us_per_sim", "us_per_dag"}
+KNOWN_UNITS = {"ms", "us_per_sim", "us_per_dag", "us_per_decision"}
 
 
 def fail(message: str) -> None:

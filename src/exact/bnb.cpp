@@ -14,6 +14,7 @@
 #include "graph/critical_path.h"
 #include "graph/flat_dag.h"
 #include "util/bitset.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 #include "util/work_stealing_deque.h"
 
@@ -25,6 +26,21 @@ using graph::Dag;
 using graph::FlatDag;
 using graph::NodeId;
 using graph::Time;
+
+/// The instant the search must stop: time_limit_sec from now, pulled
+/// earlier by an external config.deadline (a per-request admission
+/// deadline, say).  Both budgets share one steady_clock point, so the hot
+/// loop's amortised poll stays a single comparison.
+std::chrono::steady_clock::time_point search_deadline(const BnbConfig& config) {
+  auto when =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config.time_limit_sec));
+  if (!config.deadline.unlimited() && config.deadline.when() < when) {
+    when = config.deadline.when();
+  }
+  return when;
+}
 
 struct Running {
   Time finish;
@@ -163,10 +179,7 @@ class DfsEngine {
   DfsEngine(const SearchContext& ctx, SharedSearch* shared)
       : ctx_(ctx), shared_(shared) {
     if (shared_ == nullptr) {
-      deadline_ =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(ctx.config.time_limit_sec));
+      deadline_ = search_deadline(ctx.config);
     } else {
       deadline_ = shared_->deadline;
     }
@@ -390,16 +403,21 @@ class DfsEngine {
         aborted_ = true;
         return true;
       }
-      if ((nodes_ & kBudgetPollMask) == 0 &&
-          std::chrono::steady_clock::now() >= deadline_) {
-        aborted_ = true;
-        return true;
+      if ((nodes_ & kBudgetPollMask) == 0) {
+        // Fault seam inside the amortised branch: the per-node hot path
+        // (tens of millions of nodes/s) never pays for it.
+        HEDRA_FAULT("exact.bnb.node");
+        if (std::chrono::steady_clock::now() >= deadline_) {
+          aborted_ = true;
+          return true;
+        }
       }
       return false;
     }
     // Parallel mode: the budgets are shared.  Flush the local node count
     // and poll the shared state every 1024 nodes — so the node budget may
     // overshoot by up to 1024 nodes per worker (documented in bnb.h).
+    // No fault seam here: a throw would escape the worker thread.
     if ((nodes_ & kBudgetPollMask) == 0) {
       const std::uint64_t total =
           shared_->nodes.fetch_add(nodes_ - flushed_nodes_,
@@ -677,10 +695,7 @@ void worker_loop(const SearchContext& ctx, SharedSearch& shared,
 BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
                                 int jobs) {
   SharedSearch shared(seed.heuristic_upper_bound);
-  shared.deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(ctx.config.time_limit_sec));
+  shared.deadline = search_deadline(ctx.config);
 
   std::vector<WorkStealingDeque<Subproblem>> deques(
       static_cast<std::size_t>(jobs));
@@ -706,6 +721,8 @@ BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
   seed.makespan = shared.best.load(std::memory_order_relaxed);
   seed.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
   seed.proven_optimal = !shared.aborted.load(std::memory_order_relaxed);
+  seed.outcome = seed.proven_optimal ? util::Outcome::kComplete
+                                     : util::Outcome::kBudgetExhausted;
   return seed;
 }
 
@@ -740,6 +757,8 @@ BnbResult min_makespan(const Dag& dag, int m, const BnbConfig& config) {
   result.makespan = engine.best();
   result.proven_optimal = !engine.aborted();
   result.nodes_explored = engine.nodes();
+  result.outcome = result.proven_optimal ? util::Outcome::kComplete
+                                         : util::Outcome::kBudgetExhausted;
   return result;
 }
 

@@ -39,6 +39,7 @@
 #include <cstdint>
 
 #include "graph/dag.h"
+#include "util/deadline.h"
 
 namespace hedra::exact {
 
@@ -46,6 +47,10 @@ namespace hedra::exact {
 struct BnbConfig {
   std::uint64_t max_nodes = 20'000'000;  ///< decision nodes before giving up
   double time_limit_sec = 10.0;          ///< wall-clock budget per instance
+  /// External deadline (e.g. a per-request admission deadline) intersected
+  /// with time_limit_sec: the search stops at whichever expires first.  The
+  /// default never expires, so batch callers see no behaviour change.
+  util::Deadline deadline;
   /// Worker threads for the subtree search.  1 (the default) is the
   /// deterministic sequential DFS; <= 0 selects all hardware threads.  The
   /// node and wall-clock budgets are shared across workers (the node total
@@ -61,6 +66,10 @@ struct BnbResult {
   std::uint64_t nodes_explored = 0;
   graph::Time root_lower_bound = 0;
   graph::Time heuristic_upper_bound = 0;
+  /// kComplete when optimality was proven; kBudgetExhausted when any budget
+  /// (node cap, time limit, external deadline) truncated the search — the
+  /// makespan is then a sound upper bound, not proven minimal.
+  util::Outcome outcome = util::Outcome::kComplete;
 };
 
 /// Minimum makespan of `dag` on m cores + 1 accelerator.  Requires an

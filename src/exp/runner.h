@@ -40,6 +40,8 @@
 #include "analysis/analysis_cache.h"
 #include "analysis/batch_kernels.h"
 #include "exp/experiment.h"
+#include "util/deadline.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace hedra::exp {
@@ -78,6 +80,18 @@ class Runner {
 
   [[nodiscard]] int jobs() const noexcept { return pool_.workers(); }
 
+  /// Deadline checked between grid points (never inside one: a point's
+  /// fan-out runs to completion so the emitted rows are whole cells).  On
+  /// expiry the sweep returns the rows finished so far and last_outcome()
+  /// reports kBudgetExhausted — callers distinguish a truncated grid from a
+  /// completed one instead of silently consuming fewer rows.
+  void set_deadline(util::Deadline deadline) noexcept { deadline_ = deadline; }
+
+  /// Outcome of the most recent sweep*/generate call on this runner.
+  [[nodiscard]] util::Outcome last_outcome() const noexcept {
+    return last_outcome_;
+  }
+
   /// Batch generation fanned out over the pool; bit-identical to
   /// generate_batch (replication RNGs are forked serially, generation runs
   /// per-slot).
@@ -104,7 +118,9 @@ class Runner {
         std::invoke_result_t<Reduce&, const Point&, const std::vector<Sample>&>;
     std::vector<Row> rows;
     rows.reserve(points.size());
+    last_outcome_ = util::Outcome::kComplete;
     for (const Point& point : points) {
+      if (point_cut()) break;
       Batch batch = make_batch(point);
       std::vector<Sample> samples(batch.size());
       pool_.parallel_for_each(batch.size(), [&](std::size_t i) {
@@ -134,7 +150,9 @@ class Runner {
     using Row = std::invoke_result_t<Reduce&, const SweepPoint&, int,
                                      const std::vector<Sample>&>;
     std::vector<Row> rows;
+    last_outcome_ = util::Outcome::kComplete;
     for (const SweepPoint& point : points) {
+      if (point_cut()) break;
       const graph::FlatDagBatch batch = generate_flat_batch(point.batch);
       std::vector<std::vector<Sample>> samples(
           point.cores.size(), std::vector<Sample>(batch.size()));
@@ -166,7 +184,9 @@ class Runner {
     using Row = std::invoke_result_t<Reduce&, const SweepPoint&, int,
                                      const std::vector<Sample>&>;
     std::vector<Row> rows;
+    last_outcome_ = util::Outcome::kComplete;
     for (const SweepPoint& point : points) {
+      if (point_cut()) break;
       const graph::FlatDagBatch batch = generate_flat_batch(point.batch);
       const analysis::PlatformBatchAnalysis platform =
           analysis::analyze_platform_batch(batch, point.cores);
@@ -187,7 +207,21 @@ class Runner {
   }
 
  private:
+  /// Point-boundary budget check (and the sweep's fault seam — it runs on
+  /// the calling thread, so an injected throw propagates to the caller
+  /// instead of escaping a pool worker).  True = stop emitting points.
+  bool point_cut() {
+    HEDRA_FAULT("exp.sweep.point");
+    if (deadline_.expired()) {
+      last_outcome_ = util::Outcome::kBudgetExhausted;
+      return true;
+    }
+    return false;
+  }
+
   ThreadPool pool_;
+  util::Deadline deadline_;
+  util::Outcome last_outcome_ = util::Outcome::kComplete;
 };
 
 /// Summary helpers shared by the figure shape scans (rows must expose `m`

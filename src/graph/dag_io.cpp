@@ -76,6 +76,9 @@ Dag read_dag_text(const std::string& text) {
     if (tokens[0] == "node") {
       HEDRA_REQUIRE(tokens.size() == 3 || tokens.size() == 4,
                     where + "expected 'node <label> <wcet> [kind]'");
+      HEDRA_REQUIRE(dag.num_nodes() < kMaxParsedNodes,
+                    where + "node count exceeds the parser cap of " +
+                        std::to_string(kMaxParsedNodes));
       const std::string& label = tokens[1];
       HEDRA_REQUIRE(!by_label.contains(label),
                     where + "duplicate node label '" + label + "'");
@@ -88,6 +91,9 @@ Dag read_dag_text(const std::string& text) {
     } else if (tokens[0] == "edge") {
       HEDRA_REQUIRE(tokens.size() == 3,
                     where + "expected 'edge <from> <to>'");
+      HEDRA_REQUIRE(dag.num_edges() < kMaxParsedEdges,
+                    where + "edge count exceeds the parser cap of " +
+                        std::to_string(kMaxParsedEdges));
       const auto from = by_label.find(tokens[1]);
       const auto to = by_label.find(tokens[2]);
       HEDRA_REQUIRE(from != by_label.end(),

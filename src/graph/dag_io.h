@@ -22,11 +22,20 @@
 
 namespace hedra::graph {
 
+/// Caps on one parsed graph.  Far beyond anything the analyses handle in
+/// reasonable time, but small enough that hostile input (a generated file
+/// declaring 10^9 nodes) fails with a named line instead of exhausting
+/// memory.
+inline constexpr std::size_t kMaxParsedNodes = 1u << 16;  // 65536
+inline constexpr std::size_t kMaxParsedEdges = 1u << 20;  // ~1M
+
 /// Serialises the graph; round-trips through read_dag_text.
 [[nodiscard]] std::string write_dag_text(const Dag& dag);
 
 /// Parses the textual format.  Throws hedra::Error with a line number on
-/// malformed input (unknown directive, duplicate label, unknown endpoint...).
+/// malformed input (unknown directive, duplicate label, unknown endpoint,
+/// node/edge counts beyond kMaxParsedNodes/kMaxParsedEdges...).  Never
+/// exhibits UB on arbitrary bytes: every failure is a typed Error.
 [[nodiscard]] Dag read_dag_text(const std::string& text);
 
 /// File convenience wrappers.

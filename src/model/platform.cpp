@@ -99,6 +99,10 @@ Platform Platform::parse(const std::string& text) {
     for (const auto& entry : split(device_list, ',')) {
       std::string item(trim(entry));
       if (item.empty()) parse_fail(text, "empty device entry");
+      if (platform.device_names.size() >= kMaxParsedDevices) {
+        parse_fail(text, "more than " + std::to_string(kMaxParsedDevices) +
+                             " devices");
+      }
       // "name[*units][@speedup]" — strip the speedup suffix first so a
       // "*units" never swallows an "@".
       Frac speedup(1);

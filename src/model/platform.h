@@ -90,9 +90,14 @@ struct Platform {
   /// Throws hedra::Error — always naming the offending spec — on malformed
   /// input: missing or non-numeric core count, empty or duplicate device
   /// names, names containing spec metacharacters, missing or non-positive
-  /// unit counts, and malformed or non-positive speedups.  Inverse of
-  /// spec().
+  /// unit counts, malformed or non-positive speedups, and device counts
+  /// beyond kMaxParsedDevices.  Inverse of spec().
   [[nodiscard]] static Platform parse(const std::string& text);
+
+  /// Device-count cap for parse(): DeviceId is narrow and every analysis
+  /// is linear-or-worse in K, so a spec listing thousands of devices is
+  /// hostile input, not a real platform.
+  static constexpr std::size_t kMaxParsedDevices = 1024;
 
   /// Machine-readable "m:name1,name2*units@speedup,..." (just "m" when
   /// K = 0; "*units" only where n_d > 1 and "@speedup" only where

@@ -1,0 +1,264 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "analysis/analysis_cache.h"
+#include "graph/dag_io.h"
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace hedra::serve {
+
+namespace {
+
+constexpr std::string_view kAdmitRecord = "admit\n";
+constexpr std::string_view kLeavePrefix = "leave ";
+constexpr std::string_view kPlatformPrefix = "platform ";
+
+/// Parses one journalled task block by round-tripping it through the
+/// hardened TaskSet parser (prepending the platform line), so journal
+/// replay and network input share one validation path.
+model::DagTask parse_task_block(const std::string& block,
+                                const model::Platform& platform) {
+  const taskset::TaskSet one =
+      taskset::TaskSet::from_text("platform " + platform.spec() + "\n" + block);
+  HEDRA_REQUIRE(one.size() == 1,
+                "journal admit record holds " + std::to_string(one.size()) +
+                    " tasks, expected exactly 1");
+  return one[0];
+}
+
+taskset::TaskSet with_task(const model::Platform& platform,
+                           const taskset::TaskSet& base,
+                           const model::DagTask* extra) {
+  taskset::TaskSet next(platform);
+  for (const model::DagTask& task : base) next.add(task);
+  if (extra != nullptr) next.add(*extra);
+  return next;
+}
+
+}  // namespace
+
+const char* to_string(Decision decision) noexcept {
+  switch (decision) {
+    case Decision::kAdmitted:
+      return "ADMITTED";
+    case Decision::kRejected:
+      return "REJECTED";
+    case Decision::kProvisional:
+      return "PROVISIONAL";
+    case Decision::kOk:
+      return "OK";
+    case Decision::kError:
+      return "ERROR";
+  }
+  return "ERROR";
+}
+
+std::string task_to_text(const model::DagTask& task) {
+  std::ostringstream os;
+  os << "task " << task.name() << " period " << task.period() << " deadline "
+     << task.deadline() << "\n"
+     << graph::write_dag_text(task.dag()) << "endtask\n";
+  return os.str();
+}
+
+AdmissionService::AdmissionService(AdmissionConfig config)
+    : config_(std::move(config)) {
+  config_.platform.validate();
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->set = taskset::TaskSet(config_.platform);
+
+  if (!config_.journal_path.empty()) {
+    const JournalReplay replay = Journal::replay(config_.journal_path);
+    journal_.emplace(config_.journal_path);
+
+    std::vector<model::DagTask> tasks;
+    bool have_platform = false;
+    for (const std::string& record : replay.records) {
+      if (starts_with(record, kPlatformPrefix)) {
+        const std::string spec(trim(record.substr(kPlatformPrefix.size())));
+        HEDRA_REQUIRE(
+            spec == config_.platform.spec(),
+            "journal platform '" + spec + "' does not match configured '" +
+                config_.platform.spec() + "' — refusing to reinterpret "
+                "admitted state on a different platform");
+        have_platform = true;
+      } else if (starts_with(record, kAdmitRecord)) {
+        tasks.push_back(parse_task_block(record.substr(kAdmitRecord.size()),
+                                         config_.platform));
+      } else if (starts_with(record, kLeavePrefix)) {
+        const std::string name(trim(record.substr(kLeavePrefix.size())));
+        const auto it =
+            std::find_if(tasks.begin(), tasks.end(),
+                         [&](const model::DagTask& t) {
+                           return t.name() == name;
+                         });
+        HEDRA_REQUIRE(it != tasks.end(),
+                      "journal leave record for unknown task '" + name + "'");
+        tasks.erase(it);
+      } else {
+        throw Error("unknown journal record type: '" +
+                    record.substr(0, record.find('\n')) + "'");
+      }
+    }
+    HEDRA_REQUIRE(have_platform || replay.records.empty(),
+                  "journal has records but no platform header");
+    if (replay.records.empty()) {
+      journal_->append(std::string(kPlatformPrefix) + config_.platform.spec());
+    }
+
+    snapshot->set = taskset::TaskSet(config_.platform, std::move(tasks));
+    snapshot->set.validate();
+    if (!snapshot->set.empty()) {
+      snapshot->analysis = taskset::contention_rta(snapshot->set);
+    }
+    snapshot->version = replay.records.size();
+  }
+
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+AdmissionReply AdmissionService::admit(const model::DagTask& task,
+                                       util::Deadline deadline) {
+  AdmissionReply reply;
+  reply.task = task.name();
+
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  for (const model::DagTask& existing : current->set) {
+    if (existing.name() == task.name()) {
+      reply.decision = Decision::kError;
+      reply.detail = "task '" + task.name() + "' is already admitted";
+      return reply;
+    }
+  }
+
+  taskset::TaskSet candidate =
+      with_task(config_.platform, current->set, &task);
+  try {
+    candidate.validate();
+  } catch (const Error& e) {
+    reply.decision = Decision::kError;
+    reply.detail = e.what();
+    return reply;
+  }
+
+  util::Budget budget(deadline, config_.max_work_per_request == 0
+                                    ? util::Budget::kUnlimitedWork
+                                    : config_.max_work_per_request);
+  taskset::ContentionAnalysis analysis =
+      taskset::contention_rta(candidate, &budget);
+
+  if (analysis.schedulable) {
+    // contention_rta never reports schedulable under a truncated analysis
+    // (fail closed), so this branch is a complete exact-rational proof.
+    const taskset::TaskAdmission& admitted = analysis.tasks.back();
+    reply.decision = Decision::kAdmitted;
+    reply.outcome = util::Outcome::kComplete;
+    reply.cores = admitted.cores;
+    reply.response = admitted.response;
+    reply.detail = "proven by exact fixpoint";
+
+    auto next = std::make_shared<Snapshot>();
+    // The allocation fault seam: an injected failure here aborts the admit
+    // before anything is journalled or published.
+    HEDRA_FAULT("serve.snapshot.alloc");
+    next->set = std::move(candidate);
+    next->analysis = std::move(analysis);
+    next->version = current->version + 1;
+    // Journal BEFORE publishing: a crash between the two replays to the
+    // state we are about to acknowledge, never to one the client was not
+    // told about and that was not proven schedulable.
+    if (journal_.has_value()) {
+      journal_->append(std::string(kAdmitRecord) + task_to_text(task));
+    }
+    publish(std::move(next));
+    return reply;
+  }
+
+  if (analysis.outcome == util::Outcome::kBudgetExhausted) {
+    // Degradation ladder, rung 2: the fixpoint ran out of budget, so fall
+    // back to the SEED bound — the task's isolated platform bound at every
+    // host core, which lower-bounds the contended fixpoint at any
+    // allocation.  seed > D is therefore still a proof of infeasibility;
+    // anything else stays unproven and is NOT admitted.
+    analysis::AnalysisCache cache(task.dag());
+    const Frac seed = cache.r_platform(config_.platform);
+    if (seed > Frac(task.deadline())) {
+      reply.decision = Decision::kRejected;
+      reply.outcome = util::Outcome::kComplete;
+      reply.detail = "seed bound " + seed.to_string() +
+                     " exceeds deadline " + std::to_string(task.deadline()) +
+                     " on all " + std::to_string(config_.platform.cores) +
+                     " cores (proof survives the budget cut)";
+      return reply;
+    }
+    reply.decision = Decision::kProvisional;
+    reply.outcome = util::Outcome::kBudgetExhausted;
+    reply.detail = "analysis budget exhausted before a proof; not admitted";
+    return reply;
+  }
+
+  reply.decision = Decision::kRejected;
+  reply.outcome = util::Outcome::kComplete;
+  for (const taskset::TaskAdmission& t : analysis.tasks) {
+    if (!t.schedulable) {
+      reply.detail = "task '" + t.name + "' misses its deadline (R = " +
+                     t.response.to_string() + ")";
+      break;
+    }
+  }
+  return reply;
+}
+
+AdmissionReply AdmissionService::leave(const std::string& name) {
+  AdmissionReply reply;
+  reply.task = name;
+
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  taskset::TaskSet next_set(config_.platform);
+  bool found = false;
+  for (const model::DagTask& task : current->set) {
+    if (task.name() == name) {
+      found = true;
+      continue;
+    }
+    next_set.add(task);
+  }
+  if (!found) {
+    reply.decision = Decision::kError;
+    reply.detail = "no admitted task named '" + name + "'";
+    return reply;
+  }
+
+  auto next = std::make_shared<Snapshot>();
+  HEDRA_FAULT("serve.snapshot.alloc");
+  next->set = std::move(next_set);
+  if (!next->set.empty()) {
+    next->analysis = taskset::contention_rta(next->set);
+  }
+  next->version = current->version + 1;
+  if (journal_.has_value()) {
+    journal_->append(std::string(kLeavePrefix) + name);
+  }
+  publish(std::move(next));
+  reply.decision = Decision::kOk;
+  reply.detail = "task '" + name + "' left";
+  return reply;
+}
+
+std::string AdmissionService::status_line() const {
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  std::ostringstream os;
+  os << "tasks=" << current->set.size()
+     << " cores_used=" << current->analysis.cores_used
+     << " schedulable=" << (current->set.empty() || current->analysis.schedulable ? 1 : 0)
+     << " version=" << current->version << " platform="
+     << config_.platform.spec();
+  return os.str();
+}
+
+}  // namespace hedra::serve

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file admission.h
+/// The admission-control core: a long-lived service wrapping
+/// taskset::contention_rta (the paper's federated admission test) with the
+/// three properties a batch analysis never needed —
+///
+///  1. *Bounded-latency answers.*  Every request carries a util::Deadline;
+///     the analysis consumes a Budget cooperatively and, on exhaustion,
+///     degrades down a strict ladder:
+///
+///         exact fixpoint admitted            -> ADMITTED
+///         exact fixpoint rejects (complete)  -> REJECTED   (proof)
+///         budget cut, seed bound > deadline  -> REJECTED   (still a proof:
+///                                               the seed bound LOWER-bounds
+///                                               the contended fixpoint)
+///         budget cut, seed bound <= deadline -> PROVISIONAL (unproven,
+///                                               NOT admitted)
+///
+///     The ladder can under-admit, never over-admit: ADMITTED is only ever
+///     answered on a complete exact-rational proof.
+///
+///  2. *RCU-style snapshots.*  The admitted state is an immutable Snapshot
+///     behind std::atomic<std::shared_ptr>; readers (status queries,
+///     concurrent inspectors) load it wait-free while the single writer
+///     builds a successor and swaps it in after the journal commit.
+///
+///  3. *Crash safety.*  Every state change is journalled (serve/journal.h)
+///     BEFORE the snapshot swap, so a restart replays admit/leave records
+///     to bit-identical admitted state: to_text() of the recovered set
+///     equals to_text() of the pre-crash set.
+///
+/// Thread model: admit()/leave() must be called from one thread at a time
+/// (the server's worker); snapshot() is safe from any thread.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/journal.h"
+#include "taskset/contention_rta.h"
+#include "taskset/taskset.h"
+#include "util/deadline.h"
+
+namespace hedra::serve {
+
+/// The service's answer to one request.
+enum class Decision {
+  kAdmitted,     ///< proven schedulable; state updated
+  kRejected,     ///< proven unschedulable (exact or seed-bound proof)
+  kProvisional,  ///< budget exhausted before a proof; NOT admitted
+  kOk,           ///< non-admission operation succeeded (leave, status)
+  kError,        ///< malformed or inapplicable request; state unchanged
+};
+
+[[nodiscard]] const char* to_string(Decision decision) noexcept;
+
+/// Immutable admitted state.  Replaced wholesale on every mutation.
+struct Snapshot {
+  taskset::TaskSet set;
+  /// contention_rta of `set` (complete, unlimited budget); meaningful only
+  /// when the set is non-empty.
+  taskset::ContentionAnalysis analysis;
+  std::uint64_t version = 0;  ///< monotone, bumped per mutation
+};
+
+struct AdmissionConfig {
+  model::Platform platform;
+  /// Journal file; empty disables persistence (tests, ephemeral runs).
+  std::string journal_path;
+  /// Iteration/seed-evaluation work cap per request on top of the caller's
+  /// deadline (0 = unlimited): a belt against clock jumps.
+  std::uint64_t max_work_per_request = 0;
+};
+
+struct AdmissionReply {
+  Decision decision = Decision::kError;
+  std::string task;    ///< the request's task name (empty for status ops)
+  std::string detail;  ///< human-readable reason / summary
+  util::Outcome outcome = util::Outcome::kComplete;
+  int cores = 0;       ///< admitted task's dedicated host cores
+  Frac response;       ///< admitted task's proven response bound
+};
+
+class AdmissionService {
+ public:
+  /// Opens (and replays) the journal, reconstructing the admitted state.
+  /// Throws hedra::Error on journal corruption or a platform mismatch
+  /// between the journal and `config` — refusing to serve is safer than
+  /// re-interpreting admitted state on the wrong platform.
+  explicit AdmissionService(AdmissionConfig config);
+
+  /// Wait-free read of the current admitted state.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Runs the admission test for `task` joining the current set under
+  /// `deadline`.  See the degradation ladder in the file comment.
+  [[nodiscard]] AdmissionReply admit(const model::DagTask& task,
+                                     util::Deadline deadline = {});
+
+  /// Removes a previously admitted task.
+  [[nodiscard]] AdmissionReply leave(const std::string& name);
+
+  /// One-line state summary (the STATUS protocol response body).
+  [[nodiscard]] std::string status_line() const;
+
+  [[nodiscard]] const model::Platform& platform() const noexcept {
+    return config_.platform;
+  }
+
+ private:
+  void publish(std::shared_ptr<const Snapshot> next) {
+    snapshot_.store(std::move(next), std::memory_order_release);
+  }
+
+  AdmissionConfig config_;
+  std::optional<Journal> journal_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+};
+
+/// One task serialised as its `task ... endtask` block — the journal's
+/// admit-record body and the ADMIT request body, byte-identical to the
+/// corresponding lines of TaskSet::to_text().
+[[nodiscard]] std::string task_to_text(const model::DagTask& task);
+
+}  // namespace hedra::serve

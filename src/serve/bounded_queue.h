@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file bounded_queue.h
+/// Bounded FIFO hand-off between the server's reader and worker threads.
+///
+/// The admission loop must not buffer unbounded work: a client that writes
+/// requests faster than the analysis drains them would otherwise grow the
+/// process until the OOM killer answers for us.  The queue therefore has a
+/// hard capacity and `try_push` REFUSES instead of blocking — the reader
+/// answers an explicit SHED response, which a load balancer can act on,
+/// rather than an invisible latency cliff.
+///
+/// `pop` blocks until an item or close(); close() drains gracefully (pops
+/// succeed until the queue is empty, then return nullopt).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/fault.h"
+
+namespace hedra::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full or closed (the caller sheds the item).
+  [[nodiscard]] bool try_push(T item) {
+    HEDRA_FAULT("serve.queue.push");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed AND drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes; blocked pops drain the backlog then end.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hedra::serve

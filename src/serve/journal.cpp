@@ -1,0 +1,181 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace hedra::serve {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x314C4A48u;  // "HJL1" little-endian
+constexpr std::size_t kHeaderSize = 12;        // magic + length + crc
+/// Payloads beyond this are a corrupt length field, not a record — the cap
+/// keeps replay from allocating gigabytes off four garbage bytes.
+constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
+
+void put_u32(unsigned char* out, std::uint32_t value) {
+  out[0] = static_cast<unsigned char>(value & 0xFF);
+  out[1] = static_cast<unsigned char>((value >> 8) & 0xFF);
+  out[2] = static_cast<unsigned char>((value >> 16) & 0xFF);
+  out[3] = static_cast<unsigned char>((value >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+/// write(2) until done; throws on error (EINTR retried).
+void write_all(int fd, const void* data, std::size_t size,
+               const std::string& path) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, bytes, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("journal write failed: " + path + ": " +
+                  std::strerror(errno));
+    }
+    bytes += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  // Replay first: it validates the clean prefix and measures where any torn
+  // tail begins, so the open below can truncate the tail away and every
+  // future append extends committed state only.
+  const JournalReplay replay = Journal::replay(path_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw Error("cannot open journal: " + path_ + ": " + std::strerror(errno));
+  }
+  size_ = replay.clean_bytes;
+  if (replay.torn_tail) {
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw Error("cannot truncate torn journal tail: " + path_ + ": " +
+                  std::strerror(err));
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(size_), SEEK_SET) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot seek journal: " + path_ + ": " + std::strerror(err));
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(std::string_view payload) {
+  HEDRA_FAULT("serve.journal.write");
+  if (payload.size() > kMaxPayload) {
+    throw Error("journal record exceeds the " +
+                std::to_string(kMaxPayload) + "-byte payload cap");
+  }
+  unsigned char header[kHeaderSize];
+  put_u32(header, kMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 8, util::crc32(payload));
+
+  const std::uint64_t rollback = size_;
+  try {
+    write_all(fd_, header, kHeaderSize, path_);
+    // The seam between the two writes of one frame: a kill here leaves a
+    // header with no payload on disk — the torn tail replay() tolerates.
+    HEDRA_FAULT("serve.journal.write.mid");
+    write_all(fd_, payload.data(), payload.size(), path_);
+    HEDRA_FAULT("serve.journal.sync");
+    if (::fsync(fd_) != 0) {
+      throw Error("journal fsync failed: " + path_ + ": " +
+                  std::strerror(errno));
+    }
+  } catch (...) {
+    // All-or-nothing: put the file back exactly as it was.  If even the
+    // rollback fails the file still replays correctly (torn tail), but the
+    // original error is the one worth propagating.
+    if (::ftruncate(fd_, static_cast<off_t>(rollback)) == 0) {
+      ::lseek(fd_, static_cast<off_t>(rollback), SEEK_SET);
+    }
+    throw;
+  }
+  size_ += kHeaderSize + payload.size();
+  ++records_written_;
+}
+
+JournalReplay Journal::replay(const std::string& path) {
+  JournalReplay out;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return out;  // no journal yet: empty state
+    throw Error("cannot open journal: " + path + ": " + std::strerror(errno));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw Error("journal read failed: " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t offset = 0;
+  const auto corrupt = [&](const std::string& why) -> void {
+    throw Error("journal corrupt at offset " + std::to_string(offset) + ": " +
+                why + " (" + path + ")");
+  };
+  while (offset < data.size()) {
+    const std::size_t remaining = data.size() - offset;
+    // A crashed append only ever leaves a TRUNCATED frame at the tail (the
+    // file grows monotonically and header precedes payload), so missing
+    // bytes are a tolerated torn tail, while in-place garbage — bad magic,
+    // an absurd length, a CRC mismatch over a complete payload — is real
+    // corruption and fatal: silently dropping acknowledged records would
+    // un-admit tasks the service already promised.
+    if (remaining < kHeaderSize) {
+      out.torn_tail = true;
+      break;
+    }
+    if (get_u32(bytes + offset) != kMagic) corrupt("bad frame magic");
+    const std::uint32_t length = get_u32(bytes + offset + 4);
+    if (length > kMaxPayload) {
+      corrupt("frame length " + std::to_string(length) + " exceeds cap");
+    }
+    if (remaining < kHeaderSize + length) {
+      out.torn_tail = true;
+      break;
+    }
+    const std::uint32_t expected = get_u32(bytes + offset + 8);
+    const std::string_view payload(data.data() + offset + kHeaderSize, length);
+    if (util::crc32(payload) != expected) corrupt("frame CRC mismatch");
+    out.records.emplace_back(payload);
+    offset += kHeaderSize + length;
+    out.clean_bytes = offset;
+  }
+  return out;
+}
+
+}  // namespace hedra::serve

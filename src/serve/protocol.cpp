@@ -1,0 +1,123 @@
+#include "serve/protocol.h"
+
+#include <istream>
+#include <sstream>
+
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace hedra::serve {
+
+namespace {
+
+/// Parses "ADMIT <name> period <T> deadline <D>" plus the body lines up to
+/// `endtask`.  Mirrors the taskset parser's header handling (exact keyword
+/// match, trailing-token detection) so both input paths reject the same
+/// malformed shapes.
+Request read_admit(const std::string& header_line, std::istream& in) {
+  Request request;
+  request.kind = Request::Kind::kAdmit;
+  std::istringstream header(header_line);
+  std::string keyword, name, period_kw, deadline_kw, trailing;
+  graph::Time period = 0;
+  graph::Time deadline = 0;
+  header >> keyword >> name >> period_kw >> period >> deadline_kw >> deadline;
+  if (header.fail() || period_kw != "period" || deadline_kw != "deadline" ||
+      (header >> trailing)) {
+    request.kind = Request::Kind::kInvalid;
+    request.error = "expected 'ADMIT <name> period <T> deadline <D>', got '" +
+                    header_line + "'";
+    // Drain the body anyway: the malformed header must not leave its
+    // `node`/`edge` lines behind to be misread as commands.
+  }
+  request.name = name;
+  request.period = period;
+  request.deadline = deadline;
+
+  std::string line;
+  std::size_t bytes = 0;
+  std::size_t lines = 0;
+  bool closed = false;
+  while (std::getline(in, line)) {
+    if (trim(line) == "endtask") {
+      closed = true;
+      break;
+    }
+    bytes += line.size() + 1;
+    ++lines;
+    if (bytes > kMaxBodyBytes || lines > kMaxBodyLines) {
+      request.kind = Request::Kind::kInvalid;
+      request.error = "ADMIT body exceeds the " +
+                      std::to_string(kMaxBodyBytes) + "-byte / " +
+                      std::to_string(kMaxBodyLines) + "-line cap";
+      request.dag_text.clear();
+      // Keep draining to endtask (or EOF) so the protocol resynchronises,
+      // but stop accumulating.
+      continue;
+    }
+    if (request.kind == Request::Kind::kAdmit) {
+      request.dag_text += line;
+      request.dag_text += '\n';
+    }
+  }
+  if (!closed && request.kind == Request::Kind::kAdmit) {
+    request.kind = Request::Kind::kInvalid;
+    request.error = "ADMIT '" + name + "' truncated: no endtask before EOF";
+  }
+  return request;
+}
+
+}  // namespace
+
+std::optional<Request> read_request(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    HEDRA_FAULT("serve.request.parse");
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::string_view command =
+        trimmed.substr(0, trimmed.find_first_of(" \t"));
+
+    if (command == "ADMIT") return read_admit(std::string(trimmed), in);
+    if (command == "LEAVE") {
+      Request request;
+      const std::string_view rest = trim(trimmed.substr(command.size()));
+      if (rest.empty() || rest.find_first_of(" \t") != std::string_view::npos) {
+        request.kind = Request::Kind::kInvalid;
+        request.error = "expected 'LEAVE <name>', got '" + line + "'";
+        return request;
+      }
+      request.kind = Request::Kind::kLeave;
+      request.name = std::string(rest);
+      return request;
+    }
+    if (trimmed == "STATUS") {
+      Request request;
+      request.kind = Request::Kind::kStatus;
+      return request;
+    }
+    if (trimmed == "QUIT") {
+      Request request;
+      request.kind = Request::Kind::kQuit;
+      return request;
+    }
+    Request request;
+    request.kind = Request::Kind::kInvalid;
+    request.error = "unknown command '" + std::string(command) + "'";
+    return request;
+  }
+  return std::nullopt;  // clean EOF
+}
+
+std::string format_reply(const AdmissionReply& reply) {
+  std::ostringstream os;
+  os << to_string(reply.decision);
+  if (!reply.task.empty()) os << " " << reply.task;
+  if (reply.decision == Decision::kAdmitted) {
+    os << " cores=" << reply.cores << " response=" << reply.response;
+  }
+  if (!reply.detail.empty()) os << " " << reply.detail;
+  return os.str();
+}
+
+}  // namespace hedra::serve

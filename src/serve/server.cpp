@@ -1,0 +1,147 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "graph/dag_io.h"
+#include "serve/bounded_queue.h"
+#include "serve/protocol.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace hedra::serve {
+
+namespace {
+
+/// Executes one parsed request against the service.  Never throws: every
+/// failure — parse residue, analysis faults, journal errors — becomes an
+/// ERROR reply, because a service survives bad requests and bad luck; only
+/// the transport ending stops it.
+AdmissionReply execute(AdmissionService& service, const Request& request,
+                       const ServerConfig& config) {
+  AdmissionReply reply;
+  try {
+    switch (request.kind) {
+      case Request::Kind::kInvalid:
+        reply.decision = Decision::kError;
+        reply.detail = request.error;
+        return reply;
+      case Request::Kind::kStatus:
+        reply.decision = Decision::kOk;
+        reply.detail = service.status_line();
+        return reply;
+      case Request::Kind::kLeave:
+        return service.leave(request.name);
+      case Request::Kind::kAdmit: {
+        model::DagTask task(graph::read_dag_text(request.dag_text),
+                            request.period, request.deadline, request.name);
+        const util::Deadline deadline =
+            config.request_deadline_sec > 0.0
+                ? util::Deadline::after_seconds(config.request_deadline_sec)
+                : util::Deadline::never();
+        return service.admit(task, deadline);
+      }
+      case Request::Kind::kQuit:
+        reply.decision = Decision::kOk;
+        reply.detail = "bye";
+        return reply;
+    }
+  } catch (const Error& e) {
+    reply.decision = Decision::kError;
+    reply.task = request.name;
+    reply.detail = e.what();
+    return reply;
+  } catch (const std::exception& e) {
+    reply.decision = Decision::kError;
+    reply.task = request.name;
+    reply.detail = std::string("internal error: ") + e.what();
+    return reply;
+  }
+  reply.decision = Decision::kError;
+  reply.detail = "unhandled request kind";
+  return reply;
+}
+
+}  // namespace
+
+ServerStats run_server(std::istream& in, std::ostream& out,
+                       AdmissionService& service, const ServerConfig& config) {
+  ServerStats stats;
+  BoundedQueue<Request> queue(config.queue_capacity);
+  std::mutex out_mutex;
+  std::atomic<std::uint64_t> shed{0};
+
+  // Reader: parse + enqueue; shed when the worker is saturated.  Parsing
+  // (including an injected serve.request.parse fault) must not kill the
+  // reader, so failures become kInvalid requests answered in order.
+  std::thread reader([&] {
+    for (;;) {
+      std::optional<Request> request;
+      try {
+        request = read_request(in);
+      } catch (const std::exception& e) {
+        Request invalid;
+        invalid.kind = Request::Kind::kInvalid;
+        invalid.error = e.what();
+        request = std::move(invalid);
+      }
+      if (!request.has_value()) break;  // EOF
+      const bool quit = request->kind == Request::Kind::kQuit;
+      const std::string name = request->name;
+      bool pushed = false;
+      try {
+        pushed = queue.try_push(std::move(*request));
+      } catch (const std::exception&) {
+        // A fault at the queue boundary (serve.queue.push) loses the
+        // hand-off; the request was never executed, so SHED is the honest
+        // answer — and the reader thread must survive.
+        pushed = false;
+      }
+      if (!pushed) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(out_mutex);
+        out << "SHED" << (name.empty() ? "" : " " + name) << "\n"
+            << std::flush;
+      }
+      if (quit) break;
+    }
+    queue.close();
+  });
+
+  // Worker: drain, execute, respond.
+  for (;;) {
+    std::optional<Request> request = queue.pop();
+    if (!request.has_value()) break;  // closed and drained
+    const AdmissionReply reply = execute(service, *request, config);
+    ++stats.requests;
+    switch (reply.decision) {
+      case Decision::kAdmitted:
+        ++stats.admitted;
+        break;
+      case Decision::kRejected:
+        ++stats.rejected;
+        break;
+      case Decision::kProvisional:
+        ++stats.provisional;
+        break;
+      case Decision::kError:
+        ++stats.errors;
+        break;
+      case Decision::kOk:
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out << format_reply(reply) << "\n" << std::flush;
+    }
+    if (request->kind == Request::Kind::kQuit) break;
+  }
+  queue.close();  // in case QUIT ended the worker before the reader
+  reader.join();
+  stats.shed = shed.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hedra::serve

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file server.h
+/// The daemon loop: a reader thread parsing requests off an input stream
+/// into a BoundedQueue, and a worker (the calling thread) draining the
+/// queue through the AdmissionService and writing one response line per
+/// request.
+///
+/// Overload behaviour: when the queue is full the READER answers
+/// `SHED <name>` immediately instead of blocking — bounded memory, and the
+/// client learns in O(1) that the request was dropped unprocessed.  Under
+/// overload a SHED line can therefore overtake the responses of
+/// still-queued earlier requests; every response names its task, so
+/// clients correlate by name, not by order.  In the common (non-saturated)
+/// case responses come back strictly in request order.
+///
+/// Every request is executed under the configured per-request deadline.
+/// Injected faults (util/fault.h) and analysis errors surface as ERROR
+/// responses — the loop survives them; only QUIT or input EOF end it.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/admission.h"
+
+namespace hedra::serve {
+
+struct ServerConfig {
+  std::size_t queue_capacity = 64;
+  /// Per-request analysis deadline; <= 0 means unlimited.
+  double request_deadline_sec = 0.0;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;   ///< requests executed (incl. errors)
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t provisional = 0;
+  std::uint64_t shed = 0;       ///< refused at the queue, never executed
+  std::uint64_t errors = 0;
+};
+
+/// Runs the loop until EOF or QUIT; returns the tally.
+ServerStats run_server(std::istream& in, std::ostream& out,
+                       AdmissionService& service,
+                       const ServerConfig& config = {});
+
+}  // namespace hedra::serve

@@ -7,6 +7,7 @@
 
 #include "analysis/analysis_cache.h"
 #include "analysis/batch_kernels.h"
+#include "util/fault.h"
 
 namespace hedra::taskset {
 
@@ -164,6 +165,11 @@ Frac interference_at(const TaskSet& set, const SetQuantities& q,
 struct FixpointResult {
   Frac response;
   bool converged = false;
+  /// True when the iteration was cut short — by the kMaxIterations guard or
+  /// by the caller's budget — rather than converging or provably crossing
+  /// the deadline.  Distinct from plain rejection: the verdict is
+  /// "truncated", not "infeasible" (Outcome::kBudgetExhausted upstream).
+  bool truncated = false;
   int iterations = 0;
   std::vector<Frac> per_device;          ///< interference per class, d−1
   std::vector<std::size_t> dominant;     ///< dominant competitor per class
@@ -176,13 +182,19 @@ constexpr int kMaxIterations = 1000;
 /// a generous iteration cap guards against pathological slow convergence.
 FixpointResult fixpoint_frac(const TaskSet& set, const SetQuantities& q,
                              std::size_t index, const Frac& seed,
-                             graph::Time deadline) {
+                             graph::Time deadline, util::Budget* budget) {
   FixpointResult out;
   out.per_device.assign(q.units.size(), Frac());
   out.dominant.assign(q.units.size(), index);
   std::vector<graph::Time> n_jobs;
   Frac response = seed;
   for (int k = 1; k <= kMaxIterations; ++k) {
+    HEDRA_FAULT("taskset.rta.iteration");
+    if (budget != nullptr && !budget->consume()) {
+      out.truncated = true;  // budget cut mid-fixpoint: sound partial only
+      out.response = response;
+      return out;
+    }
     out.iterations = k;
     const Frac next =
         seed + interference_at(set, q, index, response, n_jobs,
@@ -199,7 +211,8 @@ FixpointResult fixpoint_frac(const TaskSet& set, const SetQuantities& q,
     }
   }
   out.response = response;
-  return out;  // iteration cap: treat as unschedulable
+  out.truncated = true;  // iteration cap: truncated, NOT proven infeasible
+  return out;
 }
 
 /// Every rational the fixpoint touches has a denominator dividing
@@ -216,7 +229,8 @@ FixpointResult fixpoint_frac(const TaskSet& set, const SetQuantities& q,
 /// multiply by f per term, so nothing is allocated or re-derived per call.
 FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
                             graph::Time L, graph::Time f, std::size_t index,
-                            const Frac& seed, graph::Time deadline) {
+                            const Frac& seed, graph::Time deadline,
+                            util::Budget* budget) {
   using graph::Time;
   const Time seed_scaled = seed.num() * (L / seed.den());
   const Time deadline_scaled = deadline * L;
@@ -231,7 +245,13 @@ FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
   n_jobs.assign(num_tasks, 0);
 
   Time response = seed_scaled;
+  bool crossed = false;
   for (int k = 1; k <= kMaxIterations; ++k) {
+    HEDRA_FAULT("taskset.rta.iteration");
+    if (budget != nullptr && !budget->consume()) {
+      out.truncated = true;  // budget cut mid-fixpoint: sound partial only
+      break;
+    }
     out.iterations = k;
     // n_jobs_j = floor((R + D_j)/T_j) + 1 on L-scaled integers.
     for (std::size_t j = 0; j < num_tasks; ++j) {
@@ -263,8 +283,14 @@ FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
       break;
     }
     response = next;
-    if (response > deadline_scaled) break;  // crossed the deadline; diverging
+    if (response > deadline_scaled) {
+      crossed = true;
+      break;  // crossed the deadline; diverging
+    }
   }
+  // Ran the cap down without converging or provably crossing the deadline:
+  // the verdict is "truncated", exactly as in the Frac path.
+  if (!out.converged && !crossed) out.truncated = true;
   out.response = Frac(response, L);
   out.per_device.resize(num_devices);
   for (std::size_t d = 0; d < num_devices; ++d) {
@@ -275,7 +301,7 @@ FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
 
 FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
                         std::size_t index, const Frac& seed,
-                        graph::Time deadline) {
+                        graph::Time deadline, util::Budget* budget) {
   if (q.base_scale > 0) {
     // L = lcm(B, seed.den) = B·f; seed.den divides L by construction.
     const graph::Time f =
@@ -287,11 +313,11 @@ FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
       if (seed_scaled >= 0 &&
           seed_scaled + __int128{f} * q.step_weight <= kMaxMagnitude &&
           q.timing_max * L <= kMaxMagnitude) {
-        return fixpoint_int(set, q, L, f, index, seed, deadline);
+        return fixpoint_int(set, q, L, f, index, seed, deadline, budget);
       }
     }
   }
-  return fixpoint_frac(set, q, index, seed, deadline);
+  return fixpoint_frac(set, q, index, seed, deadline, budget);
 }
 
 /// Per-task isolated platform bound R(m), served from the arena view when
@@ -327,19 +353,19 @@ class SeedBound {
 }  // namespace
 
 Frac contention_response(const TaskSet& set, std::size_t index, int cores,
-                         bool* converged) {
+                         bool* converged, util::Budget* budget) {
   HEDRA_REQUIRE(index < set.size(), "task index out of range");
   HEDRA_REQUIRE(cores >= 1, "need at least one dedicated host core");
   const SetQuantities& q = measure(set);
   SeedBound seed_bound(set[index], q);
   const Frac seed = seed_bound(cores);
   const FixpointResult result =
-      fixpoint(set, q, index, seed, set[index].deadline());
+      fixpoint(set, q, index, seed, set[index].deadline(), budget);
   if (converged != nullptr) *converged = result.converged;
   return result.response;
 }
 
-ContentionAnalysis contention_rta(const TaskSet& set) {
+ContentionAnalysis contention_rta(const TaskSet& set, util::Budget* budget) {
   HEDRA_REQUIRE(!set.empty(), "contention_rta needs a non-empty task set");
   set.validate();
   const SetQuantities& q = measure(set);
@@ -359,20 +385,34 @@ ContentionAnalysis contention_rta(const TaskSet& set) {
     // count is the smallest one; every evaluation reuses the per-task
     // quantities (the chain walk is the only per-m work).
     for (int m = 1; m <= remaining; ++m) {
+      // One unit per seed-bound evaluation (the chain walk), on top of the
+      // per-iteration units the fixpoint itself consumes.  On exhaustion
+      // the remaining trials are skipped and the task is reported
+      // truncated-unschedulable — under-admission, never over-admission.
+      if (budget != nullptr && !budget->consume()) {
+        best.truncated = true;
+        break;
+      }
       const Frac seed = seed_bound(m);
-      FixpointResult result = fixpoint(set, q, i, seed, deadline);
+      FixpointResult result = fixpoint(set, q, i, seed, deadline, budget);
       if (result.converged && result.response <= Frac(deadline)) {
         best = std::move(result);
         assigned = m;
         break;
       }
-      if (m == remaining) best = std::move(result);  // best effort to report
+      if (result.truncated || m == remaining) {
+        best = std::move(result);  // best effort to report
+        if (best.truncated) break;  // budget gone: stop trying core counts
+      }
     }
 
     admission.cores = assigned > 0 ? assigned : remaining;
     admission.schedulable = assigned > 0;
     admission.response = best.response;
     admission.iterations = best.iterations;
+    admission.outcome = best.truncated ? util::Outcome::kBudgetExhausted
+                                       : util::Outcome::kComplete;
+    if (best.truncated) out.outcome = util::Outcome::kBudgetExhausted;
     // With zero cores left the fixpoint never ran, so there is no
     // per-device breakdown to report.
     for (std::size_t d = 0; d < best.per_device.size(); ++d) {
@@ -401,8 +441,11 @@ std::string explain(const ContentionAnalysis& analysis, const TaskSet& set) {
   std::ostringstream os;
   os << "taskset admission ("
      << set.platform().describe() << "): "
-     << (analysis.schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE") << ", "
-     << analysis.cores_used << "/" << set.platform().cores
+     << (analysis.schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE");
+  if (analysis.outcome == util::Outcome::kBudgetExhausted) {
+    os << " (budget exhausted: truncated tasks are not PROVEN infeasible)";
+  }
+  os << ", " << analysis.cores_used << "/" << set.platform().cores
      << " host cores partitioned\n";
 
   // The tightest task — the first unschedulable one, or the admitted task
@@ -434,10 +477,15 @@ std::string explain(const ContentionAnalysis& analysis, const TaskSet& set) {
     }
     os << task.cores << " core" << (task.cores == 1 ? "" : "s") << ", R = "
        << task.response << " (= " << task.response.to_double() << ") vs D = "
-       << set[i].deadline() << " -> "
-       << (task.schedulable ? "schedulable" : "NOT schedulable");
-    if (task.iterations > 1) {
-      os << " after " << task.iterations << " contention iterations";
+       << set[i].deadline() << " -> ";
+    if (task.outcome == util::Outcome::kBudgetExhausted) {
+      os << "BUDGET EXHAUSTED (analysis truncated after " << task.iterations
+         << " iterations; treated as NOT schedulable, not proven infeasible)";
+    } else {
+      os << (task.schedulable ? "schedulable" : "NOT schedulable");
+      if (task.iterations > 1) {
+        os << " after " << task.iterations << " contention iterations";
+      }
     }
     os << "\n";
   }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "taskset/taskset.h"
+#include "util/deadline.h"
 #include "util/fraction.h"
 
 namespace hedra::taskset {
@@ -71,6 +72,12 @@ struct TaskAdmission {
   /// the first value crossing the deadline otherwise; zero when cores==0).
   Frac response;
   int iterations = 0;   ///< fixpoint iterations taken (1 = no contention)
+  /// kComplete when the verdict is mathematically final.  kBudgetExhausted
+  /// when the reported fixpoint was TRUNCATED — by the iteration guard or
+  /// by a caller-supplied budget — so "not schedulable" means "not PROVEN
+  /// schedulable within budget", never a proof of infeasibility.  A
+  /// truncated task is always reported unschedulable (fail closed).
+  util::Outcome outcome = util::Outcome::kComplete;
   std::vector<DeviceContention> devices;  ///< classes with shared work only
 };
 
@@ -78,11 +85,21 @@ struct TaskAdmission {
 struct ContentionAnalysis {
   bool schedulable = false;
   int cores_used = 0;   ///< Σ m_i over schedulable tasks
+  /// kBudgetExhausted iff any task's verdict was budget-truncated; such an
+  /// analysis never reports schedulable == true (fail closed).
+  util::Outcome outcome = util::Outcome::kComplete;
   std::vector<TaskAdmission> tasks;
 };
 
 /// Runs the admission test.  Requires a validated, non-empty set.
-[[nodiscard]] ContentionAnalysis contention_rta(const TaskSet& set);
+///
+/// `budget` (nullable = unlimited) is consumed cooperatively — one unit per
+/// fixpoint iteration and per seed-bound evaluation.  On exhaustion the
+/// remaining work is SKIPPED and every affected task reports
+/// Outcome::kBudgetExhausted with schedulable == false: a budget-cut
+/// analysis can under-admit, never over-admit.
+[[nodiscard]] ContentionAnalysis contention_rta(const TaskSet& set,
+                                                util::Budget* budget = nullptr);
 
 /// The inflated response-time fixpoint of task `index` on `cores` dedicated
 /// host cores, ignoring the partitioning step — the building block
@@ -90,7 +107,8 @@ struct ContentionAnalysis {
 /// fixpoint (which may exceed the deadline); sets `converged` to false if
 /// the iteration crossed the deadline instead of stabilising.
 [[nodiscard]] Frac contention_response(const TaskSet& set, std::size_t index,
-                                       int cores, bool* converged = nullptr);
+                                       int cores, bool* converged = nullptr,
+                                       util::Budget* budget = nullptr);
 
 /// Human-readable verdict: per-task allocation and bound vs deadline, and —
 /// for the tightest task — the dominating (competitor task, device) pair,

@@ -7,6 +7,7 @@
 
 #include "graph/critical_path.h"
 #include "graph/flat_dag.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace hedra::taskset {
@@ -331,6 +332,7 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
       if (--task_unfinished[item.job] == 0) {
         JobRecord& record = task_result.jobs[item.job];
         record.finish = t;
+        record.finished = true;
         task_result.worst_response =
             std::max(task_result.worst_response, record.response());
         result.makespan = std::max(result.makespan, t);
@@ -351,7 +353,16 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
     }
   };
 
+  std::uint64_t events = 0;
   while (jobs_remaining > 0) {
+    HEDRA_FAULT("taskset.sim.event");
+    // Deadline poll amortised over event rounds; an expiry stops the loop
+    // at an event boundary, so finished jobs keep exact records.
+    if (!config.deadline.unlimited() && (++events & 0xFF) == 0 &&
+        config.deadline.expired()) {
+      result.outcome = util::Outcome::kBudgetExhausted;
+      break;
+    }
     HEDRA_REQUIRE(!completions.empty() || next_release < releases.size(),
                   "taskset simulation stalled (hedra bug)");
     Time t = std::numeric_limits<Time>::max();
@@ -441,6 +452,7 @@ TasksetSimResult simulate_taskset(const TaskSet& set,
       }
     }
   }
+  result.jobs_unfinished = jobs_remaining;
   return result;
 }
 

@@ -32,6 +32,7 @@
 
 #include "sim/scheduler.h"
 #include "taskset/taskset.h"
+#include "util/deadline.h"
 
 namespace hedra::taskset {
 
@@ -39,12 +40,18 @@ struct TasksetSimConfig {
   sim::Policy policy = sim::Policy::kBreadthFirst;
   std::uint64_t seed = 1;  ///< used by Policy::kRandom only
   int jobs_per_task = 3;   ///< releases simulated per task (>= 1)
+  /// Wall-clock cut for the event loop (default: never).  On expiry the
+  /// simulation stops at an event boundary; finished jobs keep their exact
+  /// records, unfinished ones stay marked and the result reports
+  /// Outcome::kBudgetExhausted — never a fabricated response time.
+  util::Deadline deadline;
 };
 
 /// One job's observed lifetime.
 struct JobRecord {
   graph::Time release = 0;
   graph::Time finish = 0;
+  bool finished = false;  ///< false on a budget-cut run: finish is unset
 
   [[nodiscard]] graph::Time response() const noexcept {
     return finish - release;
@@ -54,12 +61,16 @@ struct JobRecord {
 /// Per-task observations.
 struct TaskObservation {
   std::vector<JobRecord> jobs;       ///< jobs_per_task entries, release order
-  graph::Time worst_response = 0;    ///< max over the jobs
+  graph::Time worst_response = 0;    ///< max over the FINISHED jobs
 };
 
 struct TasksetSimResult {
   std::vector<TaskObservation> tasks;  ///< aligned with the set
   graph::Time makespan = 0;            ///< completion of the last job
+  /// kComplete when every released job ran to completion; kBudgetExhausted
+  /// when the config deadline cut the event loop short.
+  util::Outcome outcome = util::Outcome::kComplete;
+  std::size_t jobs_unfinished = 0;     ///< > 0 only when budget-cut
 };
 
 /// Simulates every released job to completion.  `cores_per_task` is the

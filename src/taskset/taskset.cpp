@@ -111,6 +111,10 @@ TaskSet TaskSet::from_text(const std::string& text) {
     }
     if (directive == "task") {
       if (!have_platform) fail(i, "the platform directive must come first");
+      if (set.tasks_.size() >= kMaxParsedTasks) {
+        fail(i, "task count exceeds the parser cap of " +
+                    std::to_string(kMaxParsedTasks));
+      }
       // "task <name> period <T> deadline <D>"
       std::istringstream header{std::string(line)};
       std::string keyword, name, period_kw, deadline_kw, trailing;
@@ -141,6 +145,13 @@ TaskSet TaskSet::from_text(const std::string& text) {
         ++i;
       }
       if (!closed) fail(header_line, "task '" + name + "' has no endtask");
+      // validate() would catch the duplicate too, but only after parsing
+      // everything and without a line number; failing here names the line.
+      for (const DagTask& existing : set.tasks_) {
+        if (existing.name() == name) {
+          fail(header_line, "duplicate task name '" + name + "'");
+        }
+      }
       try {
         set.add(DagTask(graph::read_dag_text(dag_text), period, deadline,
                         name));

@@ -92,9 +92,15 @@ class TaskSet {
   /// Serialises the set; round-trips through from_text.  Calls validate().
   [[nodiscard]] std::string to_text() const;
 
+  /// Task-count cap for from_text: hostile input declaring an absurd number
+  /// of tasks fails with a named line instead of exhausting memory.
+  static constexpr std::size_t kMaxParsedTasks = 4096;
+
   /// Parses the textual format.  Throws hedra::Error with a line number on
   /// malformed input (missing platform line, duplicate task names, bad
-  /// period/deadline, dag_io errors rethrown with the task named).
+  /// period/deadline, counts beyond kMaxParsedTasks, dag_io errors rethrown
+  /// with the task named).  Never exhibits UB on arbitrary bytes: every
+  /// failure is a typed Error naming the offending line.
   [[nodiscard]] static TaskSet from_text(const std::string& text);
 
  private:

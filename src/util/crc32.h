@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+/// checksum of the serve journal.  Chosen over a cheaper additive checksum
+/// because the journal's failure mode is a TORN WRITE: a frame whose header
+/// landed but whose payload is half-missing must be detected with
+/// overwhelming probability, and CRC-32 detects all burst errors up to 32
+/// bits plus any odd number of bit flips.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hedra::util {
+
+/// CRC-32 of `data`, seeded with `seed` (pass a previous result to chain
+/// buffers; the default is the standard empty-message seed).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data,
+                                         std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace hedra::util

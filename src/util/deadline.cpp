@@ -1,0 +1,79 @@
+#include "util/deadline.h"
+
+namespace hedra::util {
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kComplete:
+      return "complete";
+    case Outcome::kBudgetExhausted:
+      return "budget-exhausted";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  Deadline d;
+  d.unlimited_ = false;
+  d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(budget);
+  return d;
+}
+
+Deadline Deadline::after_seconds(double seconds) {
+  return after(std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::at(Clock::time_point when) noexcept {
+  Deadline d;
+  d.unlimited_ = false;
+  d.when_ = when;
+  return d;
+}
+
+Deadline::Clock::duration Deadline::remaining() const noexcept {
+  if (unlimited_) return Clock::duration::max();
+  const auto now = Clock::now();
+  return now >= when_ ? Clock::duration::zero() : when_ - now;
+}
+
+Deadline Deadline::sooner(const Deadline& a, const Deadline& b) {
+  if (a.unlimited()) return b;
+  if (b.unlimited()) return a;
+  return a.when_ <= b.when_ ? a : b;
+}
+
+bool Budget::consume(std::uint64_t units) noexcept {
+  if (exhausted_.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t before = used_.fetch_add(units, std::memory_order_relaxed);
+  const std::uint64_t after = before + units;
+  if (after > max_work_) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  // Amortised clock poll: at most once per kClockStride consumed units.
+  // (before / stride != after / stride) is true exactly when the counter
+  // crossed a stride boundary, so concurrent consumers poll about once per
+  // stride in aggregate, not each.
+  if (!deadline_.unlimited() &&
+      (before / kClockStride != after / kClockStride || before == 0)) {
+    if (deadline_.expired()) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Budget::check_now() noexcept {
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
+  if (deadline_.expired()) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hedra::util

@@ -1,0 +1,227 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hedra::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// FNV-1a over the site name — the per-site RNG key, so each site's draw
+/// stream is independent of every other site's and of registration order.
+std::uint64_t fnv1a(const char* text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char* p = text; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+struct Site {
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  bool seen = false;  ///< executed at least once while enabled (the
+                      ///< inventory bit — survives configure()/reset())
+  std::optional<Trigger> trigger;  ///< exact-match trigger (beats wildcard)
+  std::optional<Rng> rng;          ///< lazily forked from (seed, name hash)
+};
+
+/// Zeroes a site's triggers and counters but keeps its inventory bit.
+void wipe_site(Site* site) {
+  const bool seen = site->seen;
+  *site = Site{};
+  site->seen = seen;
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;  ///< ordered: enumeration is sorted
+  std::optional<Trigger> wildcard;
+  std::uint64_t seed = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites may fire at exit
+  return *r;
+}
+
+/// Parses one "site=value[!kill]" entry.
+void parse_entry(std::string_view entry, std::string* site, Trigger* trigger) {
+  const auto bad = [&](const std::string& why) -> void {
+    throw Error("malformed fault spec entry '" + std::string(entry) +
+                "': " + why);
+  };
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    bad("expected '<site>=<rate|@N>[!kill]'");
+  }
+  *site = std::string(trim(entry.substr(0, eq)));
+  std::string_view value = trim(entry.substr(eq + 1));
+  if (value.empty()) bad("empty trigger value");
+  *trigger = Trigger{};
+  if (const std::size_t bang = value.find('!');
+      bang != std::string_view::npos) {
+    const std::string_view action = value.substr(bang + 1);
+    if (action == "kill") {
+      trigger->action = Action::kKill;
+    } else if (action == "throw") {
+      trigger->action = Action::kThrow;
+    } else {
+      bad("unknown action '" + std::string(action) + "'");
+    }
+    value = trim(value.substr(0, bang));
+  }
+  if (!value.empty() && value.front() == '@') {
+    const std::int64_t nth = parse_int(value.substr(1));
+    if (nth < 1) bad("@N needs N >= 1");
+    trigger->nth = static_cast<std::uint64_t>(nth);
+    return;
+  }
+  const double rate = parse_real(value);
+  if (rate < 0.0 || rate > 1.0) bad("rate must be within [0, 1]");
+  trigger->rate = rate;
+}
+
+}  // namespace
+
+namespace detail {
+
+void hit(const char* name) {
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.mutex);
+  Site& site = r.sites[name];  // self-registration on first execution
+  site.seen = true;
+  ++site.hits;
+  const Trigger* trigger =
+      site.trigger.has_value()
+          ? &*site.trigger
+          : (r.wildcard.has_value() ? &*r.wildcard : nullptr);
+  if (trigger == nullptr) return;
+  bool should_fire = false;
+  if (trigger->nth > 0) {
+    should_fire = site.hits == trigger->nth;
+  } else if (trigger->rate > 0.0) {
+    if (!site.rng.has_value()) site.rng.emplace(r.seed ^ fnv1a(name));
+    should_fire = site.rng->uniform_real() < trigger->rate;
+  }
+  if (!should_fire) return;
+  std::string site_name(name);
+  ++site.fired;
+  const Action action = trigger->action;
+  lock.unlock();  // never throw (or die) while holding the registry lock
+  if (action == Action::kKill) std::raise(SIGKILL);
+  throw Injected(site_name);
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.wildcard.reset();
+  r.seed = seed;
+  for (auto& [name, site] : r.sites) {
+    wipe_site(&site);  // keep the inventory, clear triggers and counters
+  }
+  bool any = false;
+  for (const std::string& entry : split(spec, ',')) {
+    if (trim(entry).empty()) continue;
+    std::string site_name;
+    Trigger trigger;
+    parse_entry(trim(entry), &site_name, &trigger);
+    if (site_name == "*") {
+      r.wildcard = trigger;
+    } else {
+      r.sites[site_name].trigger = trigger;
+    }
+    any = true;
+  }
+  detail::g_enabled.store(any, std::memory_order_relaxed);
+}
+
+void arm(const std::string& site, const Trigger& trigger) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Site& entry = r.sites[site];
+  wipe_site(&entry);
+  entry.trigger = trigger;
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  r.wildcard.reset();
+  for (auto& [name, site] : r.sites) wipe_site(&site);
+}
+
+void clear_registry() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  r.wildcard.reset();
+  r.sites.clear();
+}
+
+bool install_from_env() {
+  const char* spec = std::getenv("HEDRA_FAULTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::uint64_t seed = 0;
+  if (const char* seed_text = std::getenv("HEDRA_FAULT_SEED");
+      seed_text != nullptr && *seed_text != '\0') {
+    seed = static_cast<std::uint64_t>(parse_int(seed_text));
+  }
+  configure(spec, seed);
+  return enabled();
+}
+
+std::vector<std::string> registered_sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) {
+    if (site.seen) names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<SiteStats> stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) {
+    if (site.seen) out.push_back(SiteStats{name, site.hits, site.fired});
+  }
+  return out;
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace hedra::fault

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file fault.h
+/// Deterministic fault injection for robustness testing.
+///
+/// Long-running services fail at the seams — allocations, fixpoint
+/// iterations, journal writes, queue hand-offs — and a robustness contract
+/// is only testable if those seams can be made to fail ON DEMAND.  This
+/// registry provides named fault *sites*:
+///
+///     HEDRA_FAULT("serve.journal.write");
+///
+/// compiles to a single relaxed atomic load when injection is disabled (the
+/// production state: no registry lookup, no lock, no RNG), and when enabled
+/// consults the site's trigger:
+///
+///   - `rate` triggers fire with probability p per hit, drawn from a
+///     per-site RNG forked deterministically from the global fault seed and
+///     an FNV-1a hash of the site name — so a faulting run is exactly
+///     reproducible from (spec, seed) and independent of unrelated sites;
+///   - `@N` triggers fire on exactly the N-th hit of that site (1-based),
+///     the tool for "kill the journal mid-append on the 3rd record";
+///   - the action is either *throw* (a hedra::fault::Injected, a subclass
+///     of hedra::Error naming the site — the default; callers treat it as
+///     any other failure and must fail CLOSED) or *kill* (raise(SIGKILL),
+///     for crash-recovery tests that need the process to vanish without
+///     unwinding).
+///
+/// Configuration is a comma-separated spec, programmatic or via the
+/// environment (`HEDRA_FAULTS`, seed in `HEDRA_FAULT_SEED`) — the library
+/// NEVER reads the environment on its own; binaries that want env-driven
+/// faults call install_from_env() explicitly:
+///
+///     HEDRA_FAULTS='*=0.01'                          # 1% at every site
+///     HEDRA_FAULTS='serve.journal.write.mid=@2!kill' # die mid-2nd-append
+///     HEDRA_FAULTS='taskset.rta.iteration=0.05,serve.queue.push=@1'
+///
+/// `*` matches every site; an exact entry overrides the wildcard.  Sites
+/// self-register on first execution, so `registered_sites()` enumerates
+/// every seam a workload actually crossed — run the workload once under
+/// `*=0` (enabled, never fires) to take the inventory, then arm sites one
+/// by one (the fail-closed property test does exactly this).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hedra::fault {
+
+/// Thrown when an armed fault site fires with the throw action.
+class Injected : public Error {
+ public:
+  explicit Injected(const std::string& site)
+      : Error("injected fault at site '" + site + "'"), site_(site) {}
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// What an armed site does when it fires.
+enum class Action {
+  kThrow,  ///< throw fault::Injected (default)
+  kKill,   ///< raise(SIGKILL): the process dies without unwinding
+};
+
+/// When an armed site fires.
+struct Trigger {
+  double rate = 0.0;      ///< fire probability per hit (ignored if nth > 0)
+  std::uint64_t nth = 0;  ///< fire on exactly this hit (1-based); 0 = off
+  Action action = Action::kThrow;
+};
+
+/// Counters of one registered site.
+struct SiteStats {
+  std::string name;
+  std::uint64_t hits = 0;   ///< times the site executed while enabled
+  std::uint64_t fired = 0;  ///< times it actually injected
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Registry hit path; called only while enabled.
+void hit(const char* site);
+}  // namespace detail
+
+/// True while any trigger (or a `*=0` discovery config) is installed.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Parses and installs a spec (see file comment), replacing any previous
+/// configuration and clearing counters.  An empty spec disables injection.
+/// Throws hedra::Error naming the offending entry on malformed specs.
+void configure(const std::string& spec, std::uint64_t seed = 0);
+
+/// Arms one site programmatically (enables injection).  Counters of the
+/// site are reset; other sites keep their state.
+void arm(const std::string& site, const Trigger& trigger);
+
+/// Disables injection and clears every trigger and counter.  Registered
+/// site NAMES are kept — the inventory outlives a reset so discovery runs
+/// compose with per-site arming.
+void reset();
+
+/// Forgets everything, inventory included (test isolation).
+void clear_registry();
+
+/// Reads HEDRA_FAULTS / HEDRA_FAULT_SEED and configures accordingly.
+/// Returns true if a spec was installed.  No-op without the variable.
+bool install_from_env();
+
+/// Every site name that has executed at least once while enabled (sorted).
+[[nodiscard]] std::vector<std::string> registered_sites();
+
+/// Counters per registered site (sorted by name).
+[[nodiscard]] std::vector<SiteStats> stats();
+
+/// Hits of one site so far (0 if never seen).
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+/// Fires of one site so far (0 if never seen).
+[[nodiscard]] std::uint64_t fired(const std::string& site);
+
+}  // namespace hedra::fault
+
+/// A named fault-injection seam.  Zero overhead when injection is disabled
+/// (one relaxed atomic load, statically predicted not-taken).
+#define HEDRA_FAULT(site)                        \
+  do {                                           \
+    if (::hedra::fault::enabled()) [[unlikely]]  \
+      ::hedra::fault::detail::hit(site);         \
+  } while (false)

@@ -1,0 +1,199 @@
+/// \file fault_property_test.cpp
+/// The fail-closed property, exhaustively over fault sites: run a protocol
+/// workload once under a `*=0` discovery config to inventory every seam it
+/// crosses, then arm each site in turn and re-run — no matter which seam
+/// fails, every ADMITTED answer must still be backed by a complete
+/// exact-rational proof (re-checked offline with injection disabled), and
+/// the applied state must equal the acknowledged admissions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/dag_io.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "taskset/contention_rta.h"
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace hedra::serve {
+namespace {
+
+struct WorkloadTask {
+  std::string name;
+  std::string dag_text;
+  graph::Time period;
+  graph::Time deadline;
+};
+
+/// A mix of feasible and infeasible tasks, so both ADMIT and REJECT paths
+/// cross their seams on every run.
+std::vector<WorkloadTask> workload_tasks() {
+  return {
+      {"tau1", "node v1 5\nnode v2 9 offload\nedge v1 v2\n", 1000, 1000},
+      {"tau2", "node a 20\nnode b 20\nedge a b\n", 500, 500},
+      {"doomed", "node a 50\nnode b 50\nnode c 50\nedge a b\nedge b c\n", 100,
+       100},
+      {"tau3", "node v1 8\n", 800, 800},
+  };
+}
+
+std::string workload_script() {
+  std::ostringstream script;
+  for (const WorkloadTask& task : workload_tasks()) {
+    script << "ADMIT " << task.name << " period " << task.period
+           << " deadline " << task.deadline << "\n"
+           << task.dag_text << "endtask\n";
+  }
+  script << "STATUS\nLEAVE tau2\nQUIT\n";
+  return script.str();
+}
+
+struct RunResult {
+  std::string output;
+  std::size_t final_size = 0;
+  std::string final_text;
+};
+
+RunResult run_workload(const std::string& journal_path) {
+  AdmissionConfig config;
+  config.platform = model::Platform::parse("4:gpu");
+  config.journal_path = journal_path;
+  AdmissionService service(config);
+  std::istringstream in(workload_script());
+  std::ostringstream out;
+  (void)run_server(in, out, service);
+  RunResult result;
+  result.output = out.str();
+  result.final_size = service.snapshot()->set.size();
+  result.final_text = service.snapshot()->set.to_text();
+  return result;
+}
+
+/// Re-derives every ADMITTED reply with the unlimited exact test.  Must be
+/// called with injection disabled.  Returns the acknowledged final set.
+taskset::TaskSet referee(const RunResult& run, const std::string& context) {
+  EXPECT_FALSE(fault::enabled()) << "referee must run fault-free";
+
+  // First reply per name answers the ADMIT; the LEAVE outcome is a later
+  // "OK tau2" line and is tracked separately (emplace keeps the first).
+  std::map<std::string, std::string> reply_for;
+  bool tau2_left = false;
+  std::istringstream responses(run.output);
+  std::string line;
+  while (std::getline(responses, line)) {
+    if (starts_with(line, "OK tau2")) tau2_left = true;
+    std::istringstream fields(line);
+    std::string decision, name;
+    fields >> decision >> name;
+    if (!name.empty()) reply_for.emplace(name, line);
+  }
+
+  const model::Platform platform = model::Platform::parse("4:gpu");
+  taskset::TaskSet admitted(platform);
+  for (const WorkloadTask& task : workload_tasks()) {
+    const auto it = reply_for.find(task.name);
+    const bool was_admitted =
+        it != reply_for.end() && starts_with(it->second, "ADMITTED");
+    if (!was_admitted) continue;
+
+    taskset::TaskSet candidate(platform);
+    for (const auto& t : admitted) candidate.add(t);
+    candidate.add(model::DagTask(graph::read_dag_text(task.dag_text),
+                                 task.period, task.deadline, task.name));
+    const auto offline = taskset::contention_rta(candidate);
+    EXPECT_TRUE(offline.schedulable)
+        << context << ": UNSOUND ADMIT of '" << task.name << "' ('"
+        << it->second << "')";
+    admitted = std::move(candidate);
+  }
+
+  // LEAVE tau2 may or may not have applied (its journal write can fault);
+  // mirror whatever the daemon answered.
+  if (tau2_left) {
+    taskset::TaskSet without(platform);
+    for (const auto& t : admitted) {
+      if (t.name() != "tau2") without.add(t);
+    }
+    admitted = std::move(without);
+  }
+  EXPECT_EQ(run.final_size, admitted.size())
+      << context << ": applied state diverges from acknowledged replies";
+  return admitted;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(FaultPropertyTest, NoSiteFaultYieldsAnUnsoundAdmit) {
+  // Discovery: enumerate every seam this workload actually crosses.
+  fault::clear_registry();
+  fault::configure("*=0");
+  const RunResult baseline =
+      run_workload(temp_journal("fault_prop_discovery.journal"));
+  const std::vector<std::string> sites = fault::registered_sites();
+  fault::reset();
+  ASSERT_GE(sites.size(), 5u)
+      << "workload crossed suspiciously few fault sites";
+  referee(baseline, "discovery run");
+
+  // Arm each site in turn, at the first and at a later hit, so both the
+  // first crossing and a mid-stream crossing fail at least once.
+  int runs = 0;
+  for (const std::string& site : sites) {
+    for (const std::uint64_t nth : {std::uint64_t{1}, std::uint64_t{3}}) {
+      fault::Trigger trigger;
+      trigger.nth = nth;
+      fault::reset();
+      fault::arm(site, trigger);
+      const std::string journal = temp_journal(
+          "fault_prop_" + std::to_string(runs) + ".journal");
+      RunResult run;
+      bool served = true;
+      try {
+        run = run_workload(journal);
+      } catch (const Error&) {
+        // The fault fired inside the service CONSTRUCTOR (e.g. the journal
+        // platform header's write seam): refusing to start is fail-closed —
+        // nothing was admitted, so there is nothing to referee.
+        served = false;
+      }
+      fault::reset();
+
+      AdmissionConfig config;
+      config.platform = model::Platform::parse("4:gpu");
+      config.journal_path = journal;
+      if (served) {
+        const taskset::TaskSet admitted =
+            referee(run, site + "=@" + std::to_string(nth));
+        (void)admitted;
+        // Restart on the same journal: whatever survived the fault must
+        // replay to exactly the applied state (crash consistency holds
+        // under injected failures too, not just clean runs).
+        AdmissionService recovered(config);
+        EXPECT_EQ(recovered.snapshot()->set.to_text(), run.final_text)
+            << site << "=@" << nth << ": journal replay diverges";
+      } else {
+        // The aborted start must not have poisoned the journal.
+        AdmissionService recovered(config);
+        EXPECT_EQ(recovered.snapshot()->set.size(), 0u)
+            << site << "=@" << nth
+            << ": a service that never served left state behind";
+      }
+      ++runs;
+    }
+  }
+  fault::clear_registry();
+  EXPECT_GE(runs, 10);
+}
+
+}  // namespace
+}  // namespace hedra::serve

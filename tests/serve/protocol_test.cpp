@@ -1,0 +1,126 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hedra::serve {
+namespace {
+
+std::optional<Request> parse_one(const std::string& text) {
+  std::istringstream in(text);
+  return read_request(in);
+}
+
+TEST(ProtocolTest, AdmitWithBody) {
+  std::istringstream in(
+      "ADMIT tau1 period 100 deadline 90\n"
+      "node v1 5\n"
+      "node v2 9 offload\n"
+      "edge v1 v2\n"
+      "endtask\n"
+      "STATUS\n");
+  const auto request = read_request(in);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Request::Kind::kAdmit);
+  EXPECT_EQ(request->name, "tau1");
+  EXPECT_EQ(request->period, 100);
+  EXPECT_EQ(request->deadline, 90);
+  EXPECT_EQ(request->dag_text,
+            "node v1 5\nnode v2 9 offload\nedge v1 v2\n");
+  // The stream resynchronised: the next request parses cleanly.
+  const auto next = read_request(in);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->kind, Request::Kind::kStatus);
+}
+
+TEST(ProtocolTest, SimpleCommands) {
+  EXPECT_EQ(parse_one("LEAVE tau3\n")->kind, Request::Kind::kLeave);
+  EXPECT_EQ(parse_one("LEAVE tau3\n")->name, "tau3");
+  EXPECT_EQ(parse_one("STATUS\n")->kind, Request::Kind::kStatus);
+  EXPECT_EQ(parse_one("QUIT\n")->kind, Request::Kind::kQuit);
+  EXPECT_EQ(parse_one(""), std::nullopt);  // clean EOF
+  EXPECT_EQ(parse_one("\n\n# comment\n"), std::nullopt);
+}
+
+TEST(ProtocolTest, UnknownAndMalformedCommands) {
+  EXPECT_EQ(parse_one("FROBNICATE x\n")->kind, Request::Kind::kInvalid);
+  EXPECT_EQ(parse_one("LEAVE\n")->kind, Request::Kind::kInvalid);
+  EXPECT_EQ(parse_one("LEAVE two names\n")->kind, Request::Kind::kInvalid);
+  // Binary garbage is an error, never UB.
+  const auto garbage = parse_one("\x01\x02\xfe\xff\n");
+  ASSERT_TRUE(garbage.has_value());
+  EXPECT_EQ(garbage->kind, Request::Kind::kInvalid);
+}
+
+TEST(ProtocolTest, MalformedAdmitHeaderDrainsItsBody) {
+  std::istringstream in(
+      "ADMIT tau1 period abc deadline 90\n"
+      "node v1 5\n"
+      "endtask\n"
+      "QUIT\n");
+  const auto bad = read_request(in);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->kind, Request::Kind::kInvalid);
+  // The body lines were drained — the next read is QUIT, not "node v1 5".
+  const auto next = read_request(in);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->kind, Request::Kind::kQuit);
+}
+
+TEST(ProtocolTest, TrailingTokensRejected) {
+  std::istringstream in(
+      "ADMIT tau1 period 100 deadline 90 extra\n"
+      "endtask\n");
+  EXPECT_EQ(read_request(in)->kind, Request::Kind::kInvalid);
+}
+
+TEST(ProtocolTest, TruncatedAdmitIsAnExplicitError) {
+  std::istringstream in(
+      "ADMIT tau1 period 100 deadline 90\n"
+      "node v1 5\n");  // EOF before endtask
+  const auto request = read_request(in);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Request::Kind::kInvalid);
+  EXPECT_NE(request->error.find("truncated"), std::string::npos);
+}
+
+TEST(ProtocolTest, OversizedBodyRefusedButResynchronised) {
+  std::ostringstream script;
+  script << "ADMIT tau1 period 100 deadline 90\n";
+  for (std::size_t i = 0; i <= kMaxBodyLines; ++i) script << "node x 1\n";
+  script << "endtask\nSTATUS\n";
+  std::istringstream in(script.str());
+  const auto request = read_request(in);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Request::Kind::kInvalid);
+  EXPECT_TRUE(request->dag_text.empty());  // stopped accumulating
+  const auto next = read_request(in);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->kind, Request::Kind::kStatus);
+}
+
+TEST(ProtocolTest, FormatReplyShapes) {
+  AdmissionReply admitted;
+  admitted.decision = Decision::kAdmitted;
+  admitted.task = "tau1";
+  admitted.cores = 2;
+  admitted.response = Frac(7, 2);
+  admitted.detail = "proven by exact fixpoint";
+  EXPECT_EQ(format_reply(admitted),
+            "ADMITTED tau1 cores=2 response=7/2 proven by exact fixpoint");
+
+  AdmissionReply rejected;
+  rejected.decision = Decision::kRejected;
+  rejected.task = "tau2";
+  rejected.detail = "deadline exceeded";
+  EXPECT_EQ(format_reply(rejected), "REJECTED tau2 deadline exceeded");
+
+  AdmissionReply error;
+  error.decision = Decision::kError;
+  error.detail = "unknown command";
+  EXPECT_EQ(format_reply(error), "ERROR unknown command");
+}
+
+}  // namespace
+}  // namespace hedra::serve

@@ -1,0 +1,140 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace hedra::serve {
+namespace {
+
+AdmissionConfig test_config() {
+  AdmissionConfig config;
+  config.platform = model::Platform::parse("4:acc");
+  return config;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  for (auto& line : split(text, '\n')) {
+    if (!trim(line).empty()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+constexpr const char* kEasyBody = "node v1 5\nendtask\n";
+
+TEST(ServerTest, FullSessionInOrder) {
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "STATUS\n"
+      "LEAVE tau1\n"
+      "STATUS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service);
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(starts_with(lines[0], "ADMITTED tau1"));
+  EXPECT_NE(lines[1].find("tasks=1"), std::string::npos);
+  EXPECT_TRUE(starts_with(lines[2], "OK tau1"));
+  EXPECT_NE(lines[3].find("tasks=0"), std::string::npos);
+  EXPECT_EQ(lines[4], "OK bye");
+
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServerTest, EofEndsTheLoopWithoutQuit) {
+  std::istringstream in("STATUS\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(ServerTest, BadRequestsAnswerErrorAndTheLoopSurvives) {
+  std::istringstream in(
+      "FROBNICATE\n"
+      "ADMIT broken period x deadline 1\nendtask\n"
+      "LEAVE ghost\n"
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service);
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(service.snapshot()->set.size(), 1u);
+}
+
+TEST(ServerTest, RejectionsDoNotMutateState) {
+  std::istringstream in(
+      "ADMIT impossible period 100 deadline 100\n"
+      "node a 50\nnode b 50\nnode c 50\nedge a b\nedge b c\nendtask\n"
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(service.snapshot()->set.size(), 0u);
+}
+
+TEST(ServerTest, InjectedQueueFaultShedsTheRequest) {
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  fault::configure("serve.queue.push=@1");
+  const ServerStats stats = run_server(in, out, service);
+  fault::reset();
+  fault::clear_registry();
+
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(service.snapshot()->set.size(), 0u);  // never executed
+  EXPECT_NE(out.str().find("SHED tau1"), std::string::npos);
+}
+
+TEST(ServerTest, InjectedParseFaultIsAnErrorResponse) {
+  std::istringstream in(
+      "STATUS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  fault::configure("serve.request.parse=@1");
+  const ServerStats stats = run_server(in, out, service);
+  fault::reset();
+  fault::clear_registry();
+
+  // The faulted parse became an ERROR response; the loop went on to QUIT.
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_NE(out.str().find("ERROR"), std::string::npos);
+  EXPECT_NE(out.str().find("OK bye"), std::string::npos);
+}
+
+TEST(ServerTest, PerRequestDeadlineDegradesGracefully) {
+  ServerConfig config;
+  config.request_deadline_sec = 1e-9;
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service, config);
+  // A 1ns budget cannot complete a proof: the answer degrades (PROVISIONAL
+  // or a seed REJECT), it never falsely admits.
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(service.snapshot()->set.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hedra::serve

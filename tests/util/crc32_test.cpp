@@ -1,0 +1,50 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hedra::util {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The CRC-32/IEEE "check" value every implementation must agree on.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32(std::string(32, '\0')), 0x190A55ADu);
+}
+
+TEST(Crc32Test, ChainingEqualsOneShot) {
+  const std::string message = "the journal frame payload";
+  for (std::size_t cut = 0; cut <= message.size(); ++cut) {
+    const std::uint32_t first = crc32(message.substr(0, cut));
+    const std::uint32_t chained = crc32(message.substr(cut), first);
+    EXPECT_EQ(chained, crc32(message)) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipAlwaysDetected) {
+  const std::string message = "ADMIT tau1 period 100 deadline 100";
+  const std::uint32_t good = crc32(message);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = message;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      EXPECT_NE(crc32(corrupt), good) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, PointerOverloadMatchesStringView) {
+  const std::string message = "same bytes";
+  EXPECT_EQ(crc32(message.data(), message.size()),
+            crc32(std::string_view(message)));
+}
+
+}  // namespace
+}  // namespace hedra::util

@@ -1,0 +1,117 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hedra::util {
+namespace {
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.unlimited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), Deadline::Clock::duration::max());
+  EXPECT_TRUE(Deadline::never().unlimited());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after(std::chrono::nanoseconds(0)).expired());
+  EXPECT_TRUE(Deadline::after(std::chrono::nanoseconds(-5)).expired());
+  EXPECT_TRUE(Deadline::after_seconds(0.0).expired());
+  EXPECT_TRUE(Deadline::after_seconds(-1.0).expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresAfterSleep) {
+  const Deadline deadline = Deadline::after(std::chrono::milliseconds(5));
+  EXPECT_FALSE(deadline.unlimited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining(), Deadline::Clock::duration::zero());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, AtExpiresAtTheGivenInstant) {
+  const auto when = Deadline::Clock::now() + std::chrono::hours(1);
+  const Deadline deadline = Deadline::at(when);
+  EXPECT_FALSE(deadline.unlimited());
+  EXPECT_EQ(deadline.when(), when);
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlier) {
+  const Deadline near = Deadline::after(std::chrono::seconds(1));
+  const Deadline far = Deadline::after(std::chrono::hours(1));
+  EXPECT_EQ(Deadline::sooner(near, far).when(), near.when());
+  EXPECT_EQ(Deadline::sooner(far, near).when(), near.when());
+  // Unlimited is the identity element.
+  EXPECT_EQ(Deadline::sooner(Deadline::never(), near).when(), near.when());
+  EXPECT_EQ(Deadline::sooner(near, Deadline::never()).when(), near.when());
+  EXPECT_TRUE(
+      Deadline::sooner(Deadline::never(), Deadline::never()).unlimited());
+}
+
+TEST(BudgetTest, UnlimitedBudgetNeverExhausts) {
+  Budget budget;
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(budget.consume());
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.outcome(), Outcome::kComplete);
+  EXPECT_EQ(budget.used(), 10'000u);
+}
+
+TEST(BudgetTest, WorkCapExhaustsPermanently) {
+  Budget budget{Deadline::never(), 100};
+  std::uint64_t granted = 0;
+  while (budget.consume()) ++granted;
+  EXPECT_EQ(granted, 100u);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.outcome(), Outcome::kBudgetExhausted);
+  // Sticky: no later consume succeeds.
+  EXPECT_FALSE(budget.consume());
+  EXPECT_FALSE(budget.consume(0));
+}
+
+TEST(BudgetTest, MultiUnitConsumeCountsUnits) {
+  Budget budget{Deadline::never(), 100};
+  EXPECT_TRUE(budget.consume(60));
+  EXPECT_FALSE(budget.consume(60));  // 120 > 100
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(BudgetTest, ExpiredDeadlineTripsWithinOneStride) {
+  Budget budget{Deadline::after(std::chrono::nanoseconds(1))};
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The clock is only polled every kClockStride units, so exhaustion lands
+  // within one stride of the expiry — never later.
+  std::uint64_t granted = 0;
+  while (budget.consume() && granted < 10 * Budget::kClockStride) ++granted;
+  EXPECT_LE(granted, Budget::kClockStride);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(BudgetTest, CheckNowPollsTheClockImmediately) {
+  Budget fresh{Deadline::after(std::chrono::hours(1))};
+  EXPECT_FALSE(fresh.check_now());
+  Budget expired{Deadline::after(std::chrono::nanoseconds(1))};
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(expired.check_now());
+  EXPECT_TRUE(expired.exhausted());
+}
+
+TEST(BudgetTest, ForceExhaustCancels) {
+  Budget budget;
+  budget.force_exhaust();
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_FALSE(budget.consume());
+  EXPECT_EQ(budget.outcome(), Outcome::kBudgetExhausted);
+}
+
+TEST(OutcomeTest, ToStringIsStable) {
+  EXPECT_STREQ(to_string(Outcome::kComplete), "complete");
+  EXPECT_STREQ(to_string(Outcome::kBudgetExhausted), "budget-exhausted");
+  EXPECT_STREQ(to_string(Outcome::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace hedra::util

@@ -1,0 +1,186 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace hedra::fault {
+namespace {
+
+/// Every test leaves the registry disabled and empty — fault state is
+/// process-global and the other suites assume the production default.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_registry(); }
+  void TearDown() override { clear_registry(); }
+};
+
+TEST_F(FaultTest, DisabledByDefaultAndZeroOverheadPathTaken) {
+  EXPECT_FALSE(enabled());
+  // Sites do not even register while disabled.
+  HEDRA_FAULT("test.site.disabled");
+  EXPECT_TRUE(registered_sites().empty());
+}
+
+TEST_F(FaultTest, DiscoveryConfigRegistersWithoutFiring) {
+  configure("*=0");
+  EXPECT_TRUE(enabled());
+  HEDRA_FAULT("test.site.a");
+  HEDRA_FAULT("test.site.b");
+  HEDRA_FAULT("test.site.a");
+  const auto sites = registered_sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "test.site.a");
+  EXPECT_EQ(sites[1], "test.site.b");
+  EXPECT_EQ(hits("test.site.a"), 2u);
+  EXPECT_EQ(fired("test.site.a"), 0u);
+}
+
+TEST_F(FaultTest, NthTriggerFiresOnExactlyThatHit) {
+  configure("test.site=@3");
+  HEDRA_FAULT("test.site");
+  HEDRA_FAULT("test.site");
+  EXPECT_THROW(HEDRA_FAULT("test.site"), Injected);
+  // One-shot: the 4th hit passes again.
+  HEDRA_FAULT("test.site");
+  EXPECT_EQ(hits("test.site"), 4u);
+  EXPECT_EQ(fired("test.site"), 1u);
+}
+
+TEST_F(FaultTest, RateOneAlwaysFiresAndNamesTheSite) {
+  configure("test.site=1.0");
+  try {
+    HEDRA_FAULT("test.site");
+    FAIL() << "expected Injected";
+  } catch (const Injected& e) {
+    EXPECT_EQ(e.site(), "test.site");
+    EXPECT_NE(std::string(e.what()).find("test.site"), std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, ExactEntryOverridesWildcard) {
+  configure("*=1.0,test.safe=0");
+  HEDRA_FAULT("test.safe");  // must NOT fire
+  EXPECT_THROW(HEDRA_FAULT("test.other"), Injected);
+}
+
+TEST_F(FaultTest, DeterministicPerSiteSequence) {
+  // The per-site RNG forks from (seed, fnv1a(site)), so the fire pattern of
+  // a site is a pure function of the spec and seed.
+  auto pattern = [](std::uint64_t seed) {
+    configure("test.det=0.5", seed);
+    std::string fired_pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        HEDRA_FAULT("test.det");
+        fired_pattern += '.';
+      } catch (const Injected&) {
+        fired_pattern += 'X';
+      }
+    }
+    return fired_pattern;
+  };
+  const std::string a = pattern(42);
+  const std::string b = pattern(42);
+  const std::string c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 chance of a flake; good enough
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultTest, IndependentSitesDoNotPerturbEachOther) {
+  // Interleaving hits of another site must not change a site's pattern.
+  configure("test.det=0.5,test.noise=0", 7);
+  std::string alone;
+  for (int i = 0; i < 32; ++i) {
+    try {
+      HEDRA_FAULT("test.det");
+      alone += '.';
+    } catch (const Injected&) {
+      alone += 'X';
+    }
+  }
+  configure("test.det=0.5,test.noise=0", 7);
+  std::string interleaved;
+  for (int i = 0; i < 32; ++i) {
+    HEDRA_FAULT("test.noise");
+    try {
+      HEDRA_FAULT("test.det");
+      interleaved += '.';
+    } catch (const Injected&) {
+      interleaved += 'X';
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(FaultTest, ResetKeepsTheInventory) {
+  configure("*=0");
+  HEDRA_FAULT("test.site.kept");
+  reset();
+  EXPECT_FALSE(enabled());
+  const auto sites = registered_sites();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0], "test.site.kept");
+  // clear_registry forgets everything.
+  clear_registry();
+  EXPECT_TRUE(registered_sites().empty());
+}
+
+TEST_F(FaultTest, ArmSingleSite) {
+  Trigger trigger;
+  trigger.nth = 1;
+  arm("test.armed", trigger);
+  EXPECT_TRUE(enabled());
+  EXPECT_THROW(HEDRA_FAULT("test.armed"), Injected);
+  HEDRA_FAULT("test.unarmed");  // must not fire
+}
+
+TEST_F(FaultTest, EmptySpecDisables) {
+  configure("test.site=1.0");
+  EXPECT_TRUE(enabled());
+  configure("");
+  EXPECT_FALSE(enabled());
+  HEDRA_FAULT("test.site");  // no throw
+}
+
+TEST_F(FaultTest, MalformedSpecsThrow) {
+  EXPECT_THROW(configure("test.site"), Error);        // no '='
+  EXPECT_THROW(configure("test.site=abc"), Error);    // bad rate
+  EXPECT_THROW(configure("test.site=@"), Error);      // empty nth
+  EXPECT_THROW(configure("test.site=@0x"), Error);    // bad nth
+  EXPECT_THROW(configure("=1.0"), Error);             // empty site
+  EXPECT_THROW(configure("test.site=1.0!jump"), Error);  // unknown action
+  EXPECT_THROW(configure("test.site=-0.5"), Error);   // negative rate
+  EXPECT_THROW(configure("test.site=1.5"), Error);    // rate > 1
+}
+
+TEST_F(FaultTest, InstallFromEnv) {
+  ASSERT_EQ(setenv("HEDRA_FAULTS", "test.env=@1", 1), 0);
+  ASSERT_EQ(setenv("HEDRA_FAULT_SEED", "9", 1), 0);
+  EXPECT_TRUE(install_from_env());
+  EXPECT_TRUE(enabled());
+  EXPECT_THROW(HEDRA_FAULT("test.env"), Injected);
+  ASSERT_EQ(unsetenv("HEDRA_FAULTS"), 0);
+  ASSERT_EQ(unsetenv("HEDRA_FAULT_SEED"), 0);
+  clear_registry();
+  EXPECT_FALSE(install_from_env());
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(FaultTest, StatsEnumerateCounters) {
+  configure("test.one=@2");
+  HEDRA_FAULT("test.one");
+  EXPECT_THROW(HEDRA_FAULT("test.one"), Injected);
+  const auto all = stats();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "test.one");
+  EXPECT_EQ(all[0].hits, 2u);
+  EXPECT_EQ(all[0].fired, 1u);
+}
+
+}  // namespace
+}  // namespace hedra::fault
