@@ -1,0 +1,564 @@
+#!/usr/bin/env python3
+"""hedra_lint: project-specific soundness & determinism linter.
+
+The analysis layers promise properties that generic tools cannot check —
+exact-rational arithmetic in every soundness-critical bound, bit-identical
+deterministic output, reproducible entropy, fault seams at every serve-layer
+allocation.  This linter codifies those contracts as mechanical rules over
+the C++ tree and fails CI when one is violated.
+
+Rules (each finding prints ``file:line: [rule-id] message``):
+
+  float-in-bound       No ``double``/``float`` in soundness-critical
+                       translation units (src/analysis, src/exact,
+                       src/model, src/taskset).  Response-time bounds must
+                       be exact rationals (Frac) or integers; a stray
+                       double in a comparison silently voids the paper's
+                       guarantees.
+  unordered-container  No ``std::unordered_map``/``std::unordered_set`` in
+                       deterministic-output paths (all of src/).  Iteration
+                       order is hash/seed dependent; the bit-identical
+                       goldens (traces, figure stdout, batch hashes) forbid
+                       it.
+  address-ordered      No ``std::map``/``std::set`` keyed on a raw pointer:
+                       iteration order would depend on allocator addresses,
+                       which vary run to run.
+  raw-entropy          No ``rand()``/``srand()``/``std::random_device``/
+                       ``std::mt19937`` outside util/rng: every random draw
+                       must flow through the seeded fork-chain Rng or runs
+                       stop being reproducible.
+  wall-clock           No wall-clock reads (``system_clock``, ``time()``,
+                       ``gettimeofday``, ``clock_gettime``, ...) outside
+                       util/deadline: budgets use the monotonic clock via
+                       util::Deadline, and results must never depend on the
+                       calendar.
+  raw-mutex            No ``std::mutex``/``std::lock_guard``/
+                       ``std::unique_lock``/``std::condition_variable``
+                       outside util/thread_annotations.h: all locking goes
+                       through the Clang-thread-safety-annotated wrappers
+                       so ``-Wthread-safety`` sees every acquisition.
+  fault-seam           Every allocation seam in src/serve (``new``,
+                       ``make_shared``, ``make_unique``, ``reserve``) must
+                       have a ``HEDRA_FAULT(...)`` site within 3 lines: the
+                       robustness CI injects faults at every seam, and an
+                       unseamed allocation is an untested failure path.
+  nodiscard-outcome    Function declarations in headers returning
+                       ``util::Outcome`` or ``Frac`` must be
+                       ``[[nodiscard]]``: a silently dropped Outcome is a
+                       swallowed budget-exhaustion, a dropped Frac a
+                       discarded bound.
+  stale-allow          An ``allow`` tag that suppresses nothing is an
+                       error: stale tags rot into blanket exemptions.
+
+Suppression: a finding is waived by an annotated allow tag with a reason,
+either trailing on the offending line or alone on the line directly above::
+
+    double ratio;  // hedra-lint: allow(float-in-bound, reporting only)
+    // hedra-lint: allow(raw-entropy, seeds the fork chain root)
+    std::random_device seed_source;
+
+Tags without a reason are rejected; tags that suppress nothing fail with
+``stale-allow`` (run after removing the offending code to see them).
+
+Fixture mode (``--fixtures DIR``) self-tests the linter: each fixture file
+declares its own expectations (``// hedra-lint: expect(rule-id)`` once per
+expected finding, or ``// hedra-lint: expect-clean``) plus the path the
+rules should pretend it lives at (``// hedra-lint: pretend-path(...)``),
+and the run fails unless every fixture produces exactly its declared
+findings.
+
+Exit codes: 0 clean, 1 findings/fixture mismatch, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+
+def _in_dirs(path: str, *roots: str) -> bool:
+    return any(path.startswith(root) for root in roots)
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    pattern: re.Pattern
+    message: str
+    applies: object  # Callable[[str], bool] on repo-relative posix path
+
+
+RULES = [
+    Rule(
+        "float-in-bound",
+        re.compile(r"\b(?:double|float)\b"),
+        "floating point in a soundness-critical translation unit; bounds "
+        "must use exact Frac/integer arithmetic",
+        lambda p: _in_dirs(
+            p, "src/analysis/", "src/exact/", "src/model/", "src/taskset/"
+        ),
+    ),
+    Rule(
+        "unordered-container",
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        "hash containers have seed/size-dependent iteration order; "
+        "deterministic-output paths must use ordered containers",
+        lambda p: p.startswith("src/"),
+    ),
+    Rule(
+        "address-ordered",
+        re.compile(r"\bstd::(?:map|set)\s*<\s*[^,<>]*\*"),
+        "container keyed on a raw pointer iterates in allocator-address "
+        "order, which varies run to run",
+        lambda p: p.startswith("src/"),
+    ),
+    Rule(
+        "raw-entropy",
+        re.compile(
+            r"\b(?:s?rand\s*\(|std::random_device\b|std::mt19937(?:_64)?\b|"
+            r"drand48\s*\(|random\s*\(\s*\))"
+        ),
+        "uncontrolled entropy source; all randomness flows through the "
+        "seeded util/rng fork chain",
+        lambda p: p.startswith("src/") and not p.startswith("src/util/rng"),
+    ),
+    Rule(
+        "wall-clock",
+        re.compile(
+            r"\b(?:std::chrono::system_clock\b|system_clock\b|"
+            r"gettimeofday\s*\(|clock_gettime\s*\(|CLOCK_REALTIME\b|"
+            r"std::time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|"
+            r"localtime\s*\(|gmtime\s*\(|std::clock\s*\()"
+        ),
+        "wall-clock read; deadlines use the monotonic clock through "
+        "util::Deadline and results must not depend on the calendar",
+        lambda p: p.startswith("src/")
+        and not p.startswith("src/util/deadline"),
+    ),
+    Rule(
+        "raw-mutex",
+        re.compile(
+            r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+            r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+            r"condition_variable(?:_any)?)\b|\bpthread_mutex"
+        ),
+        "raw standard-library lock; use the Clang-TSA-annotated "
+        "util::Mutex/MutexLock/CondVar from util/thread_annotations.h so "
+        "-Wthread-safety sees the acquisition",
+        lambda p: p.startswith("src/")
+        and p != "src/util/thread_annotations.h",
+    ),
+]
+
+FAULT_SEAM_RULE_ID = "fault-seam"
+FAULT_SEAM_PATTERN = re.compile(
+    r"\bnew\b|\bstd::make_shared\b|\bstd::make_unique\b|\.reserve\s*\("
+)
+FAULT_SITE_PATTERN = re.compile(r"\bHEDRA_FAULT\s*\(")
+FAULT_SEAM_WINDOW = 3  # lines of context in which a seam must appear
+
+NODISCARD_RULE_ID = "nodiscard-outcome"
+NODISCARD_DECL = re.compile(
+    r"^\s*(?:static\s+|constexpr\s+|virtual\s+|inline\s+|friend\s+)*"
+    r"(?:util::|hedra::)?(?:Outcome|Frac)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\("
+)
+NODISCARD_MARK = re.compile(r"\[\[nodiscard\]\]")
+
+STALE_ALLOW_RULE_ID = "stale-allow"
+BAD_TAG_RULE_ID = "bad-allow-tag"
+
+ALL_RULE_IDS = (
+    [r.rule_id for r in RULES]
+    + [FAULT_SEAM_RULE_ID, NODISCARD_RULE_ID, STALE_ALLOW_RULE_ID,
+       BAD_TAG_RULE_ID]
+)
+
+ALLOW_TAG = re.compile(
+    r"//\s*hedra-lint:\s*allow\(\s*(?P<rule>[a-z-]+)\s*(?:,\s*(?P<reason>[^)]*))?\)"
+)
+PRETEND_PATH = re.compile(r"//\s*hedra-lint:\s*pretend-path\(\s*([^)]+?)\s*\)")
+EXPECT_TAG = re.compile(r"//\s*hedra-lint:\s*expect\(\s*([a-z-]+)\s*\)")
+EXPECT_CLEAN = re.compile(r"//\s*hedra-lint:\s*expect-clean\b")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+@dataclass
+class AllowTag:
+    line: int  # 1-based line the tag sits on
+    rule_id: str
+    reason: str
+    used: bool = False
+
+    def covers(self, finding_line: int) -> bool:
+        # A tag waives findings on its own line (trailing comment) or on
+        # the line directly below (standalone comment line).
+        return finding_line in (self.line, self.line + 1)
+
+
+# --------------------------------------------------------------------------
+# C++ comment/string stripping
+# --------------------------------------------------------------------------
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Rules must only fire on code; ``double`` in a doc comment or "time(" in
+    a log string is not a violation.  Replaced characters become spaces so
+    column/line arithmetic stays valid.
+    """
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal R"delim( ... )delim"
+                if i >= 1 and text[i - 1] == "R" and (
+                    i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")
+                ):
+                    m = re.match(r'"([^(\s]*)\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = RAW_STRING
+                        out.append('"')
+                        i += 1
+                        continue
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # RAW_STRING
+            if text.startswith(raw_delim, i):
+                state = NORMAL
+                out.append(raw_delim)
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Per-file linting
+# --------------------------------------------------------------------------
+
+
+def collect_allow_tags(raw_lines: list[str]) -> tuple[list[AllowTag], list[Finding]]:
+    tags: list[AllowTag] = []
+    errors: list[Finding] = []
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_TAG.search(line)
+        if not m:
+            # A malformed hedra-lint directive must not pass silently.
+            if re.search(r"//\s*hedra-lint:\s*allow", line):
+                errors.append(
+                    Finding(
+                        "",
+                        lineno,
+                        BAD_TAG_RULE_ID,
+                        "malformed allow tag; expected "
+                        "'// hedra-lint: allow(rule-id, reason)'",
+                    )
+                )
+            continue
+        rule = m.group("rule")
+        reason = (m.group("reason") or "").strip()
+        if rule not in ALL_RULE_IDS:
+            errors.append(
+                Finding("", lineno, BAD_TAG_RULE_ID,
+                        f"allow tag names unknown rule '{rule}'")
+            )
+            continue
+        if not reason:
+            errors.append(
+                Finding("", lineno, BAD_TAG_RULE_ID,
+                        f"allow({rule}) tag is missing its reason")
+            )
+            continue
+        tags.append(AllowTag(lineno, rule, reason))
+    return tags, errors
+
+
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    """Lints one file; `rel` is the path rules are evaluated against."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(rel, 1, "io-error", f"unreadable: {e}")]
+
+    raw_lines = raw.splitlines()
+    code_lines = strip_code(raw).splitlines()
+    # splitlines of stripped text matches raw line count by construction.
+    tags, tag_errors = collect_allow_tags(raw_lines)
+    findings: list[Finding] = []
+    for err in tag_errors:
+        err.path = rel
+        findings.append(err)
+
+    def emit(lineno: int, rule_id: str, message: str) -> None:
+        for tag in tags:
+            if tag.rule_id == rule_id and tag.covers(lineno):
+                tag.used = True
+                return
+        findings.append(Finding(rel, lineno, rule_id, message))
+
+    # Regex rules.
+    for rule in RULES:
+        if not rule.applies(rel):
+            continue
+        for lineno, line in enumerate(code_lines, start=1):
+            if rule.pattern.search(line):
+                emit(lineno, rule.rule_id, rule.message)
+
+    # fault-seam: allocation sites in serve/ need a HEDRA_FAULT nearby.
+    if rel.startswith("src/serve/"):
+        for lineno, line in enumerate(code_lines, start=1):
+            if not FAULT_SEAM_PATTERN.search(line):
+                continue
+            lo = max(0, lineno - 1 - FAULT_SEAM_WINDOW)
+            hi = min(len(code_lines), lineno + FAULT_SEAM_WINDOW)
+            window = code_lines[lo:hi]
+            if not any(FAULT_SITE_PATTERN.search(w) for w in window):
+                emit(
+                    lineno,
+                    FAULT_SEAM_RULE_ID,
+                    "allocation without a HEDRA_FAULT seam within "
+                    f"{FAULT_SEAM_WINDOW} lines; the robustness CI cannot "
+                    "inject a failure here",
+                )
+
+    # nodiscard-outcome: header declarations returning Outcome/Frac.
+    if rel.startswith("src/") and path.suffix in {".h", ".hpp"}:
+        for lineno, line in enumerate(code_lines, start=1):
+            m = NODISCARD_DECL.match(line)
+            if not m or m.group("name") == "operator":
+                continue
+            prev = code_lines[lineno - 2] if lineno >= 2 else ""
+            if NODISCARD_MARK.search(line) or NODISCARD_MARK.search(prev):
+                continue
+            emit(
+                lineno,
+                NODISCARD_RULE_ID,
+                f"'{m.group('name')}' returns Outcome/Frac without "
+                "[[nodiscard]]; a dropped result is a swallowed "
+                "budget-exhaustion or bound",
+            )
+
+    # stale-allow: every tag must have earned its keep.
+    for tag in tags:
+        if not tag.used:
+            findings.append(
+                Finding(
+                    rel,
+                    tag.line,
+                    STALE_ALLOW_RULE_ID,
+                    f"allow({tag.rule_id}) suppresses nothing — remove the "
+                    "stale tag",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Tree + fixture drivers
+# --------------------------------------------------------------------------
+
+
+def discover_files(root: Path, compile_commands: Path | None) -> list[Path]:
+    files = sorted(
+        p
+        for p in (root / "src").rglob("*")
+        if p.suffix in CXX_SUFFIXES and p.is_file()
+    )
+    if compile_commands is not None:
+        try:
+            entries = json.loads(compile_commands.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"hedra_lint: cannot read {compile_commands}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        listed = {Path(e["file"]).resolve() for e in entries}
+        missing = [
+            f for f in files
+            if f.suffix == ".cpp" and f.resolve() not in listed
+        ]
+        if missing:
+            names = ", ".join(str(m) for m in missing[:5])
+            print(
+                "hedra_lint: compile_commands.json does not cover: "
+                f"{names} — lint scope and build scope have diverged",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+    return files
+
+
+def lint_tree(root: Path, compile_commands: Path | None) -> int:
+    findings: list[Finding] = []
+    for path in discover_files(root, compile_commands):
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel))
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"hedra_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_fixtures(fixture_dir: Path) -> int:
+    fixtures = sorted(
+        p for p in fixture_dir.rglob("*") if p.suffix in CXX_SUFFIXES
+    )
+    if not fixtures:
+        print(f"hedra_lint: no fixtures under {fixture_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in fixtures:
+        raw = path.read_text(encoding="utf-8")
+        pretend = PRETEND_PATH.search(raw)
+        expected = [m.group(1) for m in EXPECT_TAG.finditer(raw)]
+        expect_clean = EXPECT_CLEAN.search(raw) is not None
+        if not pretend:
+            print(f"{path}: fixture missing a pretend-path(...) directive")
+            failures += 1
+            continue
+        if bool(expected) == expect_clean:
+            print(f"{path}: fixture needs either expect(...) tags or "
+                  "expect-clean, not both/neither")
+            failures += 1
+            continue
+        rel = pretend.group(1)
+        got = sorted(f.rule_id for f in lint_file(path, rel))
+        want = sorted(expected)
+        if got != want:
+            print(
+                f"{path}: expected findings {want or '(clean)'}, "
+                f"got {got or '(clean)'}"
+            )
+            for f in lint_file(path, rel):
+                print(f"    {f.render()}")
+            failures += 1
+        else:
+            print(f"{path}: ok ({len(got)} expected finding(s))")
+    if failures:
+        print(f"hedra_lint: {failures} fixture(s) misbehaved",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="hedra_lint",
+        description="soundness/determinism linter for the hedra tree",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--compile-commands", type=Path, default=None,
+        help="compile_commands.json to cross-check the lint scope against",
+    )
+    parser.add_argument(
+        "--fixtures", type=Path, default=None,
+        help="self-test mode: lint fixture files against their declared "
+        "expectations instead of the tree",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule_id in ALL_RULE_IDS:
+            print(rule_id)
+        return 0
+    if args.fixtures is not None:
+        return run_fixtures(args.fixtures)
+    return lint_tree(args.root.resolve(), args.compile_commands)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

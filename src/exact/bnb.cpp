@@ -35,6 +35,7 @@ std::chrono::steady_clock::time_point search_deadline(const BnbConfig& config) {
   auto when =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          // hedra-lint: allow(float-in-bound, converts the wall-clock budget knob)
           std::chrono::duration<double>(config.time_limit_sec));
   if (!config.deadline.unlimited() && config.deadline.when() < when) {
     when = config.deadline.when();
@@ -139,15 +140,29 @@ struct Subproblem {
 /// Coordination shared by every worker of one parallel solve.  The
 /// incumbent is the load-bearing member: a bound CAS-tightened by one
 /// worker immediately prunes all other subtrees.
+///
+/// Every mutable member is an atomic published without locks — the
+/// structure is deliberately lock-free, so there is no capability for the
+/// thread-safety analysis to track; instead the invariants are enforced by
+/// construction: the atomics are lock-free on every supported target
+/// (static_assert below) and `deadline` is const after construction, so no
+/// worker can observe a torn or stale value of either kind.
 struct SharedSearch {
-  explicit SharedSearch(Time initial_best) : best(initial_best) {}
+  SharedSearch(Time initial_best,
+               std::chrono::steady_clock::time_point limit)
+      : best(initial_best), deadline(limit) {}
   std::atomic<Time> best;                ///< incumbent upper bound
   std::atomic<std::uint64_t> nodes{0};   ///< flushed decision-node total
   std::atomic<bool> aborted{false};      ///< any worker ran out of budget
   std::atomic<int> hungry{0};  ///< workers currently without local work
   std::atomic<long long> in_flight{0};   ///< queued + executing subproblems
-  std::chrono::steady_clock::time_point deadline;
+  const std::chrono::steady_clock::time_point deadline;
 };
+static_assert(std::atomic<Time>::is_always_lock_free &&
+                  std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<long long>::is_always_lock_free,
+              "SharedSearch members must be lock-free: workers poll them "
+              "on the search hot path");
 
 /// Splitting stops at this depth even if workers are still hungry: a
 /// frontier this deep means the tree is too thin to parallelise and the
@@ -694,8 +709,7 @@ void worker_loop(const SearchContext& ctx, SharedSearch& shared,
 
 BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
                                 int jobs) {
-  SharedSearch shared(seed.heuristic_upper_bound);
-  shared.deadline = search_deadline(ctx.config);
+  SharedSearch shared(seed.heuristic_upper_bound, search_deadline(ctx.config));
 
   std::vector<WorkStealingDeque<Subproblem>> deques(
       static_cast<std::size_t>(jobs));

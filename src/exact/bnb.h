@@ -46,6 +46,7 @@ namespace hedra::exact {
 /// Search budget and options.
 struct BnbConfig {
   std::uint64_t max_nodes = 20'000'000;  ///< decision nodes before giving up
+  // hedra-lint: allow(float-in-bound, wall-clock budget knob, never a bound)
   double time_limit_sec = 10.0;          ///< wall-clock budget per instance
   /// External deadline (e.g. a per-request admission deadline) intersected
   /// with time_limit_sec: the search stops at whichever expires first.  The

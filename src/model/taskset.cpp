@@ -2,14 +2,16 @@
 
 namespace hedra::model {
 
+// hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
 double TaskSet::total_utilization() const {
-  double total = 0.0;
+  double total = 0.0;  // hedra-lint: allow(float-in-bound, reporting aggregate)
   for (const auto& task : tasks_) total += task.utilization().to_double();
   return total;
 }
 
+// hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
 double TaskSet::total_host_utilization() const {
-  double total = 0.0;
+  double total = 0.0;  // hedra-lint: allow(float-in-bound, reporting aggregate)
   for (const auto& task : tasks_) {
     total += task.host_utilization().to_double();
   }

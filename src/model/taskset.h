@@ -35,9 +35,11 @@ class TaskSet {
   /// utilisation-driven generators are large and mutually coprime, so the
   /// exact rational sum can overflow 64-bit numerators; per-task
   /// utilisations remain exact via DagTask::utilization().
+  // hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
   [[nodiscard]] double total_utilization() const;
 
   /// Sum of host-only utilisations (double, same rationale).
+  // hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
   [[nodiscard]] double total_host_utilization() const;
 
  private:

@@ -69,6 +69,7 @@ AdmissionService::AdmissionService(AdmissionConfig config)
     : config_(std::move(config)) {
   config_.platform.validate();
 
+  // hedra-lint: allow(fault-seam, startup path; no acknowledged state yet)
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->set = taskset::TaskSet(config_.platform);
 
@@ -127,6 +128,9 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
   AdmissionReply reply;
   reply.task = task.name();
 
+  // One mutation at a time: the analysis below reads `current`, and the
+  // publish at the end must swap against exactly that state.
+  util::MutexLock writer(writer_mutex_);
   const std::shared_ptr<const Snapshot> current = snapshot();
   for (const model::DagTask& existing : current->set) {
     if (existing.name() == task.name()) {
@@ -218,6 +222,7 @@ AdmissionReply AdmissionService::leave(const std::string& name) {
   AdmissionReply reply;
   reply.task = name;
 
+  util::MutexLock writer(writer_mutex_);
   const std::shared_ptr<const Snapshot> current = snapshot();
   taskset::TaskSet next_set(config_.platform);
   bool found = false;

@@ -30,8 +30,10 @@
 ///     to bit-identical admitted state: to_text() of the recovered set
 ///     equals to_text() of the pre-crash set.
 ///
-/// Thread model: admit()/leave() must be called from one thread at a time
-/// (the server's worker); snapshot() is safe from any thread.
+/// Thread model: mutations (admit()/leave()) serialise on an internal
+/// writer mutex — the journal handle and the snapshot-swap publish path are
+/// machine-checked (Clang thread-safety analysis) to only ever run under
+/// it; snapshot() is a wait-free atomic load, safe from any thread.
 
 #include <atomic>
 #include <cstdint>
@@ -43,6 +45,7 @@
 #include "taskset/contention_rta.h"
 #include "taskset/taskset.h"
 #include "util/deadline.h"
+#include "util/thread_annotations.h"
 
 namespace hedra::serve {
 
@@ -100,10 +103,12 @@ class AdmissionService {
   /// Runs the admission test for `task` joining the current set under
   /// `deadline`.  See the degradation ladder in the file comment.
   [[nodiscard]] AdmissionReply admit(const model::DagTask& task,
-                                     util::Deadline deadline = {});
+                                     util::Deadline deadline = {})
+      HEDRA_EXCLUDES(writer_mutex_);
 
   /// Removes a previously admitted task.
-  [[nodiscard]] AdmissionReply leave(const std::string& name);
+  [[nodiscard]] AdmissionReply leave(const std::string& name)
+      HEDRA_EXCLUDES(writer_mutex_);
 
   /// One-line state summary (the STATUS protocol response body).
   [[nodiscard]] std::string status_line() const;
@@ -113,12 +118,19 @@ class AdmissionService {
   }
 
  private:
-  void publish(std::shared_ptr<const Snapshot> next) {
+  /// The RCU publish: readers holding the previous shared_ptr keep a valid
+  /// snapshot; new readers see `next`.  Requiring the writer mutex here
+  /// makes "journal before publish, one writer at a time" a compile-time
+  /// fact instead of a comment.
+  void publish(std::shared_ptr<const Snapshot> next)
+      HEDRA_REQUIRES(writer_mutex_) {
     snapshot_.store(std::move(next), std::memory_order_release);
   }
 
   AdmissionConfig config_;
-  std::optional<Journal> journal_;
+  /// Serialises mutations; uncontended in the single-worker server.
+  util::Mutex writer_mutex_;
+  std::optional<Journal> journal_ HEDRA_GUARDED_BY(writer_mutex_);
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
 };
 

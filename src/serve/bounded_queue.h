@@ -13,13 +13,12 @@
 /// `pop` blocks until an item or close(); close() drains gracefully (pops
 /// succeed until the queue is empty, then return nullopt).
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/fault.h"
+#include "util/thread_annotations.h"
 
 namespace hedra::serve {
 
@@ -29,10 +28,10 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// False when the queue is full or closed (the caller sheds the item).
-  [[nodiscard]] bool try_push(T item) {
+  [[nodiscard]] bool try_push(T item) HEDRA_EXCLUDES(mutex_) {
     HEDRA_FAULT("serve.queue.push");
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -41,9 +40,9 @@ class BoundedQueue {
   }
 
   /// Blocks for the next item; nullopt once closed AND drained.
-  [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  [[nodiscard]] std::optional<T> pop() HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) ready_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -51,16 +50,16 @@ class BoundedQueue {
   }
 
   /// Rejects future pushes; blocked pops drain the backlog then end.
-  void close() {
+  void close() HEDRA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -68,10 +67,10 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar ready_;
+  std::deque<T> items_ HEDRA_GUARDED_BY(mutex_);
+  bool closed_ HEDRA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hedra::serve

@@ -1,7 +1,6 @@
 #include "serve/server.h"
 
 #include <atomic>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
@@ -10,6 +9,7 @@
 #include "serve/protocol.h"
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/thread_annotations.h"
 
 namespace hedra::serve {
 
@@ -64,13 +64,22 @@ AdmissionReply execute(AdmissionService& service, const Request& request,
   return reply;
 }
 
+/// The reply stream, shared by the reader thread (SHED lines) and the
+/// worker (replies).  Interleaved writes would corrupt the line protocol,
+/// so the stream itself is the guarded datum.
+struct SharedOut {
+  explicit SharedOut(std::ostream& os) : out(os) {}
+  util::Mutex mutex;
+  std::ostream& out HEDRA_GUARDED_BY(mutex);
+};
+
 }  // namespace
 
 ServerStats run_server(std::istream& in, std::ostream& out,
                        AdmissionService& service, const ServerConfig& config) {
   ServerStats stats;
   BoundedQueue<Request> queue(config.queue_capacity);
-  std::mutex out_mutex;
+  SharedOut shared_out(out);
   std::atomic<std::uint64_t> shed{0};
 
   // Reader: parse + enqueue; shed when the worker is saturated.  Parsing
@@ -101,9 +110,9 @@ ServerStats run_server(std::istream& in, std::ostream& out,
       }
       if (!pushed) {
         shed.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(out_mutex);
-        out << "SHED" << (name.empty() ? "" : " " + name) << "\n"
-            << std::flush;
+        util::MutexLock lock(shared_out.mutex);
+        shared_out.out << "SHED" << (name.empty() ? "" : " " + name) << "\n"
+                       << std::flush;
       }
       if (quit) break;
     }
@@ -133,8 +142,8 @@ ServerStats run_server(std::istream& in, std::ostream& out,
         break;
     }
     {
-      std::lock_guard<std::mutex> lock(out_mutex);
-      out << format_reply(reply) << "\n" << std::flush;
+      util::MutexLock lock(shared_out.mutex);
+      shared_out.out << format_reply(reply) << "\n" << std::flush;
     }
     if (request->kind == Request::Kind::kQuit) break;
   }

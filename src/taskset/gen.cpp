@@ -59,7 +59,9 @@ TaskSet generate_task_set(const TaskSetGenConfig& config, Rng& rng) {
     const graph::FlatView view = arena->view(static_cast<std::size_t>(i));
     graph::Time total = 0;
     for (const graph::Time c : view.wcets()) total += c;
+    // hedra-lint: allow(float-in-bound, UUniFast period sampling)
     const double u = utils[static_cast<std::size_t>(i)];
+    // hedra-lint: allow(float-in-bound, UUniFast period sampling)
     const auto vol = static_cast<double>(total);
     const graph::Time len = graph::critical_path_length(view);
     const graph::Time period = std::max<graph::Time>(

@@ -30,6 +30,7 @@ namespace hedra::taskset {
 struct TaskSetGenConfig {
   int num_tasks = 4;
   /// Target Σ vol(G_i)/T_i (host + accelerator device-time combined).
+  // hedra-lint: allow(float-in-bound, UUniFast sampling target, not a bound)
   double total_utilization = 2.0;
   /// Per-task DAG shape.  num_devices > 0 populates that many accelerator
   /// classes per task (gen::generate_multi_device, honouring
@@ -37,6 +38,7 @@ struct TaskSetGenConfig {
   /// generates pure host DAGs.
   gen::HierarchicalParams dag_params = gen::HierarchicalParams::small_tasks();
   /// Target C_off/vol ratio per task (only with num_devices > 0).
+  // hedra-lint: allow(float-in-bound, generator shape knob, not a bound)
   double coff_ratio = 0.2;
   /// Implicit (D = T) or constrained deadlines uniform in [len(G), T].
   bool implicit_deadlines = true;

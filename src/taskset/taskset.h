@@ -84,9 +84,11 @@ class TaskSet {
   /// utilisation-driven generators are large and mutually coprime, so the
   /// exact rational sum can overflow 64-bit numerators — same rationale as
   /// model::TaskSet).
+  // hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
   [[nodiscard]] double device_utilization(graph::DeviceId device) const;
 
   /// Σ_i vol(G_i)/T_i — host and accelerator workload combined.
+  // hedra-lint: allow(float-in-bound, reporting aggregate, bounds stay exact)
   [[nodiscard]] double total_utilization() const;
 
   /// Serialises the set; round-trips through from_text.  Calls validate().

@@ -4,11 +4,11 @@
 #include <csignal>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 namespace hedra::fault {
 
@@ -46,10 +46,11 @@ void wipe_site(Site* site) {
 }
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Site> sites;  ///< ordered: enumeration is sorted
-  std::optional<Trigger> wildcard;
-  std::uint64_t seed = 0;
+  util::Mutex mutex;
+  /// Ordered map: enumeration is sorted, never address-dependent.
+  std::map<std::string, Site> sites HEDRA_GUARDED_BY(mutex);
+  std::optional<Trigger> wildcard HEDRA_GUARDED_BY(mutex);
+  std::uint64_t seed HEDRA_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -100,7 +101,7 @@ namespace detail {
 
 void hit(const char* name) {
   Registry& r = registry();
-  std::unique_lock<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   Site& site = r.sites[name];  // self-registration on first execution
   site.seen = true;
   ++site.hits;
@@ -129,7 +130,7 @@ void hit(const char* name) {
 
 void configure(const std::string& spec, std::uint64_t seed) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   r.wildcard.reset();
   r.seed = seed;
   for (auto& [name, site] : r.sites) {
@@ -153,7 +154,7 @@ void configure(const std::string& spec, std::uint64_t seed) {
 
 void arm(const std::string& site, const Trigger& trigger) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   Site& entry = r.sites[site];
   wipe_site(&entry);
   entry.trigger = trigger;
@@ -162,7 +163,7 @@ void arm(const std::string& site, const Trigger& trigger) {
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   detail::g_enabled.store(false, std::memory_order_relaxed);
   r.wildcard.reset();
   for (auto& [name, site] : r.sites) wipe_site(&site);
@@ -170,7 +171,7 @@ void reset() {
 
 void clear_registry() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   detail::g_enabled.store(false, std::memory_order_relaxed);
   r.wildcard.reset();
   r.sites.clear();
@@ -190,7 +191,7 @@ bool install_from_env() {
 
 std::vector<std::string> registered_sites() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.sites.size());
   for (const auto& [name, site] : r.sites) {
@@ -201,7 +202,7 @@ std::vector<std::string> registered_sites() {
 
 std::vector<SiteStats> stats() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   std::vector<SiteStats> out;
   out.reserve(r.sites.size());
   for (const auto& [name, site] : r.sites) {
@@ -212,14 +213,14 @@ std::vector<SiteStats> stats() {
 
 std::uint64_t hits(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t fired(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.fired;
 }

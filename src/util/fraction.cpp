@@ -19,18 +19,71 @@ std::int64_t checked_narrow(Int128 v) {
   return static_cast<std::int64_t>(v);
 }
 
+/// |v| as an unsigned magnitude.  Well-defined for INT64_MIN (2^63 fits
+/// uint64), unlike the naive `v < 0 ? -v : v` which is UB there.
+constexpr std::uint64_t abs_u64(std::int64_t v) noexcept {
+  const auto u = static_cast<std::uint64_t>(v);
+  return v < 0 ? ~u + 1 : u;
+}
+
+/// -v, or the overflow error when v == INT64_MIN (the one int64 whose
+/// negation is unrepresentable).
+std::int64_t checked_negate(std::int64_t v) {
+  HEDRA_REQUIRE(v != std::numeric_limits<std::int64_t>::min(),
+                "Frac arithmetic overflowed 64-bit range");
+  return -v;
+}
+
+/// v / g where g exactly divides |v|.  Works in the magnitude domain so
+/// that v == INT64_MIN (whose |v| = 2^63 only exists unsigned) divides
+/// cleanly; the quotient is always representable because |v/g| <= |v|.
+std::int64_t divide_exact(std::int64_t v, std::uint64_t g) noexcept {
+  const std::uint64_t q = abs_u64(v) / g;
+  return v < 0 ? static_cast<std::int64_t>(~q + 1) : static_cast<std::int64_t>(q);
+}
+
+/// The audited 64x64 -> 128 product.  Under HEDRA_CHECKED_FRAC every
+/// product is recomputed through __builtin_mul_overflow and the two
+/// independent arithmetic paths must agree — a product that fits 64 bits
+/// must match the wide result bit-for-bit, and one that overflows must
+/// land outside the 64-bit range.  The sanitizer CI job builds with the
+/// flag on, so a logic drift in either path fails loudly there instead of
+/// silently corrupting a response-time bound.
+Int128 mul_128(std::int64_t a, std::int64_t b) {
+  const Int128 wide = Int128(a) * b;
+#ifdef HEDRA_CHECKED_FRAC
+  std::int64_t narrow = 0;
+  if (__builtin_mul_overflow(a, b, &narrow)) {
+    HEDRA_REQUIRE(wide < Int128(std::numeric_limits<std::int64_t>::min()) ||
+                      wide > Int128(std::numeric_limits<std::int64_t>::max()),
+                  "HEDRA_CHECKED_FRAC: overflow audit disagrees with the "
+                  "128-bit product");
+  } else {
+    HEDRA_REQUIRE(wide == Int128(narrow),
+                  "HEDRA_CHECKED_FRAC: __builtin_mul_overflow product "
+                  "disagrees with the 128-bit product");
+  }
+#endif
+  return wide;
+}
+
 }  // namespace
 
 Frac::Frac(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
   HEDRA_REQUIRE(den != 0, "Frac denominator must be non-zero");
-  if (den_ < 0) {
-    num_ = -num_;
-    den_ = -den_;
-  }
-  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  // Reduce on unsigned magnitudes FIRST: |INT64_MIN| is representable in
+  // uint64, so the gcd and the exact divisions below are overflow-free.
+  // Only after reduction is the sign moved to the numerator; a residual
+  // INT64_MIN that must flip sign is a genuine unrepresentable value
+  // (e.g. 1/INT64_MIN needs den = 2^63 > INT64_MAX) and throws.
+  const std::uint64_t g = std::gcd(abs_u64(num_), abs_u64(den_));
   if (g > 1) {
-    num_ /= g;
-    den_ /= g;
+    num_ = divide_exact(num_, g);
+    den_ = divide_exact(den_, g);
+  }
+  if (den_ < 0) {
+    num_ = checked_negate(num_);
+    den_ = checked_negate(den_);
   }
 }
 
@@ -55,8 +108,8 @@ std::string Frac::to_string() const {
 
 Frac& Frac::operator+=(const Frac& rhs) {
   const Int128 n =
-      Int128(num_) * rhs.den_ + Int128(rhs.num_) * den_;
-  const Int128 d = Int128(den_) * rhs.den_;
+      mul_128(num_, rhs.den_) + mul_128(rhs.num_, den_);
+  const Int128 d = mul_128(den_, rhs.den_);
   // Normalise in 128 bits before narrowing so that e.g. 1/3 + 2/3 never
   // overflows spuriously.
   Int128 a = n < 0 ? -n : n;
@@ -71,14 +124,23 @@ Frac& Frac::operator+=(const Frac& rhs) {
   return *this;
 }
 
-Frac& Frac::operator-=(const Frac& rhs) { return *this += Frac(-rhs.num_, rhs.den_); }
+Frac& Frac::operator-=(const Frac& rhs) {
+  return *this += Frac(checked_negate(rhs.num_), rhs.den_);
+}
+
+Frac operator-(const Frac& f) { return Frac(checked_negate(f.num_), f.den_); }
 
 Frac& Frac::operator*=(const Frac& rhs) {
-  // Cross-reduce first to keep intermediates small.
-  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, rhs.den_);
-  const std::int64_t g2 = std::gcd(rhs.num_ < 0 ? -rhs.num_ : rhs.num_, den_);
-  const Int128 n = Int128(num_ / g1) * (rhs.num_ / g2);
-  const Int128 d = Int128(den_ / g2) * (rhs.den_ / g1);
+  // Cross-reduce first to keep intermediates small.  gcd runs on unsigned
+  // magnitudes so INT64_MIN numerators reduce without UB; both gcds are
+  // >= 1 because denominators are always positive.
+  const std::uint64_t g1 =
+      std::gcd(abs_u64(num_), static_cast<std::uint64_t>(rhs.den_));
+  const std::uint64_t g2 =
+      std::gcd(abs_u64(rhs.num_), static_cast<std::uint64_t>(den_));
+  const Int128 n = mul_128(divide_exact(num_, g1), divide_exact(rhs.num_, g2));
+  const Int128 d =
+      mul_128(divide_exact(den_, g2), divide_exact(rhs.den_, g1));
   *this = Frac(checked_narrow(n), checked_narrow(d));
   return *this;
 }
@@ -89,7 +151,7 @@ Frac& Frac::operator/=(const Frac& rhs) {
 }
 
 std::strong_ordering operator<=>(const Frac& a, const Frac& b) noexcept {
-  const Int128 lhs = Int128(a.num_) * b.den_;
+  const Int128 lhs = Int128(a.num_) * b.den_;  // never overflows Int128
   const Int128 rhs = Int128(b.num_) * a.den_;
   if (lhs < rhs) return std::strong_ordering::less;
   if (lhs > rhs) return std::strong_ordering::greater;
@@ -200,11 +262,16 @@ std::string frac_spec_string(const Frac& f) {
   for (int i = 0; i < places; ++i) scale *= 10;
   // scale/f.den() is integral by construction.
   const std::int64_t factor = scale / f.den();
-  const std::int64_t num_abs = f.num() < 0 ? -f.num() : f.num();
-  if (num_abs > std::numeric_limits<std::int64_t>::max() / factor) {
+  // Magnitude-domain arithmetic: INT64_MIN numerators (reachable with odd
+  // 5^b denominators, e.g. INT64_MIN/5) must not be negated as int64.
+  const std::uint64_t num_abs = abs_u64(f.num());
+  if (num_abs > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max()) /
+                    static_cast<std::uint64_t>(factor)) {
     return f.to_string();
   }
-  const std::int64_t scaled_abs = num_abs * factor;
+  const std::int64_t scaled_abs =
+      static_cast<std::int64_t>(num_abs * static_cast<std::uint64_t>(factor));
   std::string digits = std::to_string(scaled_abs % scale);
   digits.insert(digits.begin(),
                 static_cast<std::size_t>(places) - digits.size(), '0');

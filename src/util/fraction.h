@@ -10,7 +10,10 @@
 /// Theorem 1 switches formulas precisely at the equality point.
 ///
 /// Intermediate products are computed in 128-bit arithmetic and checked for
-/// int64 overflow on normalisation.
+/// int64 overflow on normalisation.  Building with -DHEDRA_CHECKED_FRAC=ON
+/// (the sanitizer CI configuration) additionally cross-checks every 64x64
+/// product against an independent __builtin_mul_overflow computation, so
+/// the two arithmetic paths audit each other.
 
 #include <compare>
 #include <cstdint>
@@ -61,7 +64,8 @@ class Frac {
   friend Frac operator-(Frac lhs, const Frac& rhs) { return lhs -= rhs; }
   friend Frac operator*(Frac lhs, const Frac& rhs) { return lhs *= rhs; }
   friend Frac operator/(Frac lhs, const Frac& rhs) { return lhs /= rhs; }
-  friend Frac operator-(const Frac& f) { return Frac(-f.num_, f.den_); }
+  /// Negation throws on the one unrepresentable case (num == INT64_MIN).
+  friend Frac operator-(const Frac& f);
 
   friend bool operator==(const Frac& a, const Frac& b) noexcept {
     return a.num_ == b.num_ && a.den_ == b.den_;

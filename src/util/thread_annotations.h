@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis annotations + annotated lock primitives.
+///
+/// The concurrency invariants DESIGN.md states in prose — which fields a
+/// mutex guards, which functions must (or must not) hold it, which types
+/// are capabilities — are only trustworthy if a machine checks them on
+/// every build.  Clang's `-Wthread-safety` does exactly that, *statically*,
+/// on paths no test executes (TSan only sees races a test happens to run).
+///
+/// Two layers live here:
+///
+///  1. `HEDRA_*` attribute macros.  Thin portable wrappers over Clang's
+///     thread-safety attributes; they expand to nothing on GCC/MSVC, so the
+///     default toolchain builds are untouched and the dedicated lint CI job
+///     (clang + `-Wthread-safety -Werror`) is the enforcement point.
+///
+///  2. Annotated primitives `Mutex`, `MutexLock`, `CondVar`.  libstdc++'s
+///     `std::mutex` carries no capability attributes, so Clang cannot see
+///     facts through `std::lock_guard<std::mutex>`; these zero-overhead
+///     wrappers (a `std::mutex` / `std::unique_lock` / `std::condition_
+///     variable` with attributes attached) make every lock acquisition
+///     visible to the analysis.  All lock-guarded structures in the tree
+///     use them — `hedra_lint.py` rule `raw-mutex` keeps it that way.
+///
+/// Usage pattern:
+///
+///     class HEDRA_CAPABILITY("mutex") ... // only for new capability types
+///
+///     util::Mutex mutex_;
+///     std::deque<T> items_ HEDRA_GUARDED_BY(mutex_);
+///     void drain() HEDRA_REQUIRES(mutex_);
+///     std::size_t size() const HEDRA_EXCLUDES(mutex_);
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HEDRA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HEDRA_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define HEDRA_CAPABILITY(x) HEDRA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define HEDRA_SCOPED_CAPABILITY HEDRA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define HEDRA_GUARDED_BY(x) HEDRA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define HEDRA_PT_GUARDED_BY(x) HEDRA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capability.
+#define HEDRA_REQUIRES(...) \
+  HEDRA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding the capability
+/// (deadlock prevention for self-calling APIs).
+#define HEDRA_EXCLUDES(...) \
+  HEDRA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (held on return).
+#define HEDRA_ACQUIRE(...) \
+  HEDRA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability (not held on return).
+#define HEDRA_RELEASE(...) \
+  HEDRA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `value`.
+#define HEDRA_TRY_ACQUIRE(value, ...) \
+  HEDRA_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define HEDRA_RETURN_CAPABILITY(x) HEDRA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function is trusted, the analysis skips its body.
+/// Every use must carry a comment arguing why it is sound.
+#define HEDRA_NO_THREAD_SAFETY_ANALYSIS \
+  HEDRA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hedra::util {
+
+/// `std::mutex` with capability attributes, so Clang tracks what it guards.
+/// Same size, same cost; prefer `MutexLock` over manual lock()/unlock().
+class HEDRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HEDRA_ACQUIRE() { mu_.lock(); }
+  void unlock() HEDRA_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() HEDRA_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex` (a `std::unique_lock` underneath, so `CondVar`
+/// can wait on it).  Supports early `unlock()` for the drop-before-throw
+/// pattern; the destructor releases only if still held.
+class HEDRA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HEDRA_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() HEDRA_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope end (e.g. to throw without holding the lock).
+  void unlock() HEDRA_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// `std::condition_variable` bound to `Mutex`/`MutexLock`.  `wait` requires
+/// the caller to hold the lock — exactly the invariant the standard leaves
+/// as undefined behaviour when violated; here Clang proves it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, blocks, reacquires before returning.  The
+  /// analysis treats the capability as held across the call (it is released
+  /// only while blocked, and reacquired before control returns), which is
+  /// the sound approximation for guarded accesses around the wait.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Predicate form: loops until `pred()` holds.  `pred` runs under the
+  /// lock, so it may read guarded state.
+  template <typename Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hedra::util

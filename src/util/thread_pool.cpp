@@ -1,13 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
 
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace hedra {
 
@@ -43,7 +42,7 @@ struct ThreadPool::Impl {
       // A failed spawn (thread limits) must not leave the already-started
       // workers joinable, or ~vector<std::thread> would std::terminate.
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         shutting_down = true;
       }
       wake.notify_all();
@@ -54,34 +53,35 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       shutting_down = true;
     }
     wake.notify_all();
     for (auto& t : threads) t.join();
   }
 
-  void worker_loop() {
+  void worker_loop() HEDRA_EXCLUDES(mutex) {
     std::uint64_t last_seen_job = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        wake.wait(lock, [&] {
-          return shutting_down || job_id != last_seen_job;
-        });
+        util::MutexLock lock(mutex);
+        while (!shutting_down && job_id == last_seen_job) wake.wait(lock);
         if (shutting_down) return;
         last_seen_job = job_id;
       }
       run_items();
       if (active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         done.notify_all();
       }
     }
   }
 
-  /// Claims and runs items until the cursor passes `count`.
-  void run_items() {
+  /// Claims and runs items until the cursor passes `count`.  `fn` and
+  /// `count` are stable for the duration of a dispatched job (set under
+  /// `mutex` before the wake, cleared only after every worker drained), so
+  /// the claim loop reads them lock-free.
+  void run_items() HEDRA_EXCLUDES(mutex) {
     const ItemDepthGuard guard;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +89,7 @@ struct ThreadPool::Impl {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         // Keep the smallest-index failure so reruns are reproducible even
         // when several items throw in one batch.
         if (!error || i < error_index) {
@@ -101,19 +101,21 @@ struct ThreadPool::Impl {
   }
 
   std::vector<std::thread> threads;
-  std::mutex mutex;
-  std::condition_variable wake;
-  std::condition_variable done;
-  bool shutting_down = false;
+  util::Mutex mutex;
+  util::CondVar wake;
+  util::CondVar done;
+  bool shutting_down HEDRA_GUARDED_BY(mutex) = false;
 
-  // Per-call state, published under `mutex` before `wake`.
-  std::uint64_t job_id = 0;
+  // Per-call state.  `job_id`, `error`, `error_index` are only touched
+  // under `mutex`; `fn`/`count` are published under `mutex` before `wake`
+  // and read lock-free inside a job (see run_items).
+  std::uint64_t job_id HEDRA_GUARDED_BY(mutex) = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t count = 0;
   std::atomic<std::size_t> cursor{0};
   std::atomic<int> active_workers{0};
-  std::exception_ptr error;
-  std::size_t error_index = 0;
+  std::exception_ptr error HEDRA_GUARDED_BY(mutex);
+  std::size_t error_index HEDRA_GUARDED_BY(mutex) = 0;
 };
 
 ThreadPool::ThreadPool(int workers) : workers_(workers) {
@@ -139,7 +141,7 @@ void ThreadPool::parallel_for_each(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     HEDRA_REQUIRE(impl_->fn == nullptr,
                   "parallel_for_each may not be called concurrently from "
                   "two independent threads on one pool");
@@ -155,10 +157,10 @@ void ThreadPool::parallel_for_each(
   impl_->wake.notify_all();
   impl_->run_items();  // the calling thread participates
   {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->done.wait(lock, [&] {
-      return impl_->active_workers.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(impl_->mutex);
+    while (impl_->active_workers.load(std::memory_order_acquire) != 0) {
+      impl_->done.wait(lock);
+    }
     impl_->fn = nullptr;
     if (impl_->error) {
       std::exception_ptr error = impl_->error;

@@ -20,8 +20,9 @@
 
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace hedra {
 
@@ -33,15 +34,15 @@ class WorkStealingDeque {
   WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
 
   /// Owner end: pushes a task onto the bottom (most recent) end.
-  void push_bottom(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void push_bottom(T item) HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     items_.push_back(std::move(item));
   }
 
   /// Owner end: pops the most recently pushed task (LIFO).  Returns false
   /// when the deque is empty.
-  [[nodiscard]] bool pop_bottom(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool pop_bottom(T& out) HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.back());
     items_.pop_back();
@@ -49,24 +50,26 @@ class WorkStealingDeque {
   }
 
   /// Thief end: steals the oldest task (FIFO).  Returns false when empty.
-  [[nodiscard]] bool steal_top(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool steal_top(T& out) HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
     return true;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const HEDRA_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
 
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool empty() const HEDRA_EXCLUDES(mutex_) {
+    return size() == 0;
+  }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<T> items_;
+  mutable util::Mutex mutex_;
+  std::deque<T> items_ HEDRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace hedra

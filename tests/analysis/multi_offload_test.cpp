@@ -106,8 +106,8 @@ TEST(MultiOffloadTest, AccountsForAcceleratorSerialisation) {
 }
 
 TEST(MultiOffloadTest, PreconditionsEnforced) {
-  EXPECT_THROW(rta_multi_offload(graph::Dag{}, 2), Error);
-  EXPECT_THROW(rta_multi_offload(testing::chain(2, 1), 0), Error);
+  EXPECT_THROW((void)rta_multi_offload(graph::Dag{}, 2), Error);
+  EXPECT_THROW((void)rta_multi_offload(testing::chain(2, 1), 0), Error);
 }
 
 }  // namespace

@@ -189,7 +189,7 @@ TEST(PlatformRtaTest, SingleUnitWeightingReproducesTheLegacyBoundExactly) {
     const std::vector<int> ones(3, 1);
     analysis::AnalysisCache cache(dag);
     for (const int m : {1, 2, 4, 8, 16}) {
-      const analysis::ChainWeighting weighting{m, ones};
+      const analysis::ChainWeighting weighting{m, ones, {}};
       const Frac walk = analysis::max_host_path(dag, weighting);
       EXPECT_EQ(walk, Frac(analysis::max_host_path(dag) * (m - 1), m))
           << "i=" << i << " m=" << m;

@@ -55,9 +55,9 @@ TEST(RtaHomTest, EmptyDagIsZero) {
 }
 
 TEST(RtaHomTest, PreconditionsEnforced) {
-  EXPECT_THROW(rta_homogeneous(10, 30, 0), Error);
-  EXPECT_THROW(rta_homogeneous(-1, 30, 2), Error);
-  EXPECT_THROW(rta_homogeneous(31, 30, 2), Error);  // vol < len
+  EXPECT_THROW((void)rta_homogeneous(10, 30, 0), Error);
+  EXPECT_THROW((void)rta_homogeneous(-1, 30, 2), Error);
+  EXPECT_THROW((void)rta_homogeneous(31, 30, 2), Error);  // vol < len
 }
 
 TEST(RtaHomTest, ResultIsExactRational) {

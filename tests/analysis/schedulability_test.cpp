@@ -140,7 +140,9 @@ TEST(SchedulabilityTest, MoreCoresNeverHurtSchedulability) {
   bool was_schedulable = false;
   for (const int m : {1, 2, 4, 8, 16}) {
     const auto report = check_schedulability(task, m, AnalysisKind::kBest);
-    if (was_schedulable) EXPECT_TRUE(report.schedulable) << "m=" << m;
+    if (was_schedulable) {
+      EXPECT_TRUE(report.schedulable) << "m=" << m;
+    }
     was_schedulable = report.schedulable;
   }
 }

@@ -190,8 +190,8 @@ TEST(ContentionRtaTest, InvalidInputsThrow) {
   EXPECT_THROW(contention_rta(TaskSet(Platform::parse("4:gpu"))), Error);
   TaskSet set(Platform::parse("4:gpu"));
   set.add(DagTask(chain_dag(10, 8, 1), 200, 200, "tau1"));
-  EXPECT_THROW(contention_response(set, 1, 2), Error);
-  EXPECT_THROW(contention_response(set, 0, 0), Error);
+  EXPECT_THROW((void)contention_response(set, 1, 2), Error);
+  EXPECT_THROW((void)contention_response(set, 0, 0), Error);
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// hedra-lint: pretend-path(src/exact/bad_tag.cpp)
+// hedra-lint: expect(bad-allow-tag)
+//
+// Known-bad: an allow tag with no reason.  Suppressions must say WHY the
+// site is exempt — a bare tag is indistinguishable from a drive-by mute.
+
+namespace hedra::exact {
+
+inline int tagged_without_reason(int a) {
+  // hedra-lint: allow(float-in-bound)
+  return a + 1;
+}
+
+}  // namespace hedra::exact

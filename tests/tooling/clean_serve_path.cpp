@@ -1,0 +1,28 @@
+// hedra-lint: pretend-path(src/serve/good_alloc.cpp)
+// hedra-lint: expect-clean
+//
+// Known-good: the same allocation shape as fault_seam_missing_bad.cpp but
+// with the HEDRA_FAULT seam in place, plus a justified (and used) allow
+// tag.  The linter must stay silent on all of it.
+
+#include <memory>
+
+#define HEDRA_FAULT(site) static_cast<void>(site)
+
+namespace hedra::serve {
+
+struct State {
+  int value = 0;
+};
+
+inline std::shared_ptr<State> next_state(int value) {
+  HEDRA_FAULT("serve.fixture.alloc");
+  auto state = std::make_shared<State>();
+  state->value = value;
+  return state;
+}
+
+// hedra-lint: allow(fault-seam, fixture demonstrates a justified waiver)
+inline std::shared_ptr<State> waived_state() { return std::make_shared<State>(); }
+
+}  // namespace hedra::serve

@@ -1,0 +1,22 @@
+// hedra-lint: pretend-path(src/serve/bad_alloc.cpp)
+// hedra-lint: expect(fault-seam)
+//
+// Known-bad: an allocation on a serve/ path with no HEDRA_FAULT seam in
+// reach.  The robustness CI drives every allocation failure path through
+// injected faults; an unseamed allocation is untestable by construction.
+
+#include <memory>
+
+namespace hedra::serve {
+
+struct State {
+  int value = 0;
+};
+
+inline std::shared_ptr<State> next_state(int value) {
+  auto state = std::make_shared<State>();
+  state->value = value;
+  return state;
+}
+
+}  // namespace hedra::serve

@@ -1,0 +1,14 @@
+// hedra-lint: pretend-path(src/analysis/bad_bound.cpp)
+// hedra-lint: expect(float-in-bound)
+//
+// Known-bad: a response-time bound computed in floating point.  Theorem 1
+// compares bounds at exact equality points, so a double here can flip a
+// schedulability verdict; the rule must fire on the declaration line.
+
+namespace hedra::analysis {
+
+inline double bad_makespan_bound(int volume, int m) {
+  return (volume + 0.0) / m;
+}
+
+}  // namespace hedra::analysis

@@ -1,0 +1,17 @@
+// hedra-lint: pretend-path(src/analysis/bad_api.h)
+// hedra-lint: expect(nodiscard-outcome)
+//
+// Known-bad: a header API returning a Frac bound without [[nodiscard]].
+// A silently dropped bound (or util::Outcome) swallows the very result —
+// or budget-exhaustion signal — the caller exists to check.
+
+namespace hedra {
+
+class Frac;
+
+namespace analysis {
+
+Frac interference_bound(int volume, int cores);
+
+}  // namespace analysis
+}  // namespace hedra

@@ -1,0 +1,17 @@
+// hedra-lint: pretend-path(src/sim/bad_lock.cpp)
+// hedra-lint: expect(raw-mutex)
+//
+// Known-bad: a naked std::mutex.  Clang's -Wthread-safety cannot reason
+// about unannotated locks, so every lock must be the annotated
+// util::Mutex from util/thread_annotations.h.
+
+#include <mutex>
+
+namespace hedra::sim {
+
+struct Counter {
+  std::mutex mu;
+  int value = 0;
+};
+
+}  // namespace hedra::sim

@@ -1,0 +1,15 @@
+// hedra-lint: pretend-path(src/exact/stale_tag.cpp)
+// hedra-lint: expect(stale-allow)
+//
+// Known-bad: an allow tag that no longer suppresses anything.  Stale tags
+// are latent holes — the next genuine violation near one would be waved
+// through — so the linter must demand their removal.
+
+namespace hedra::exact {
+
+inline int clean_integer_math(int a) {
+  // hedra-lint: allow(float-in-bound, leftover from a removed double cast)
+  return a * 2;
+}
+
+}  // namespace hedra::exact

@@ -1,0 +1,20 @@
+// hedra-lint: pretend-path(src/graph/bad_order.cpp)
+// hedra-lint: expect(unordered-container)
+//
+// Known-bad: iterating a hash container in an output path.  Iteration
+// order depends on the hash seed and bucket count, so two runs can emit
+// the same nodes in different orders and break bit-identical goldens.
+
+#include <unordered_map>
+
+namespace hedra::graph {
+
+inline int sum_degrees(int n) {
+  std::unordered_map<int, int> degree;
+  for (int v = 0; v < n; ++v) degree[v] = v;
+  int total = 0;
+  for (const auto& [v, d] : degree) total += d;
+  return total;
+}
+
+}  // namespace hedra::graph

@@ -121,6 +121,73 @@ TEST(FracTest, OverflowIsDetected) {
   EXPECT_THROW(f + f, Error);
 }
 
+// --- INT64_MIN edge cases -------------------------------------------------
+// |INT64_MIN| is not representable as int64, so every code path that used
+// to negate blindly (`den < 0` sign normalisation, unary minus, operator-)
+// was undefined behaviour exactly there.  These pin the fixed semantics:
+// representable results are exact, unrepresentable ones throw.
+
+TEST(FracTest, Int64MinNumeratorIsRepresentable) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const Frac f(min, 1);
+  EXPECT_EQ(f.num(), min);
+  EXPECT_EQ(f.den(), 1);
+  EXPECT_EQ(f.floor(), min);
+  EXPECT_EQ(f.ceil(), min);
+}
+
+TEST(FracTest, Int64MinReducesAgainstEvenDenominators) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  // gcd(2^63, 2) = 2; the old signed-abs gcd negated INT64_MIN first (UB).
+  const Frac f(min, 2);
+  EXPECT_EQ(f.num(), min / 2);
+  EXPECT_EQ(f.den(), 1);
+}
+
+TEST(FracTest, Int64MinOverInt64MinIsOne) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  // g = 2^63 does not even fit int64; reduction must run on magnitudes.
+  const Frac f(min, min);
+  EXPECT_EQ(f, Frac(1));
+}
+
+TEST(FracTest, Int64MinDenominatorThrowsWhenIrreducible) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  // 1/INT64_MIN would need den = 2^63 > INT64_MAX: genuinely
+  // unrepresentable, so the constructor must throw, not wrap.
+  EXPECT_THROW(Frac(1, min), Error);
+  // With a shared factor the value fits: -3/2^62.
+  const Frac ok(6, min);
+  EXPECT_EQ(ok.num(), -3);
+  EXPECT_EQ(ok.den(), std::int64_t{1} << 62);
+}
+
+TEST(FracTest, NegatingInt64MinThrows) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const Frac f(min, 1);
+  EXPECT_THROW(-f, Error);
+  EXPECT_THROW(Frac(0) - f, Error);
+  // The boundary neighbour negates fine.
+  const Frac g(min + 1, 1);
+  EXPECT_EQ((-g).num(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(FracTest, Int64MinSurvivesMultiplyCrossReduction) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  // Cross-reduction gcd(|INT64_MIN|, 4) must use the unsigned magnitude.
+  EXPECT_EQ(Frac(min, 1) * Frac(1, 4), Frac(min / 4, 1));
+  EXPECT_EQ(Frac(min, 1) / Frac(4, 1), Frac(min / 4, 1));
+}
+
+TEST(FracTest, Int64MinSpecStringFallsBackToRatioForm) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  // den = 5 survives normalisation (2^63 is odd-free of 5s); the decimal
+  // expansion would scale the numerator past INT64_MAX, so the exact
+  // ratio spelling is used — previously this path negated INT64_MIN (UB).
+  const Frac f(min, 5);
+  EXPECT_EQ(frac_spec_string(f), f.to_string());
+}
+
 /// The shape every bound in the paper takes: len + (vol - len)/m must be
 /// exactly representable and ordered sensibly for all m.
 class FracBoundShapeTest : public ::testing::TestWithParam<int> {};
