@@ -22,6 +22,7 @@
 /// under injected faults.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -29,11 +30,14 @@
 #include <vector>
 
 #include "graph/dag_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "taskset/gen.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/fault.h"
 
 namespace {
@@ -170,6 +174,15 @@ int run_smoke(int count, int tasks_per_set, std::uint64_t seed,
   return lenient ? unsound : unsound + mismatches;
 }
 
+/// Writes `text` to `path` or throws — telemetry dumps are an explicit
+/// request, so a silent write failure would be a lie to the scraper.
+void write_file_or_throw(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) throw hedra::Error("cannot write '" + path + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +209,12 @@ int main(int argc, char** argv) {
   const auto* smoke_tasks =
       parser.add_int("smoke-tasks", 4, "tasks per set in --smoke mode");
   const auto* seed = parser.add_int("seed", 44, "generator seed (--smoke)");
+  const auto* trace_out = parser.add_string(
+      "trace-out", "", "write a chrome://tracing JSON of per-request spans "
+                       "here on exit (enables telemetry)");
+  const auto* metrics_out = parser.add_string(
+      "metrics-out", "", "write a hedra-metrics-v1 JSON dump here on exit "
+                         "(enables telemetry)");
   try {
     if (!parser.parse(argc, argv)) return 0;
 
@@ -210,11 +229,29 @@ int main(int argc, char** argv) {
     server_config.queue_capacity = static_cast<std::size_t>(*queue);
     server_config.request_deadline_sec = *deadline_ms / 1000.0;
 
+    // Either output flag arms the whole telemetry layer: the metrics
+    // registry records, and every request carries a span tree.
+    const bool telemetry = !trace_out->empty() || !metrics_out->empty();
+    hedra::obs::Tracer tracer;
+    if (telemetry) {
+      hedra::obs::set_enabled(true);
+      server_config.tracer = &tracer;
+    }
+    const auto dump_telemetry = [&] {
+      if (!trace_out->empty()) {
+        write_file_or_throw(*trace_out, tracer.chrome_trace_json());
+      }
+      if (!metrics_out->empty()) {
+        write_file_or_throw(*metrics_out, hedra::obs::metrics_json());
+      }
+    };
+
     if (*smoke) {
       const int divergences =
           run_smoke(static_cast<int>(*smoke_sets),
                     static_cast<int>(*smoke_tasks),
                     static_cast<std::uint64_t>(*seed), server_config);
+      dump_telemetry();
       return divergences == 0 ? 0 : 1;
     }
 
@@ -228,6 +265,7 @@ int main(int argc, char** argv) {
               << stats.admitted << " admitted, " << stats.rejected
               << " rejected, " << stats.provisional << " provisional, "
               << stats.errors << " errors, " << stats.shed << " shed)\n";
+    dump_telemetry();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

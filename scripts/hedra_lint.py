@@ -158,6 +158,25 @@ RULES = [
         lambda p: p.startswith("src/")
         and p != "src/util/thread_annotations.h",
     ),
+    Rule(
+        "obs-metric-site",
+        re.compile(r"\b(?:hedra::)?obs::(?:counter|gauge|histogram)\s*\("),
+        "direct metrics-registry call outside src/obs; record through the "
+        "HEDRA_METRIC* macros so disabled telemetry stays zero-cost and "
+        "sites stay greppable",
+        lambda p: p.startswith("src/") and not p.startswith("src/obs/"),
+    ),
+    Rule(
+        "obs-clock",
+        re.compile(
+            r"\bstd::chrono\b|\bsteady_clock\b|\bsystem_clock\b|"
+            r"\bhigh_resolution_clock\b|::now\s*\(|\.now\s*\("
+        ),
+        "clock read inside the telemetry layer; src/obs takes all "
+        "timestamps through util::monotonic_now_ns() so traces share the "
+        "deadline clock and never touch the calendar",
+        lambda p: p.startswith("src/obs/"),
+    ),
 ]
 
 FAULT_SEAM_RULE_ID = "fault-seam"

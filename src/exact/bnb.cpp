@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "graph/algorithms.h"
 #include "graph/critical_path.h"
 #include "graph/flat_dag.h"
+#include "obs/metrics.h"
 #include "util/bitset.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
@@ -148,10 +150,11 @@ struct Subproblem {
 /// (static_assert below) and `deadline` is const after construction, so no
 /// worker can observe a torn or stale value of either kind.
 struct SharedSearch {
-  SharedSearch(Time initial_best,
+  SharedSearch(Time initial,
                std::chrono::steady_clock::time_point limit)
-      : best(initial_best), deadline(limit) {}
+      : best(initial), initial_best(initial), deadline(limit) {}
   std::atomic<Time> best;                ///< incumbent upper bound
+  const Time initial_best;               ///< the root heuristic upper bound
   std::atomic<std::uint64_t> nodes{0};   ///< flushed decision-node total
   std::atomic<bool> aborted{false};      ///< any worker ran out of budget
   std::atomic<int> hungry{0};  ///< workers currently without local work
@@ -197,6 +200,7 @@ class DfsEngine {
       deadline_ = search_deadline(ctx.config);
     } else {
       deadline_ = shared_->deadline;
+      initial_best_ = shared_->initial_best;
     }
   }
 
@@ -228,11 +232,22 @@ class DfsEngine {
     absorb(newly, nullptr);
   }
 
-  void set_best(Time best) { best_ = best; }
+  void set_best(Time best) {
+    best_ = best;
+    initial_best_ = best;
+  }
   [[nodiscard]] Time best() const { return best_; }
   [[nodiscard]] std::uint64_t nodes() const { return nodes_; }
   [[nodiscard]] bool aborted() const { return aborted_; }
   [[nodiscard]] const SearchState& state() const { return s_; }
+
+  /// The engine's telemetry so far (node count filled in from the live
+  /// counter; the worker-level steal/split fields stay zero here).
+  [[nodiscard]] SearchStats stats() const {
+    SearchStats out = stats_;
+    out.nodes = nodes_;
+    return out;
+  }
 
   /// Runs the DFS from the current state (sequential entry point).
   void run(std::size_t min_host, std::size_t min_accel) {
@@ -259,7 +274,13 @@ class DfsEngine {
       offer_best(s_.now);
       return;
     }
-    if (lower_bound() >= current_best()) return;
+    {
+      const Time bound = current_best();
+      if (lower_bound() >= bound) {
+        count_prune(bound);
+        return;
+      }
+    }
 
     const auto child = [&](std::size_t min_host, std::size_t min_accel) {
       Subproblem c;
@@ -326,6 +347,17 @@ class DfsEngine {
   [[nodiscard]] Time current_best() const {
     return shared_ == nullptr ? best_
                               : shared_->best.load(std::memory_order_relaxed);
+  }
+
+  /// Attributes a `lower_bound() >= bound` cut to the bound that made it:
+  /// an incumbent some completed schedule tightened below the root
+  /// heuristic, or the heuristic upper bound itself.
+  void count_prune(Time bound_used) {
+    if (bound_used < initial_best_) {
+      ++stats_.prune_incumbent;
+    } else {
+      ++stats_.prune_bound;
+    }
   }
 
   /// Tightens the incumbent.  Sequential: plain min.  Parallel: CAS-min on
@@ -419,6 +451,7 @@ class DfsEngine {
         return true;
       }
       if ((nodes_ & kBudgetPollMask) == 0) {
+        ++stats_.budget_polls;
         // Fault seam inside the amortised branch: the per-node hot path
         // (tens of millions of nodes/s) never pays for it.
         HEDRA_FAULT("exact.bnb.node");
@@ -434,6 +467,7 @@ class DfsEngine {
     // overshoot by up to 1024 nodes per worker (documented in bnb.h).
     // No fault seam here: a throw would escape the worker thread.
     if ((nodes_ & kBudgetPollMask) == 0) {
+      ++stats_.budget_polls;
       const std::uint64_t total =
           shared_->nodes.fetch_add(nodes_ - flushed_nodes_,
                                    std::memory_order_relaxed) +
@@ -590,7 +624,13 @@ class DfsEngine {
       offer_best(s_.now);
       return;
     }
-    if (lower_bound() >= current_best()) return;
+    {
+      const Time bound = current_best();
+      if (lower_bound() >= bound) {
+        count_prune(bound);
+        return;
+      }
+    }
 
     // Dominance: a lone offload node starts the moment it is ready.
     if (ctx_.single_offload && s_.accel_free && s_.accel_ready_count > 0) {
@@ -653,8 +693,10 @@ class DfsEngine {
   std::size_t delay_depth_ = 0;
 
   Time best_ = 0;  ///< sequential-mode incumbent (parallel uses shared_)
+  Time initial_best_ = 0;  ///< the root heuristic UB (prune attribution)
   std::uint64_t nodes_ = 0;
   std::uint64_t flushed_nodes_ = 0;
+  SearchStats stats_;  ///< local counters; nodes filled in by stats()
   bool aborted_ = false;
   std::chrono::steady_clock::time_point deadline_;
 };
@@ -668,10 +710,15 @@ class DfsEngine {
 /// queued + executing subproblems, so 0 means the whole tree is done.
 void worker_loop(const SearchContext& ctx, SharedSearch& shared,
                  std::vector<WorkStealingDeque<Subproblem>>& deques, int wid,
-                 int jobs) {
+                 int jobs, SearchStats& stats_out) {
   DfsEngine engine(ctx, &shared);
   std::vector<Subproblem> children;
   Subproblem sp;
+  // Scheduling telemetry lives here (the engine counts search-tree
+  // events): plain locals, written out once when the worker retires.
+  std::uint64_t steals = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t split_refusals = 0;
   for (;;) {
     bool got = deques[static_cast<std::size_t>(wid)].pop_bottom(sp);
     if (!got) {
@@ -686,11 +733,13 @@ void worker_loop(const SearchContext& ctx, SharedSearch& shared,
       }
       shared.hungry.fetch_sub(1, std::memory_order_relaxed);
       if (!got) break;
+      ++steals;
     }
     const bool split = sp.depth < kMaxSplitDepth &&
                        shared.hungry.load(std::memory_order_relaxed) > 0 &&
                        !shared.aborted.load(std::memory_order_relaxed);
     if (split) {
+      ++splits;
       children.clear();
       engine.expand(sp, children);
       // Reverse push so pop_bottom explores children in canonical branch
@@ -700,11 +749,16 @@ void worker_loop(const SearchContext& ctx, SharedSearch& shared,
         deques[static_cast<std::size_t>(wid)].push_bottom(std::move(*it));
       }
     } else {
+      ++split_refusals;
       engine.run_subproblem(sp);
     }
     shared.in_flight.fetch_sub(1, std::memory_order_acq_rel);
   }
   engine.flush_nodes();
+  stats_out = engine.stats();
+  stats_out.steals = steals;
+  stats_out.splits = splits;
+  stats_out.split_refusals = split_refusals;
 }
 
 BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
@@ -722,14 +776,16 @@ BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
     deques[0].push_bottom(std::move(root));
   }
 
+  std::vector<SearchStats> per_worker(static_cast<std::size_t>(jobs));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(jobs - 1));
   for (int wid = 1; wid < jobs; ++wid) {
-    threads.emplace_back([&ctx, &shared, &deques, wid, jobs] {
-      worker_loop(ctx, shared, deques, wid, jobs);
+    threads.emplace_back([&ctx, &shared, &deques, &per_worker, wid, jobs] {
+      worker_loop(ctx, shared, deques, wid, jobs,
+                  per_worker[static_cast<std::size_t>(wid)]);
     });
   }
-  worker_loop(ctx, shared, deques, /*wid=*/0, jobs);
+  worker_loop(ctx, shared, deques, /*wid=*/0, jobs, per_worker[0]);
   for (auto& t : threads) t.join();
 
   seed.makespan = shared.best.load(std::memory_order_relaxed);
@@ -737,7 +793,30 @@ BnbResult parallel_min_makespan(const SearchContext& ctx, BnbResult seed,
   seed.proven_optimal = !shared.aborted.load(std::memory_order_relaxed);
   seed.outcome = seed.proven_optimal ? util::Outcome::kComplete
                                      : util::Outcome::kBudgetExhausted;
+  seed.worker_stats = std::move(per_worker);
+  for (const SearchStats& w : seed.worker_stats) {
+    seed.stats.nodes += w.nodes;
+    seed.stats.prune_incumbent += w.prune_incumbent;
+    seed.stats.prune_bound += w.prune_bound;
+    seed.stats.budget_polls += w.budget_polls;
+    seed.stats.steals += w.steals;
+    seed.stats.splits += w.splits;
+    seed.stats.split_refusals += w.split_refusals;
+  }
   return seed;
+}
+
+/// Flushes one solve's aggregate telemetry into the global metrics
+/// registry (no-ops when metrics are disabled; never touched per node).
+void flush_search_metrics(const BnbResult& result) {
+  HEDRA_METRIC("exact.bnb.solves");
+  HEDRA_METRIC_ADD("exact.bnb.nodes", result.stats.nodes);
+  HEDRA_METRIC_ADD("exact.bnb.prune_incumbent", result.stats.prune_incumbent);
+  HEDRA_METRIC_ADD("exact.bnb.prune_bound", result.stats.prune_bound);
+  HEDRA_METRIC_ADD("exact.bnb.budget_polls", result.stats.budget_polls);
+  HEDRA_METRIC_ADD("exact.bnb.steals", result.stats.steals);
+  HEDRA_METRIC_ADD("exact.bnb.splits", result.stats.splits);
+  HEDRA_METRIC_ADD("exact.bnb.split_refusals", result.stats.split_refusals);
 }
 
 }  // namespace
@@ -755,14 +834,20 @@ BnbResult min_makespan(const Dag& dag, int m, const BnbConfig& config) {
   result.root_lower_bound = makespan_lower_bound(dag, m);
   result.heuristic_upper_bound = best_heuristic_makespan(ctx.flat, m).makespan;
   if (result.heuristic_upper_bound == result.root_lower_bound) {
+    // Root-bound shortcut: no search ran, worker_stats stays empty.
     result.makespan = result.heuristic_upper_bound;
     result.proven_optimal = true;
+    flush_search_metrics(result);
     return result;
   }
 
   const int jobs =
       config.jobs >= 1 ? config.jobs : ThreadPool::default_workers();
-  if (jobs > 1) return parallel_min_makespan(ctx, result, jobs);
+  if (jobs > 1) {
+    BnbResult parallel = parallel_min_makespan(ctx, result, jobs);
+    flush_search_metrics(parallel);
+    return parallel;
+  }
 
   DfsEngine engine(ctx, nullptr);
   engine.set_best(result.heuristic_upper_bound);
@@ -773,7 +858,37 @@ BnbResult min_makespan(const Dag& dag, int m, const BnbConfig& config) {
   result.nodes_explored = engine.nodes();
   result.outcome = result.proven_optimal ? util::Outcome::kComplete
                                          : util::Outcome::kBudgetExhausted;
+  result.stats = engine.stats();
+  result.worker_stats.push_back(result.stats);
+  flush_search_metrics(result);
   return result;
+}
+
+std::string explain_search(const BnbResult& result) {
+  std::ostringstream os;
+  os << "bnb: makespan=" << result.makespan
+     << (result.proven_optimal ? " (proven optimal)" : " (budget exhausted)")
+     << " lb=" << result.root_lower_bound
+     << " ub0=" << result.heuristic_upper_bound << "\n";
+  const SearchStats& s = result.stats;
+  os << "search: nodes=" << s.nodes << " prune_incumbent="
+     << s.prune_incumbent << " prune_bound=" << s.prune_bound
+     << " budget_polls=" << s.budget_polls << " steals=" << s.steals
+     << " splits=" << s.splits << " split_refusals=" << s.split_refusals
+     << "\n";
+  if (result.worker_stats.empty()) {
+    os << "workers: none (root bound closed the gap before any search)\n";
+    return os.str();
+  }
+  for (std::size_t w = 0; w < result.worker_stats.size(); ++w) {
+    const SearchStats& ws = result.worker_stats[w];
+    os << "worker " << w << ": nodes=" << ws.nodes << " prune_incumbent="
+       << ws.prune_incumbent << " prune_bound=" << ws.prune_bound
+       << " budget_polls=" << ws.budget_polls << " steals=" << ws.steals
+       << " splits=" << ws.splits << " split_refusals=" << ws.split_refusals
+       << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace hedra::exact

@@ -37,6 +37,8 @@
 /// bit-identical to the historical solver and the committed goldens.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "graph/dag.h"
 #include "util/deadline.h"
@@ -60,6 +62,24 @@ struct BnbConfig {
   int jobs = 1;
 };
 
+/// Search telemetry of one worker (or of the whole solve when aggregated).
+/// Plain local counters on the search path — no atomics, no locks, no
+/// clock reads — flushed once when the worker retires, so recording costs
+/// a handful of register increments per node and never perturbs the
+/// explored tree (sequential output stays bit-identical to the goldens).
+struct SearchStats {
+  std::uint64_t nodes = 0;            ///< decision nodes expanded
+  /// Subtrees cut by `lower_bound() >= best`, split by what `best` was:
+  /// an incumbent some schedule completion tightened below the root
+  /// heuristic, vs the initial heuristic upper bound itself.
+  std::uint64_t prune_incumbent = 0;
+  std::uint64_t prune_bound = 0;
+  std::uint64_t budget_polls = 0;     ///< amortised budget/clock checks
+  std::uint64_t steals = 0;           ///< subproblems stolen from a victim
+  std::uint64_t splits = 0;           ///< subproblems expanded breadth-first
+  std::uint64_t split_refusals = 0;   ///< popped but run in place instead
+};
+
 /// Solver outcome.
 struct BnbResult {
   graph::Time makespan = 0;       ///< best (optimal if proven_optimal)
@@ -71,6 +91,11 @@ struct BnbResult {
   /// (node cap, time limit, external deadline) truncated the search — the
   /// makespan is then a sound upper bound, not proven minimal.
   util::Outcome outcome = util::Outcome::kComplete;
+  SearchStats stats;  ///< aggregate search telemetry over all workers
+  /// Per-worker telemetry: one entry in sequential mode, `jobs` entries in
+  /// parallel mode (worker 0 first).  Empty for the root-bound shortcut
+  /// where no search ran.
+  std::vector<SearchStats> worker_stats;
 };
 
 /// Minimum makespan of `dag` on m cores + 1 accelerator.  Requires an
@@ -78,5 +103,10 @@ struct BnbResult {
 /// share the single accelerator).
 [[nodiscard]] BnbResult min_makespan(const graph::Dag& dag, int m,
                                      const BnbConfig& config = {});
+
+/// explain()-style structured summary of a solve: the headline result,
+/// the aggregate search counters, and one line per worker — the tool for
+/// "where did the budget go" when a parallel solve is slow.
+[[nodiscard]] std::string explain_search(const BnbResult& result);
 
 }  // namespace hedra::exact

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/thread_annotations.h"
+
+namespace hedra::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+/// One registered metric.  The pointees are allocated once and never
+/// freed: HEDRA_METRIC* call sites cache references forever, so stable
+/// addresses are part of the registry contract (mirrors the leaked fault
+/// registry in util/fault.cpp).
+struct Entry {
+  Kind kind;
+  Counter* counter = nullptr;
+  Gauge* gauge = nullptr;
+  Histogram* histogram = nullptr;
+};
+
+struct Registry {
+  util::Mutex mutex;
+  // Ordered map: exposition enumerates deterministically.
+  std::map<std::string, Entry> entries HEDRA_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  // Leaked: metric references handed out by counter()/gauge()/histogram()
+  // may be used from static destructors of client code.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Entry& find_or_create(const std::string& name, Kind kind) {
+  HEDRA_REQUIRE(!name.empty(), "metric name must be non-empty");
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mutex);
+  auto it = reg.entries.find(name);
+  if (it != reg.entries.end()) {
+    if (it->second.kind != kind) {
+      lock.unlock();
+      throw Error("metric '" + name + "' already registered as " +
+                  kind_name(it->second.kind) + ", requested " +
+                  kind_name(kind));
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = new Counter;
+      break;
+    case Kind::kGauge:
+      entry.gauge = new Gauge;
+      break;
+    case Kind::kHistogram:
+      entry.histogram = new Histogram;
+      break;
+  }
+  return reg.entries.emplace(name, entry).first->second;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Site names use the
+/// hedra dotted convention; mangle dots (and any other byte outside the
+/// legal set) to underscores and prepend the namespace prefix.
+std::string prometheus_name(const std::string& site) {
+  std::string out = "hedra_";
+  for (char c : site) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void json_escape_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';  // control bytes never appear in site names; degrade safely
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  return *find_or_create(name, Kind::kCounter).counter;
+}
+
+Gauge& gauge(const std::string& name) {
+  return *find_or_create(name, Kind::kGauge).gauge;
+}
+
+Histogram& histogram(const std::string& name) {
+  return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+void reset_values() {
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mutex);
+  for (auto& [name, entry] : reg.entries) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> registered_metrics() {
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.entries.size());
+  for (const auto& [name, entry] : reg.entries) names.push_back(name);
+  return names;
+}
+
+std::string prometheus_text() {
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mutex);
+  std::ostringstream out;
+  for (const auto& [name, entry] : reg.entries) {
+    const std::string prom = prometheus_name(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << entry.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << prom << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBoundaries; ++i) {
+          cumulative += h.bucket_count(i);
+          out << prom << "_bucket{le=\"" << Histogram::boundary_ns(i)
+              << "\"} " << cumulative << "\n";
+        }
+        cumulative += h.bucket_count(Histogram::kNumBuckets - 1);
+        out << prom << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+            << prom << "_sum " << h.sum_ns() << "\n"
+            << prom << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string metrics_json() {
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mutex);
+  std::ostringstream out;
+  out << "{\"schema\":\"hedra-metrics-v1\",\"enabled\":"
+      << (enabled() ? "true" : "false");
+  const char* sep = "";
+  out << ",\"counters\":{";
+  for (const auto& [name, entry] : reg.entries) {
+    if (entry.kind != Kind::kCounter) continue;
+    out << sep << "\"";
+    json_escape_into(out, name);
+    out << "\":" << entry.counter->value();
+    sep = ",";
+  }
+  out << "},\"gauges\":{";
+  sep = "";
+  for (const auto& [name, entry] : reg.entries) {
+    if (entry.kind != Kind::kGauge) continue;
+    out << sep << "\"";
+    json_escape_into(out, name);
+    out << "\":" << entry.gauge->value();
+    sep = ",";
+  }
+  out << "},\"histograms\":{";
+  sep = "";
+  for (const auto& [name, entry] : reg.entries) {
+    if (entry.kind != Kind::kHistogram) continue;
+    const Histogram& h = *entry.histogram;
+    out << sep << "\"";
+    json_escape_into(out, name);
+    out << "\":{\"boundaries_ns\":[";
+    for (int i = 0; i < Histogram::kNumBoundaries; ++i) {
+      out << (i ? "," : "") << Histogram::boundary_ns(i);
+    }
+    out << "],\"buckets\":[";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      out << (i ? "," : "") << h.bucket_count(i);
+    }
+    out << "],\"sum_ns\":" << h.sum_ns() << ",\"count\":" << h.count() << "}";
+    sep = ",";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace hedra::obs

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file metrics.h
+/// Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+/// latency histograms.
+///
+/// The admission daemon must be observable at production traffic rates, so
+/// recording follows the HEDRA_FAULT discipline exactly (see util/fault.h):
+///
+///     HEDRA_METRIC("serve.requests");
+///
+/// compiles to a single relaxed atomic load when metrics are disabled (the
+/// default: no registry lookup, no lock, no allocation), and when enabled
+/// pays one relaxed atomic add — the registry lookup happens once per call
+/// site, cached in a function-local static reference.  The registration
+/// path (first hit of a site, exposition, reset) takes an annotated
+/// util::Mutex; the record path never does.
+///
+/// Hard rules, enforced by `scripts/hedra_lint.py`:
+///
+///   - recording never consumes RNG streams and never reads a clock
+///     directly — durations are measured by callers with
+///     util::monotonic_now_ns() (rule `obs-clock`);
+///   - outside src/obs/ all recording goes through the HEDRA_METRIC*
+///     macros, never direct registry calls (rule `obs-metric-site`), so
+///     every site keeps the zero-overhead-when-disabled contract;
+///   - registered metric objects are NEVER deallocated: the macro caches
+///     a reference forever, so reset_values() zeroes values but keeps
+///     every object alive (addresses are stable for the process lifetime).
+///
+/// Exposition: prometheus_text() renders the classic text format
+/// (`hedra_` prefix, dots mangled to underscores); metrics_json() emits
+/// the stable `hedra-metrics-v1` document that scripts/validate_metrics.py
+/// checks in CI.  Both enumerate the ordered registry, so output order is
+/// deterministic.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hedra::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True while recording is switched on.  One relaxed load; the hot-path
+/// check every HEDRA_METRIC* macro starts with.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Switches recording on/off.  Values persist across off/on transitions;
+/// use reset_values() for a clean slate.
+void set_enabled(bool on) noexcept;
+
+/// Monotonically increasing event count.  All mutation is relaxed-atomic:
+/// concurrent add() calls lose nothing (exactness is TSan-tested).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (queue depth, snapshot version, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram.  Every histogram shares one power-of-4
+/// boundary ladder in nanoseconds (1.024us ... ~4.6min), so exposition
+/// needs no per-histogram schema and observe() is a shift-free loop over
+/// 15 compile-time boundaries plus two relaxed adds.  Negative samples
+/// clamp to zero (a clock can't run backwards, but a subtraction can).
+class Histogram {
+ public:
+  static constexpr int kNumBoundaries = 15;
+  static constexpr int kNumBuckets = kNumBoundaries + 1;  // + overflow
+
+  /// Upper bound (inclusive) of bucket `i` in ns: 1024 * 4^i.
+  [[nodiscard]] static constexpr std::int64_t boundary_ns(int i) noexcept {
+    return std::int64_t{1024} << (2 * i);
+  }
+
+  void observe(std::int64_t sample_ns) noexcept {
+    if (sample_ns < 0) sample_ns = 0;
+    int bucket = kNumBuckets - 1;
+    for (int i = 0; i < kNumBoundaries; ++i) {
+      if (sample_ns <= boundary_ns(i)) {
+        bucket = i;
+        break;
+      }
+    }
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<std::uint64_t>(sample_ns),
+                      std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_ns() const noexcept {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Registration/lookup: returns the named metric, creating it on first
+/// use.  Idempotent — the same name always returns the same object (its
+/// address is stable for the process lifetime).  Throws hedra::Error if
+/// the name is already registered as a different metric kind.  Takes the
+/// registry mutex; call sites cache the reference (HEDRA_METRIC* does).
+[[nodiscard]] Counter& counter(const std::string& name);
+[[nodiscard]] Gauge& gauge(const std::string& name);
+[[nodiscard]] Histogram& histogram(const std::string& name);
+
+/// Zeroes every registered value.  Objects are never deallocated — cached
+/// references stay valid — so this is the only reset tests need.
+void reset_values();
+
+/// Every registered metric name, sorted (the registry map is ordered).
+[[nodiscard]] std::vector<std::string> registered_metrics();
+
+/// Prometheus text exposition of the whole registry: `hedra_` prefix,
+/// dots mangled to underscores, `# TYPE` comment per family, histogram
+/// `_bucket{le=...}/_sum/_count` series.  Deterministic order.
+[[nodiscard]] std::string prometheus_text();
+
+/// Stable JSON dump, schema `hedra-metrics-v1`:
+///   {"schema":"hedra-metrics-v1","enabled":...,"counters":{...},
+///    "gauges":{...},"histograms":{name:{"boundaries_ns":[...],
+///    "buckets":[...],"sum_ns":...,"count":...}}}
+[[nodiscard]] std::string metrics_json();
+
+}  // namespace hedra::obs
+
+/// Increment the named counter by one.  Zero overhead when metrics are
+/// disabled (one relaxed load, statically predicted not-taken); one cached
+/// registry lookup per call site when enabled.
+#define HEDRA_METRIC(site)                                 \
+  do {                                                     \
+    if (::hedra::obs::enabled()) [[unlikely]] {            \
+      static ::hedra::obs::Counter& hedra_obs_metric_ref = \
+          ::hedra::obs::counter(site);                     \
+      hedra_obs_metric_ref.add(1);                         \
+    }                                                      \
+  } while (false)
+
+/// Increment the named counter by `n` (use to flush locally-accumulated
+/// telemetry at the end of a hot loop, never inside it).
+#define HEDRA_METRIC_ADD(site, n)                          \
+  do {                                                     \
+    if (::hedra::obs::enabled()) [[unlikely]] {            \
+      static ::hedra::obs::Counter& hedra_obs_metric_ref = \
+          ::hedra::obs::counter(site);                     \
+      hedra_obs_metric_ref.add((n));                       \
+    }                                                      \
+  } while (false)
+
+/// Set the named gauge to `v`.
+#define HEDRA_METRIC_SET(site, v)                         \
+  do {                                                    \
+    if (::hedra::obs::enabled()) [[unlikely]] {           \
+      static ::hedra::obs::Gauge& hedra_obs_metric_ref =  \
+          ::hedra::obs::gauge(site);                      \
+      hedra_obs_metric_ref.set((v));                      \
+    }                                                     \
+  } while (false)
+
+/// Record one latency sample (nanoseconds) into the named histogram.
+#define HEDRA_METRIC_OBSERVE(site, sample_ns)                \
+  do {                                                       \
+    if (::hedra::obs::enabled()) [[unlikely]] {              \
+      static ::hedra::obs::Histogram& hedra_obs_metric_ref = \
+          ::hedra::obs::histogram(site);                     \
+      hedra_obs_metric_ref.observe((sample_ns));             \
+    }                                                        \
+  } while (false)

@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/deadline.h"
+#include "util/error.h"
+
+namespace hedra::obs {
+
+namespace {
+
+void json_escape_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// Nanoseconds as fixed-point microseconds ("12.345"): chrome://tracing
+/// wants microsecond timestamps, and sub-us resolution matters for the
+/// short spans — integer formatting keeps src/obs float-free.
+void us_fixed_into(std::ostringstream& out, std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  out << ns / 1000 << '.';
+  const auto frac = static_cast<int>(ns % 1000);
+  out << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+int RequestTrace::begin(const std::string& name) {
+  return begin_at(name, util::monotonic_now_ns());
+}
+
+int RequestTrace::begin_at(const std::string& name, std::int64_t start_ns) {
+  Span span;
+  span.name = name;
+  span.start_ns = start_ns;
+  span.parent = open_.empty() ? -1 : open_.back();
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void RequestTrace::end(int index) { end_at(index, util::monotonic_now_ns()); }
+
+void RequestTrace::end_at(int index, std::int64_t end_ns) {
+  HEDRA_REQUIRE(index >= 0 && index < static_cast<int>(spans_.size()),
+                "span index out of range");
+  // Close innermost-first until (and including) the requested span; spans
+  // opened after it are implicitly over once their ancestor is.
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (spans_[static_cast<std::size_t>(top)].end_ns == 0) {
+      spans_[static_cast<std::size_t>(top)].end_ns = end_ns;
+    }
+    if (top == index) return;
+  }
+}
+
+void RequestTrace::end_all() {
+  const std::int64_t now = util::monotonic_now_ns();
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (spans_[static_cast<std::size_t>(top)].end_ns == 0) {
+      spans_[static_cast<std::size_t>(top)].end_ns = now;
+    }
+  }
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::submit(std::unique_ptr<RequestTrace> trace) {
+  if (!trace) return;
+  trace->end_all();
+  std::shared_ptr<const RequestTrace> shared = std::move(trace);
+  util::MutexLock lock(mutex_);
+  ++submitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(shared));
+    return;
+  }
+  ring_[next_] = std::move(shared);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> Tracer::snapshot() const {
+  util::MutexLock lock(mutex_);
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  out.reserve(ring_.size());
+  // Oldest first: the ring head is `next_` once it has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::submitted() const {
+  util::MutexLock lock(mutex_);
+  return submitted_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  util::MutexLock lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto traces = snapshot();
+  // Rebase every timestamp to the earliest span so the viewer opens at 0.
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  for (const auto& trace : traces) {
+    for (const Span& span : trace->spans()) {
+      epoch = std::min(epoch, span.start_ns);
+    }
+  }
+  if (epoch == std::numeric_limits<std::int64_t>::max()) epoch = 0;
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const char* sep = "";
+  for (const auto& trace : traces) {
+    for (std::size_t i = 0; i < trace->spans().size(); ++i) {
+      const Span& span = trace->spans()[i];
+      out << sep << "{\"name\":\"";
+      json_escape_into(out, span.name);
+      out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << trace->id()
+          << ",\"ts\":";
+      us_fixed_into(out, span.start_ns - epoch);
+      out << ",\"dur\":";
+      us_fixed_into(out, span.end_ns - span.start_ns);
+      out << ",\"args\":{\"parent\":" << span.parent;
+      if (span.parent < 0) {
+        for (const auto& [key, value] : trace->notes()) {
+          out << ",\"";
+          json_escape_into(out, key);
+          out << "\":\"";
+          json_escape_into(out, value);
+          out << "\"";
+        }
+      }
+      out << "}}";
+      sep = ",";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace hedra::obs

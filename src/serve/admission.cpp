@@ -6,6 +6,7 @@
 
 #include "analysis/analysis_cache.h"
 #include "graph/dag_io.h"
+#include "obs/metrics.h"
 #include "util/fault.h"
 #include "util/strings.h"
 
@@ -118,13 +119,16 @@ AdmissionService::AdmissionService(AdmissionConfig config)
       snapshot->analysis = taskset::contention_rta(snapshot->set);
     }
     snapshot->version = replay.records.size();
+    journal_bytes_.store(journal_->bytes_committed(),
+                         std::memory_order_relaxed);
   }
 
   snapshot_.store(std::move(snapshot), std::memory_order_release);
 }
 
 AdmissionReply AdmissionService::admit(const model::DagTask& task,
-                                       util::Deadline deadline) {
+                                       util::Deadline deadline,
+                                       obs::RequestTrace* trace) {
   AdmissionReply reply;
   reply.task = task.name();
 
@@ -136,10 +140,13 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
     if (existing.name() == task.name()) {
       reply.decision = Decision::kError;
       reply.detail = "task '" + task.name() + "' is already admitted";
+      tally_errors_.fetch_add(1, std::memory_order_relaxed);
       return reply;
     }
   }
 
+  const int build_span =
+      trace != nullptr ? trace->begin("snapshot-build") : -1;
   taskset::TaskSet candidate =
       with_task(config_.platform, current->set, &task);
   try {
@@ -147,14 +154,18 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
   } catch (const Error& e) {
     reply.decision = Decision::kError;
     reply.detail = e.what();
+    tally_errors_.fetch_add(1, std::memory_order_relaxed);
     return reply;
   }
+  if (trace != nullptr) trace->end(build_span);
 
+  const int rta_span = trace != nullptr ? trace->begin("rta-fixpoint") : -1;
   util::Budget budget(deadline, config_.max_work_per_request == 0
                                     ? util::Budget::kUnlimitedWork
                                     : config_.max_work_per_request);
   taskset::ContentionAnalysis analysis =
       taskset::contention_rta(candidate, &budget);
+  if (trace != nullptr) trace->end(rta_span);
 
   if (analysis.schedulable) {
     // contention_rta never reports schedulable under a truncated analysis
@@ -177,9 +188,20 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
     // state we are about to acknowledge, never to one the client was not
     // told about and that was not proven schedulable.
     if (journal_.has_value()) {
+      const int journal_span =
+          trace != nullptr ? trace->begin("journal-append+fsync") : -1;
       journal_->append(std::string(kAdmitRecord) + task_to_text(task));
+      journal_bytes_.store(journal_->bytes_committed(),
+                           std::memory_order_relaxed);
+      if (trace != nullptr) trace->end(journal_span);
+      HEDRA_METRIC("serve.journal.appends");
     }
+    const int publish_span =
+        trace != nullptr ? trace->begin("publish") : -1;
     publish(std::move(next));
+    if (trace != nullptr) trace->end(publish_span);
+    tally_admitted_.fetch_add(1, std::memory_order_relaxed);
+    HEDRA_METRIC("serve.admit.admitted");
     return reply;
   }
 
@@ -198,11 +220,15 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
                      " exceeds deadline " + std::to_string(task.deadline()) +
                      " on all " + std::to_string(config_.platform.cores) +
                      " cores (proof survives the budget cut)";
+      tally_rejected_seed_.fetch_add(1, std::memory_order_relaxed);
+      HEDRA_METRIC("serve.admit.rejected_seed");
       return reply;
     }
     reply.decision = Decision::kProvisional;
     reply.outcome = util::Outcome::kBudgetExhausted;
     reply.detail = "analysis budget exhausted before a proof; not admitted";
+    tally_provisional_.fetch_add(1, std::memory_order_relaxed);
+    HEDRA_METRIC("serve.admit.provisional");
     return reply;
   }
 
@@ -215,7 +241,20 @@ AdmissionReply AdmissionService::admit(const model::DagTask& task,
       break;
     }
   }
+  tally_rejected_exact_.fetch_add(1, std::memory_order_relaxed);
+  HEDRA_METRIC("serve.admit.rejected_exact");
   return reply;
+}
+
+AdmissionService::LadderTallies AdmissionService::ladder_tallies()
+    const noexcept {
+  LadderTallies t;
+  t.admitted = tally_admitted_.load(std::memory_order_relaxed);
+  t.rejected_exact = tally_rejected_exact_.load(std::memory_order_relaxed);
+  t.rejected_seed = tally_rejected_seed_.load(std::memory_order_relaxed);
+  t.provisional = tally_provisional_.load(std::memory_order_relaxed);
+  t.errors = tally_errors_.load(std::memory_order_relaxed);
+  return t;
 }
 
 AdmissionReply AdmissionService::leave(const std::string& name) {
@@ -248,6 +287,9 @@ AdmissionReply AdmissionService::leave(const std::string& name) {
   next->version = current->version + 1;
   if (journal_.has_value()) {
     journal_->append(std::string(kLeavePrefix) + name);
+    journal_bytes_.store(journal_->bytes_committed(),
+                         std::memory_order_relaxed);
+    HEDRA_METRIC("serve.journal.appends");
   }
   publish(std::move(next));
   reply.decision = Decision::kOk;
@@ -257,12 +299,19 @@ AdmissionReply AdmissionService::leave(const std::string& name) {
 
 std::string AdmissionService::status_line() const {
   const std::shared_ptr<const Snapshot> current = snapshot();
+  const LadderTallies ladder = ladder_tallies();
   std::ostringstream os;
   os << "tasks=" << current->set.size()
      << " cores_used=" << current->analysis.cores_used
      << " schedulable=" << (current->set.empty() || current->analysis.schedulable ? 1 : 0)
      << " version=" << current->version << " platform="
-     << config_.platform.spec();
+     << config_.platform.spec()
+     << " journal_bytes=" << journal_bytes()
+     << " admitted=" << ladder.admitted
+     << " rejected_exact=" << ladder.rejected_exact
+     << " rejected_seed=" << ladder.rejected_seed
+     << " provisional=" << ladder.provisional
+     << " admit_errors=" << ladder.errors;
   return os.str();
 }
 

@@ -41,6 +41,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/trace.h"
 #include "serve/journal.h"
 #include "taskset/contention_rta.h"
 #include "taskset/taskset.h"
@@ -101,16 +102,36 @@ class AdmissionService {
   }
 
   /// Runs the admission test for `task` joining the current set under
-  /// `deadline`.  See the degradation ladder in the file comment.
+  /// `deadline`.  See the degradation ladder in the file comment.  When
+  /// `trace` is non-null the phases are recorded as spans (snapshot-build,
+  /// rta-fixpoint, journal-append+fsync, publish).
   [[nodiscard]] AdmissionReply admit(const model::DagTask& task,
-                                     util::Deadline deadline = {})
+                                     util::Deadline deadline = {},
+                                     obs::RequestTrace* trace = nullptr)
       HEDRA_EXCLUDES(writer_mutex_);
 
   /// Removes a previously admitted task.
   [[nodiscard]] AdmissionReply leave(const std::string& name)
       HEDRA_EXCLUDES(writer_mutex_);
 
-  /// One-line state summary (the STATUS protocol response body).
+  /// How often each rung of the degradation ladder answered (relaxed
+  /// tallies; see the ladder in the file comment).
+  struct LadderTallies {
+    std::uint64_t admitted = 0;        ///< complete exact proof, admitted
+    std::uint64_t rejected_exact = 0;  ///< complete exact proof, rejected
+    std::uint64_t rejected_seed = 0;   ///< budget cut, seed-bound proof
+    std::uint64_t provisional = 0;     ///< budget cut, no proof
+    std::uint64_t errors = 0;          ///< invalid requests / faults
+  };
+  [[nodiscard]] LadderTallies ladder_tallies() const noexcept;
+
+  /// Journal bytes durably committed so far (0 without a journal).
+  [[nodiscard]] std::uint64_t journal_bytes() const noexcept {
+    return journal_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line state summary (the STATUS protocol response body): admitted
+  /// state, then journal bytes and the degradation-ladder tallies.
   [[nodiscard]] std::string status_line() const;
 
   [[nodiscard]] const model::Platform& platform() const noexcept {
@@ -132,6 +153,14 @@ class AdmissionService {
   util::Mutex writer_mutex_;
   std::optional<Journal> journal_ HEDRA_GUARDED_BY(writer_mutex_);
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  /// Mirror of journal_->bytes_committed(), readable without the writer
+  /// mutex so status_line() stays lock-free.
+  std::atomic<std::uint64_t> journal_bytes_{0};
+  std::atomic<std::uint64_t> tally_admitted_{0};
+  std::atomic<std::uint64_t> tally_rejected_exact_{0};
+  std::atomic<std::uint64_t> tally_rejected_seed_{0};
+  std::atomic<std::uint64_t> tally_provisional_{0};
+  std::atomic<std::uint64_t> tally_errors_{0};
 };
 
 /// One task serialised as its `task ... endtask` block — the journal's

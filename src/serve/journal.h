@@ -66,6 +66,11 @@ class Journal {
   [[nodiscard]] std::uint64_t records_written() const noexcept {
     return records_written_;
   }
+  /// Committed on-disk length (frames fully written + fsynced), the
+  /// `journal_bytes` field of the enriched STATUS line.
+  [[nodiscard]] std::uint64_t bytes_committed() const noexcept {
+    return size_;
+  }
 
   /// Replays `path` (missing file = empty journal).  Returns the clean
   /// prefix; throws hedra::Error on non-tail corruption or I/O failure.

@@ -96,6 +96,11 @@ std::optional<Request> read_request(std::istream& in) {
       request.kind = Request::Kind::kStatus;
       return request;
     }
+    if (trimmed == "METRICS") {
+      Request request;
+      request.kind = Request::Kind::kMetrics;
+      return request;
+    }
     if (trimmed == "QUIT") {
       Request request;
       request.kind = Request::Kind::kQuit;

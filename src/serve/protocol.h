@@ -15,6 +15,7 @@
 ///     endtask
 ///     LEAVE <name>
 ///     STATUS
+///     METRICS
 ///     QUIT
 ///
 /// The ADMIT body is exactly the dag_io line format of PR 5's taskset
@@ -27,16 +28,22 @@
 ///     ERROR <detail>
 ///     SHED <name>
 ///
+/// except METRICS, whose response is the Prometheus text exposition of the
+/// obs registry (src/obs/metrics.h), a multi-line block terminated by a
+/// literal `# EOF` line — the one scrape-shaped verb in the protocol.
+///
 /// Hardening: request parsing never trusts the peer.  Body size and line
 /// counts are capped, unknown commands and malformed headers turn into
 /// kInvalid requests (the worker answers ERROR and the connection lives
 /// on), and a request truncated by EOF is an explicit error, not a hang.
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "graph/dag.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 
 namespace hedra::serve {
@@ -47,13 +54,18 @@ inline constexpr std::size_t kMaxBodyBytes = 4u * 1024 * 1024;
 inline constexpr std::size_t kMaxBodyLines = 200'000;
 
 struct Request {
-  enum class Kind { kAdmit, kLeave, kStatus, kQuit, kInvalid };
+  enum class Kind { kAdmit, kLeave, kStatus, kMetrics, kQuit, kInvalid };
   Kind kind = Kind::kInvalid;
   std::string name;            ///< task name (admit / leave)
   graph::Time period = 0;      ///< admit only
   graph::Time deadline = 0;    ///< admit only
   std::string dag_text;        ///< admit only: dag_io lines, no endtask
   std::string error;           ///< kInvalid: what was wrong
+  /// The request's span tree when the server traces (server.h); built by
+  /// the reader thread, handed to the worker through the queue (the queue
+  /// mutex orders the hand-off), finished and submitted by the worker.
+  std::unique_ptr<obs::RequestTrace> trace;
+  int queue_wait_span = -1;  ///< open "queue-wait" span for the worker
 };
 
 /// Reads the next request (skipping blank and '#' comment lines).  Returns

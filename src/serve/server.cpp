@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <ostream>
+#include <sstream>
 #include <thread>
 
 #include "graph/dag_io.h"
+#include "obs/metrics.h"
 #include "serve/bounded_queue.h"
 #include "serve/protocol.h"
+#include "util/deadline.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/thread_annotations.h"
@@ -15,12 +18,31 @@ namespace hedra::serve {
 
 namespace {
 
+const char* verb_name(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kAdmit:
+      return "ADMIT";
+    case Request::Kind::kLeave:
+      return "LEAVE";
+    case Request::Kind::kStatus:
+      return "STATUS";
+    case Request::Kind::kMetrics:
+      return "METRICS";
+    case Request::Kind::kQuit:
+      return "QUIT";
+    case Request::Kind::kInvalid:
+      return "INVALID";
+  }
+  return "INVALID";
+}
+
 /// Executes one parsed request against the service.  Never throws: every
 /// failure — parse residue, analysis faults, journal errors — becomes an
 /// ERROR reply, because a service survives bad requests and bad luck; only
 /// the transport ending stops it.
 AdmissionReply execute(AdmissionService& service, const Request& request,
-                       const ServerConfig& config) {
+                       const ServerConfig& config,
+                       obs::RequestTrace* trace) {
   AdmissionReply reply;
   try {
     switch (request.kind) {
@@ -29,6 +51,7 @@ AdmissionReply execute(AdmissionService& service, const Request& request,
         reply.detail = request.error;
         return reply;
       case Request::Kind::kStatus:
+      case Request::Kind::kMetrics:  // handled by the worker loop
         reply.decision = Decision::kOk;
         reply.detail = service.status_line();
         return reply;
@@ -41,7 +64,7 @@ AdmissionReply execute(AdmissionService& service, const Request& request,
             config.request_deadline_sec > 0.0
                 ? util::Deadline::after_seconds(config.request_deadline_sec)
                 : util::Deadline::never();
-        return service.admit(task, deadline);
+        return service.admit(task, deadline, trace);
       }
       case Request::Kind::kQuit:
         reply.decision = Decision::kOk;
@@ -64,6 +87,12 @@ AdmissionReply execute(AdmissionService& service, const Request& request,
   return reply;
 }
 
+/// Trace ids are process-global, not per-run_server: one Tracer often
+/// outlives several server loops (the smoke harness runs one per task
+/// set), and chrome://tracing keys rows on the id — a restart must not
+/// fold two requests onto one row.
+std::atomic<std::uint64_t> g_request_seq{0};
+
 /// The reply stream, shared by the reader thread (SHED lines) and the
 /// worker (replies).  Interleaved writes would corrupt the line protocol,
 /// so the stream itself is the guarded datum.
@@ -80,13 +109,16 @@ ServerStats run_server(std::istream& in, std::ostream& out,
   ServerStats stats;
   BoundedQueue<Request> queue(config.queue_capacity);
   SharedOut shared_out(out);
-  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> shed_queue_full{0};
+  std::atomic<std::uint64_t> shed_fault{0};
 
   // Reader: parse + enqueue; shed when the worker is saturated.  Parsing
   // (including an injected serve.request.parse fault) must not kill the
   // reader, so failures become kInvalid requests answered in order.
   std::thread reader([&] {
     for (;;) {
+      const std::int64_t parse_start =
+          config.tracer != nullptr ? util::monotonic_now_ns() : 0;
       std::optional<Request> request;
       try {
         request = read_request(in);
@@ -97,19 +129,43 @@ ServerStats run_server(std::istream& in, std::ostream& out,
         request = std::move(invalid);
       }
       if (!request.has_value()) break;  // EOF
+      if (config.tracer != nullptr) {
+        // Tracing is best-effort: an injected allocation fault here drops
+        // the trace, never the request.
+        try {
+          HEDRA_FAULT("serve.trace.alloc");
+          request->trace = std::make_unique<obs::RequestTrace>(
+              g_request_seq.fetch_add(1, std::memory_order_relaxed) + 1);
+          request->trace->begin_at("request", parse_start);
+          request->trace->end(request->trace->begin_at("parse", parse_start));
+          request->trace->note("verb", verb_name(request->kind));
+          request->queue_wait_span = request->trace->begin("queue-wait");
+        } catch (const std::exception&) {
+          request->trace.reset();
+        }
+      }
       const bool quit = request->kind == Request::Kind::kQuit;
       const std::string name = request->name;
       bool pushed = false;
+      bool push_faulted = false;
       try {
         pushed = queue.try_push(std::move(*request));
       } catch (const std::exception&) {
         // A fault at the queue boundary (serve.queue.push) loses the
         // hand-off; the request was never executed, so SHED is the honest
-        // answer — and the reader thread must survive.
+        // answer — and the reader thread must survive.  Distinguished from
+        // a genuinely full queue in the stats and STATUS.
         pushed = false;
+        push_faulted = true;
       }
       if (!pushed) {
-        shed.fetch_add(1, std::memory_order_relaxed);
+        if (push_faulted) {
+          shed_fault.fetch_add(1, std::memory_order_relaxed);
+          HEDRA_METRIC("serve.shed.fault");
+        } else {
+          shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+          HEDRA_METRIC("serve.shed.queue_full");
+        }
         util::MutexLock lock(shared_out.mutex);
         shared_out.out << "SHED" << (name.empty() ? "" : " " + name) << "\n"
                        << std::flush;
@@ -123,7 +179,38 @@ ServerStats run_server(std::istream& in, std::ostream& out,
   for (;;) {
     std::optional<Request> request = queue.pop();
     if (!request.has_value()) break;  // closed and drained
-    const AdmissionReply reply = execute(service, *request, config);
+    std::unique_ptr<obs::RequestTrace> trace = std::move(request->trace);
+    if (trace != nullptr && request->queue_wait_span >= 0) {
+      trace->end(request->queue_wait_span);
+    }
+    HEDRA_METRIC("serve.requests");
+    HEDRA_METRIC_SET("serve.queue.depth",
+                     static_cast<std::int64_t>(queue.size()));
+
+    if (request->kind == Request::Kind::kMetrics) {
+      // The scrape verb: the whole registry in Prometheus text format,
+      // terminated by a literal `# EOF` line (see protocol.h).
+      ++stats.requests;
+      const std::string text = obs::prometheus_text();
+      {
+        util::MutexLock lock(shared_out.mutex);
+        shared_out.out << text << "# EOF\n" << std::flush;
+      }
+      if (trace != nullptr) config.tracer->submit(std::move(trace));
+      continue;
+    }
+
+    AdmissionReply reply = execute(service, *request, config, trace.get());
+    if (request->kind == Request::Kind::kStatus &&
+        reply.decision == Decision::kOk) {
+      // Server-side half of the enriched STATUS: the queue and shed
+      // tallies live in this loop, not in the service.
+      std::ostringstream extra;
+      extra << " queue=" << queue.size() << " shed_full="
+            << shed_queue_full.load(std::memory_order_relaxed)
+            << " shed_fault=" << shed_fault.load(std::memory_order_relaxed);
+      reply.detail += extra.str();
+    }
     ++stats.requests;
     switch (reply.decision) {
       case Decision::kAdmitted:
@@ -137,6 +224,7 @@ ServerStats run_server(std::istream& in, std::ostream& out,
         break;
       case Decision::kError:
         ++stats.errors;
+        HEDRA_METRIC("serve.errors");
         break;
       case Decision::kOk:
         break;
@@ -145,11 +233,24 @@ ServerStats run_server(std::istream& in, std::ostream& out,
       util::MutexLock lock(shared_out.mutex);
       shared_out.out << format_reply(reply) << "\n" << std::flush;
     }
+    if (trace != nullptr) {
+      trace->note("decision", to_string(reply.decision));
+      if (!request->name.empty()) trace->note("task", request->name);
+      trace->end_all();
+      if (!trace->spans().empty()) {
+        const obs::Span& root = trace->spans().front();
+        HEDRA_METRIC_OBSERVE("serve.request.latency_ns",
+                             root.end_ns - root.start_ns);
+      }
+      config.tracer->submit(std::move(trace));
+    }
     if (request->kind == Request::Kind::kQuit) break;
   }
   queue.close();  // in case QUIT ended the worker before the reader
   reader.join();
-  stats.shed = shed.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full.load(std::memory_order_relaxed);
+  stats.shed_fault = shed_fault.load(std::memory_order_relaxed);
+  stats.shed = stats.shed_queue_full + stats.shed_fault;
   return stats;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "obs/trace.h"
 #include "serve/admission.h"
 
 namespace hedra::serve {
@@ -29,6 +30,10 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;
   /// Per-request analysis deadline; <= 0 means unlimited.
   double request_deadline_sec = 0.0;
+  /// When non-null every request carries a RequestTrace (parse ->
+  /// queue-wait -> admission phases), submitted here on completion.  Null
+  /// (the default) records nothing — no allocation, no timestamps.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ServerStats {
@@ -37,6 +42,11 @@ struct ServerStats {
   std::uint64_t rejected = 0;
   std::uint64_t provisional = 0;
   std::uint64_t shed = 0;       ///< refused at the queue, never executed
+  /// The two distinguishable causes of a SHED reply (shed = their sum):
+  /// a genuinely full queue vs an injected serve.queue.push fault losing
+  /// the hand-off.
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_fault = 0;
   std::uint64_t errors = 0;
 };
 

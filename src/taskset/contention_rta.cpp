@@ -7,6 +7,7 @@
 
 #include "analysis/analysis_cache.h"
 #include "analysis/batch_kernels.h"
+#include "obs/metrics.h"
 #include "util/fault.h"
 
 namespace hedra::taskset {
@@ -299,9 +300,16 @@ FixpointResult fixpoint_int(const TaskSet& set, const SetQuantities& q,
   return out;
 }
 
+/// Dispatches to the integer fast path when safe, recording which engine
+/// ran and what it cost into `telemetry` (nullable: contention_response
+/// has no whole-set accumulator).  Counters only — the dispatch decision
+/// and the returned values are untouched.
 FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
                         std::size_t index, const Frac& seed,
-                        graph::Time deadline, util::Budget* budget) {
+                        graph::Time deadline, util::Budget* budget,
+                        FixpointTelemetry* telemetry = nullptr) {
+  bool int_path = false;
+  std::optional<FixpointResult> result;
   if (q.base_scale > 0) {
     // L = lcm(B, seed.den) = B·f; seed.den divides L by construction.
     const graph::Time f =
@@ -313,11 +321,25 @@ FixpointResult fixpoint(const TaskSet& set, const SetQuantities& q,
       if (seed_scaled >= 0 &&
           seed_scaled + __int128{f} * q.step_weight <= kMaxMagnitude &&
           q.timing_max * L <= kMaxMagnitude) {
-        return fixpoint_int(set, q, L, f, index, seed, deadline, budget);
+        int_path = true;
+        result = fixpoint_int(set, q, L, f, index, seed, deadline, budget);
       }
     }
   }
-  return fixpoint_frac(set, q, index, seed, deadline, budget);
+  if (!result) {
+    result = fixpoint_frac(set, q, index, seed, deadline, budget);
+  }
+  if (telemetry != nullptr) {
+    ++telemetry->fixpoint_solves;
+    if (int_path) {
+      ++telemetry->int_path;
+    } else {
+      ++telemetry->frac_path;
+    }
+    telemetry->iterations += static_cast<std::uint64_t>(result->iterations);
+    if (result->truncated) ++telemetry->truncated;
+  }
+  return *result;
 }
 
 /// Per-task isolated platform bound R(m), served from the arena view when
@@ -394,7 +416,9 @@ ContentionAnalysis contention_rta(const TaskSet& set, util::Budget* budget) {
         break;
       }
       const Frac seed = seed_bound(m);
-      FixpointResult result = fixpoint(set, q, i, seed, deadline, budget);
+      ++out.telemetry.seed_evals;
+      FixpointResult result =
+          fixpoint(set, q, i, seed, deadline, budget, &out.telemetry);
       if (result.converged && result.response <= Frac(deadline)) {
         best = std::move(result);
         assigned = m;
@@ -432,7 +456,27 @@ ContentionAnalysis contention_rta(const TaskSet& set, util::Budget* budget) {
     }
     out.tasks.push_back(std::move(admission));
   }
+  // One flush per analysis: the hot loops above touch only the plain
+  // locals in out.telemetry; the registry sees the totals here.
+  HEDRA_METRIC("taskset.rta.analyses");
+  HEDRA_METRIC_ADD("taskset.rta.fixpoint_solves",
+                   out.telemetry.fixpoint_solves);
+  HEDRA_METRIC_ADD("taskset.rta.int_path", out.telemetry.int_path);
+  HEDRA_METRIC_ADD("taskset.rta.frac_path", out.telemetry.frac_path);
+  HEDRA_METRIC_ADD("taskset.rta.iterations", out.telemetry.iterations);
+  HEDRA_METRIC_ADD("taskset.rta.seed_evals", out.telemetry.seed_evals);
+  HEDRA_METRIC_ADD("taskset.rta.truncated", out.telemetry.truncated);
   return out;
+}
+
+std::string explain_fixpoint(const ContentionAnalysis& analysis) {
+  const FixpointTelemetry& t = analysis.telemetry;
+  std::ostringstream os;
+  os << "rta fixpoint: solves=" << t.fixpoint_solves << " (int_path="
+     << t.int_path << " frac_path=" << t.frac_path << ") iterations="
+     << t.iterations << " seed_evals=" << t.seed_evals << " truncated="
+     << t.truncated << "\n";
+  return os.str();
 }
 
 std::string explain(const ContentionAnalysis& analysis, const TaskSet& set) {

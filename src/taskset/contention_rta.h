@@ -42,6 +42,7 @@
 /// admitted iff every task gets a feasible allocation within the m cores.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,22 @@ struct TaskAdmission {
   std::vector<DeviceContention> devices;  ///< classes with shared work only
 };
 
+/// Fixpoint-engine telemetry for one whole-set analysis.  Plain local
+/// counters on the analysis path — no atomics, no locks, no clock reads —
+/// so recording never perturbs the iteration sequence or the verdict
+/// (analysis output is bit-identical with telemetry compiled in).
+struct FixpointTelemetry {
+  std::uint64_t fixpoint_solves = 0;  ///< (task, core-count) fixpoints run
+  /// Which arithmetic engine each solve took: the L-scaled integer fast
+  /// path vs the exact-rational fallback (see fixpoint_int's contract —
+  /// both produce bit-identical value sequences).
+  std::uint64_t int_path = 0;
+  std::uint64_t frac_path = 0;
+  std::uint64_t iterations = 0;       ///< fixpoint iterations, all solves
+  std::uint64_t seed_evals = 0;       ///< seed-bound (chain-walk) evaluations
+  std::uint64_t truncated = 0;        ///< solves cut by budget or the cap
+};
+
 /// Whole-set verdict.
 struct ContentionAnalysis {
   bool schedulable = false;
@@ -89,6 +106,7 @@ struct ContentionAnalysis {
   /// analysis never reports schedulable == true (fail closed).
   util::Outcome outcome = util::Outcome::kComplete;
   std::vector<TaskAdmission> tasks;
+  FixpointTelemetry telemetry;  ///< where the analysis work went
 };
 
 /// Runs the admission test.  Requires a validated, non-empty set.
@@ -115,5 +133,11 @@ struct ContentionAnalysis {
 /// i.e. the contention edge to relieve first when the set is rejected.
 [[nodiscard]] std::string explain(const ContentionAnalysis& analysis,
                                   const TaskSet& set);
+
+/// explain()-style summary of where the analysis spent its work: solve and
+/// iteration totals, the int-path/frac-path split, and the truncation
+/// count.  Separate from explain() so the verdict text (golden-pinned by
+/// the tooling examples) is unchanged by the telemetry layer.
+[[nodiscard]] std::string explain_fixpoint(const ContentionAnalysis& analysis);
 
 }  // namespace hedra::taskset

@@ -2,6 +2,12 @@
 
 namespace hedra::util {
 
+std::int64_t monotonic_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Deadline::Clock::now().time_since_epoch())
+      .count();
+}
+
 const char* to_string(Outcome outcome) noexcept {
   switch (outcome) {
     case Outcome::kComplete:

@@ -39,6 +39,13 @@
 
 namespace hedra::util {
 
+/// Nanoseconds on the monotonic clock (Deadline::Clock).  The single
+/// sanctioned time source for telemetry: src/obs/ records durations with
+/// this and never touches a clock type directly (enforced by the
+/// `obs-clock` lint rule), so observability inherits the same
+/// wall-clock-free discipline as the analysis layers.
+[[nodiscard]] std::int64_t monotonic_now_ns() noexcept;
+
 /// Typed completion status of a budgeted computation.
 enum class Outcome {
   kComplete = 0,         ///< ran to the mathematical end

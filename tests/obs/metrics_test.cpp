@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hedra::obs {
+namespace {
+
+/// The registry is process-global and objects are never deallocated, so
+/// every test uses names of its own and leaves recording DISABLED with all
+/// values zeroed — the production default the other suites assume.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset_values();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_values();
+  }
+};
+
+TEST_F(ObsMetricsTest, DisabledByDefaultAndMacroRegistersNothing) {
+  EXPECT_FALSE(enabled());
+  HEDRA_METRIC("obs.test.never_enabled");
+  for (const std::string& name : registered_metrics()) {
+    EXPECT_NE(name, "obs.test.never_enabled");
+  }
+}
+
+TEST_F(ObsMetricsTest, MacroArgumentIsNotEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::int64_t{7};
+  };
+  HEDRA_METRIC_SET("obs.test.lazy_gauge", expensive());
+  HEDRA_METRIC_OBSERVE("obs.test.lazy_hist", expensive());
+  EXPECT_EQ(evaluations, 0);
+
+  set_enabled(true);
+  HEDRA_METRIC_SET("obs.test.lazy_gauge", expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(ObsMetricsTest, RegistrationIsIdempotentWithStableAddresses) {
+  Counter& a = counter("obs.test.idempotent");
+  Counter& b = counter("obs.test.idempotent");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  // reset_values zeroes but never deallocates: the cached reference stays
+  // valid and usable.
+  reset_values();
+  EXPECT_EQ(a.value(), 0u);
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsMetricsTest, KindConflictThrows) {
+  (void)counter("obs.test.kind_conflict");
+  EXPECT_THROW((void)gauge("obs.test.kind_conflict"), Error);
+  EXPECT_THROW((void)histogram("obs.test.kind_conflict"), Error);
+}
+
+TEST_F(ObsMetricsTest, RegisteredNamesAreSorted) {
+  (void)counter("obs.test.names.b");
+  (void)counter("obs.test.names.a");
+  const std::vector<std::string> names = registered_metrics();
+  bool saw_a = false;
+  bool saw_b = false;
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+  for (const std::string& name : names) {
+    saw_a |= name == "obs.test.names.a";
+    saw_b |= name == "obs.test.names.b";
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+// The suite name matches the CI TSan filter: concurrent relaxed adds must
+// be exact (no lost updates) AND race-free under instrumentation.
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  Counter& hits = counter("obs.test.concurrent");
+  Histogram& lat = histogram("obs.test.concurrent_hist");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hits, &lat] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add(1);
+        lat.observe(1000);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hits.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(lat.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(lat.bucket_count(0),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Histogram& hist = histogram("obs.test.hist_bounds");
+  // boundary_ns(i) = 1024 * 4^i; bucket i is (boundary(i-1), boundary(i)].
+  EXPECT_EQ(Histogram::boundary_ns(0), 1024);
+  EXPECT_EQ(Histogram::boundary_ns(1), 4096);
+
+  hist.observe(Histogram::boundary_ns(0));      // on-boundary: bucket 0
+  hist.observe(Histogram::boundary_ns(0) + 1);  // just past: bucket 1
+  hist.observe(Histogram::boundary_ns(1));      // on-boundary: bucket 1
+  hist.observe(-5);                             // clamps to 0: bucket 0
+  hist.observe(Histogram::boundary_ns(Histogram::kNumBoundaries - 1) +
+               1);                               // overflow bucket
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  // The clamped sample contributes 0 to the sum.
+  EXPECT_EQ(hist.sum_ns(),
+            static_cast<std::uint64_t>(
+                Histogram::boundary_ns(0) + Histogram::boundary_ns(0) + 1 +
+                Histogram::boundary_ns(1) +
+                Histogram::boundary_ns(Histogram::kNumBoundaries - 1) + 1));
+}
+
+TEST_F(ObsMetricsTest, PrometheusTextExposesEveryKind) {
+  set_enabled(true);
+  HEDRA_METRIC("obs.test.prom.counter");
+  HEDRA_METRIC_SET("obs.test.prom.gauge", -3);
+  HEDRA_METRIC_OBSERVE("obs.test.prom.hist", 2000);
+  const std::string text = prometheus_text();
+  EXPECT_NE(text.find("# TYPE hedra_obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_counter 1"), std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_gauge -3"), std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_hist_bucket{le=\"1024\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_hist_bucket{le=\"4096\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_hist_sum 2000"),
+            std::string::npos);
+  EXPECT_NE(text.find("hedra_obs_test_prom_hist_count 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, MetricsJsonIsSchemaV1) {
+  set_enabled(true);
+  HEDRA_METRIC("obs.test.json.counter");
+  const std::string json = metrics_json();
+  EXPECT_NE(json.find("\"schema\":\"hedra-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.json.counter\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedra::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace hedra::obs {
+namespace {
+
+TEST(RequestTraceTest, SpansNestUnderTheInnermostOpenSpan) {
+  RequestTrace trace(1);
+  const int root = trace.begin("request");
+  const int parse = trace.begin("parse");
+  trace.end(parse);
+  const int rta = trace.begin("rta-fixpoint");
+  trace.end(rta);
+  trace.end(root);
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[0].parent, -1);
+  EXPECT_EQ(trace.spans()[1].parent, root);
+  EXPECT_EQ(trace.spans()[2].parent, root);
+  for (const Span& span : trace.spans()) {
+    EXPECT_GT(span.end_ns, 0);
+    EXPECT_LE(span.start_ns, span.end_ns);
+  }
+}
+
+TEST(RequestTraceTest, ExplicitStampsAreTakenVerbatim) {
+  RequestTrace trace(2);
+  const int root = trace.begin_at("request", 1000);
+  trace.end_at(root, 5000);
+  EXPECT_EQ(trace.spans()[0].start_ns, 1000);
+  EXPECT_EQ(trace.spans()[0].end_ns, 5000);
+}
+
+TEST(RequestTraceTest, OutOfOrderEndClosesInnerSpansToo) {
+  RequestTrace trace(3);
+  const int root = trace.begin_at("request", 10);
+  (void)trace.begin_at("inner", 20);
+  (void)trace.begin_at("innermost", 30);
+  trace.end_at(root, 100);  // exception path: only the root gets ended
+  for (const Span& span : trace.spans()) {
+    EXPECT_EQ(span.end_ns, 100);
+  }
+}
+
+TEST(RequestTraceTest, EndAllClosesEveryOpenSpanOnce) {
+  RequestTrace trace(4);
+  (void)trace.begin("request");
+  const int parse = trace.begin_at("parse", 50);
+  trace.end_at(parse, 60);
+  (void)trace.begin("queue-wait");
+  trace.end_all();
+  for (const Span& span : trace.spans()) {
+    EXPECT_GT(span.end_ns, 0);
+  }
+  // The already-closed span keeps its original stamp.
+  EXPECT_EQ(trace.spans()[1].end_ns, 60);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(2);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    auto trace = std::make_unique<RequestTrace>(id);
+    (void)trace->begin_at("request", static_cast<std::int64_t>(id) * 100);
+    tracer.submit(std::move(trace));
+  }
+  EXPECT_EQ(tracer.submitted(), 3u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0]->id(), 2u);  // oldest surviving first
+  EXPECT_EQ(traces[1]->id(), 3u);
+}
+
+TEST(TracerTest, SubmitClosesOpenSpans) {
+  Tracer tracer;
+  auto trace = std::make_unique<RequestTrace>(7);
+  (void)trace->begin("request");
+  tracer.submit(std::move(trace));
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_GT(traces[0]->spans()[0].end_ns, 0);
+}
+
+TEST(TracerTest, ChromeTraceJsonRebasesToTheEarliestSpan) {
+  Tracer tracer;
+  auto trace = std::make_unique<RequestTrace>(9);
+  const int root = trace->begin_at("request", 1'000'000);
+  const int child = trace->begin_at("rta-fixpoint", 1'200'500);
+  trace->end_at(child, 1'800'500);
+  trace->end_at(root, 3'000'000);
+  trace->note("verb", "ADMIT");
+  tracer.submit(std::move(trace));
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Root at ts=0 (rebased), duration 2000us; child at 200.5us for 600us.
+  EXPECT_NE(json.find("{\"name\":\"request\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":9,\"ts\":0.000,\"dur\":2000.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"rta-fixpoint\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":9,\"ts\":200.500,\"dur\":600.000"),
+            std::string::npos);
+  // Notes ride on the root event's args only.
+  EXPECT_NE(json.find("\"parent\":-1,\"verb\":\"ADMIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":0}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedra::obs

@@ -127,10 +127,26 @@ TEST(AdmissionServiceTest, LeaveRemovesAndReanalyses) {
 TEST(AdmissionServiceTest, StatusLineSummarisesTheState) {
   AdmissionService service(config_with());
   EXPECT_EQ(service.status_line(),
-            "tasks=0 cores_used=0 schedulable=1 version=0 platform=4:acc");
+            "tasks=0 cores_used=0 schedulable=1 version=0 platform=4:acc "
+            "journal_bytes=0 admitted=0 rejected_exact=0 rejected_seed=0 "
+            "provisional=0 admit_errors=0");
   EXPECT_EQ(service.admit(easy_task("tau1")).decision, Decision::kAdmitted);
   EXPECT_NE(service.status_line().find("tasks=1"), std::string::npos);
   EXPECT_NE(service.status_line().find("schedulable=1"), std::string::npos);
+  EXPECT_NE(service.status_line().find("admitted=1"), std::string::npos);
+}
+
+TEST(AdmissionServiceTest, LadderTalliesCountEveryRung) {
+  AdmissionService service(config_with());
+  EXPECT_EQ(service.admit(easy_task("tau1")).decision, Decision::kAdmitted);
+  // Duplicate name: an error, not a ladder rung.
+  EXPECT_EQ(service.admit(easy_task("tau1")).decision, Decision::kError);
+  const AdmissionService::LadderTallies t = service.ladder_tallies();
+  EXPECT_EQ(t.admitted, 1u);
+  EXPECT_EQ(t.errors, 1u);
+  EXPECT_EQ(t.rejected_exact, 0u);
+  EXPECT_EQ(t.rejected_seed, 0u);
+  EXPECT_EQ(t.provisional, 0u);
 }
 
 TEST(AdmissionServiceTest, JournalReplayIsBitIdentical) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/strings.h"
 
@@ -100,6 +102,9 @@ TEST(ServerTest, InjectedQueueFaultShedsTheRequest) {
   fault::clear_registry();
 
   EXPECT_EQ(stats.shed, 1u);
+  // The injected fault is distinguished from a genuinely full queue.
+  EXPECT_EQ(stats.shed_fault, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
   EXPECT_EQ(service.snapshot()->set.size(), 0u);  // never executed
   EXPECT_NE(out.str().find("SHED tau1"), std::string::npos);
 }
@@ -119,6 +124,117 @@ TEST(ServerTest, InjectedParseFaultIsAnErrorResponse) {
   EXPECT_EQ(stats.errors, 1u);
   EXPECT_NE(out.str().find("ERROR"), std::string::npos);
   EXPECT_NE(out.str().find("OK bye"), std::string::npos);
+}
+
+TEST(ServerTest, StatusCarriesQueueAndShedTallies) {
+  std::istringstream in("STATUS\nQUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  (void)run_server(in, out, service);
+  const auto lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("queue="), std::string::npos);
+  EXPECT_NE(lines[0].find("shed_full=0"), std::string::npos);
+  EXPECT_NE(lines[0].find("shed_fault=0"), std::string::npos);
+  EXPECT_NE(lines[0].find("journal_bytes="), std::string::npos);
+}
+
+TEST(ServerTest, MetricsVerbScrapesPrometheusTextWithEofTerminator) {
+  obs::set_enabled(true);
+  obs::reset_values();
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "METRICS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  const ServerStats stats = run_server(in, out, service);
+  obs::set_enabled(false);
+
+  EXPECT_EQ(stats.requests, 3u);
+  const std::string reply = out.str();
+  // The scrape block carries the admit counter recorded one line earlier
+  // and terminates with the literal sentinel line.
+  EXPECT_NE(reply.find("# TYPE hedra_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(reply.find("hedra_serve_admit_admitted 1"), std::string::npos);
+  EXPECT_NE(reply.find("\n# EOF\n"), std::string::npos);
+  obs::reset_values();
+}
+
+TEST(ServerTest, TracedSessionRecordsTheSpanTree) {
+  obs::Tracer tracer;
+  ServerConfig config;
+  config.tracer = &tracer;
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "STATUS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  (void)run_server(in, out, service, config);
+
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 3u);  // ADMIT, STATUS, QUIT
+
+  // The ADMIT trace: the full phase tree, every span closed and nested
+  // inside the root "request" interval, phases sequential (span sums to
+  // at most the end-to-end latency — the PR's acceptance criterion).
+  const obs::RequestTrace& admit = *traces[0];
+  EXPECT_EQ(admit.notes().at("verb"), "ADMIT");
+  EXPECT_EQ(admit.notes().at("decision"), "ADMITTED");
+  EXPECT_EQ(admit.notes().at("task"), "tau1");
+  std::vector<std::string> names;
+  for (const obs::Span& span : admit.spans()) names.push_back(span.name);
+  const std::vector<std::string> expected{
+      "request",        "parse",   "queue-wait", "snapshot-build",
+      "rta-fixpoint",   "publish"};
+  EXPECT_EQ(names, expected);  // no journal span: no journal configured
+  const obs::Span& root = admit.spans()[0];
+  std::int64_t child_sum = 0;
+  for (std::size_t i = 1; i < admit.spans().size(); ++i) {
+    const obs::Span& span = admit.spans()[i];
+    EXPECT_GE(span.start_ns, root.start_ns) << span.name;
+    EXPECT_LE(span.end_ns, root.end_ns) << span.name;
+    EXPECT_LE(span.start_ns, span.end_ns) << span.name;
+    child_sum += span.end_ns - span.start_ns;
+  }
+  EXPECT_LE(child_sum, root.end_ns - root.start_ns);
+
+  EXPECT_EQ(traces[1]->notes().at("verb"), "STATUS");
+  EXPECT_EQ(traces[2]->notes().at("verb"), "QUIT");
+
+  // The chrome export carries one row (tid) per request; ids are
+  // process-global (a shared Tracer outlives server loops) so only their
+  // consecutiveness is pinned, not their absolute values.
+  EXPECT_EQ(traces[1]->id(), traces[0]->id() + 1);
+  EXPECT_EQ(traces[2]->id(), traces[0]->id() + 2);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"tid\":" + std::to_string(traces[0]->id())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":" + std::to_string(traces[2]->id())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rta-fixpoint\""), std::string::npos);
+}
+
+TEST(ServerTest, TraceAllocationFaultDropsTheTraceNotTheRequest) {
+  obs::Tracer tracer;
+  ServerConfig config;
+  config.tracer = &tracer;
+  std::istringstream in(
+      "ADMIT tau1 period 1000 deadline 1000\n" + std::string(kEasyBody) +
+      "QUIT\n");
+  std::ostringstream out;
+  AdmissionService service(test_config());
+  fault::configure("serve.trace.alloc=@1");
+  const ServerStats stats = run_server(in, out, service, config);
+  fault::reset();
+  fault::clear_registry();
+
+  // The first request (the ADMIT) lost its trace but was served normally.
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(service.snapshot()->set.size(), 1u);
+  EXPECT_EQ(tracer.submitted(), 1u);  // only the QUIT trace survived
 }
 
 TEST(ServerTest, PerRequestDeadlineDegradesGracefully) {

@@ -1,0 +1,17 @@
+// hedra-lint: pretend-path(src/obs/bad_clock.cpp)
+// hedra-lint: expect(obs-clock)
+//
+// Known-bad: a direct clock read inside the telemetry layer.  src/obs
+// takes every timestamp through util::monotonic_now_ns() so spans share
+// the deadline subsystem's monotonic clock — a second clock source would
+// let trace timelines disagree with deadline accounting.
+
+#include <chrono>
+
+namespace hedra::obs {
+
+inline long long bad_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hedra::obs

@@ -1,0 +1,20 @@
+// hedra-lint: pretend-path(src/serve/bad_metric_site.cpp)
+// hedra-lint: expect(obs-metric-site)
+//
+// Known-bad: a direct metrics-registry call from outside src/obs.  The
+// HEDRA_METRIC* macros are the only sanctioned recording surface — they
+// gate on obs::enabled() so disabled telemetry costs one relaxed load,
+// and they keep every metric site greppable by macro name.
+
+namespace hedra::obs {
+struct Counter {
+  void add(unsigned long long n);
+};
+Counter& counter(const char* name);
+}  // namespace hedra::obs
+
+namespace hedra::serve {
+
+inline void record_request() { obs::counter("serve.requests").add(1); }
+
+}  // namespace hedra::serve
